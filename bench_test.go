@@ -1,0 +1,180 @@
+package parsched
+
+// The benchmark harness: one benchmark per experiment table (E1–E10)
+// regenerating the paper's evaluation programme at quick scale, plus
+// micro-benchmarks for the load-bearing substrates (SWF codec, workload
+// generation, the DES core, the backfilling profile, and the two
+// WARMstones fidelities). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the wall time of a full table
+// regeneration; EXPERIMENTS.md records the default-scale outputs.
+
+import (
+	"strings"
+	"testing"
+
+	"parsched/internal/des"
+	"parsched/internal/experiments"
+	"parsched/internal/graph"
+	"parsched/internal/model/lublin"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/swf"
+	"parsched/internal/warmstones"
+)
+
+// benchExperiment runs one experiment battery entry per iteration.
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := r.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1SchedulerComparison(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2MetricConflict(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3ObjectiveWeights(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4Feedback(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5Outages(b *testing.B)             { benchExperiment(b, "E5") }
+func BenchmarkE6Reservations(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7Prediction(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8CoAllocation(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9ModelFidelity(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Warmstones(b *testing.B)         { benchExperiment(b, "E10") }
+
+// ---------------------------------------------------------------------
+// substrate micro-benchmarks
+
+func benchWorkload(n int) *Workload {
+	return lublin.Default().Generate(ModelConfig{
+		MaxNodes: 128, Jobs: n, Seed: 42, Load: 0.8, EstimateFactor: 2,
+	})
+}
+
+func BenchmarkSWFParseRecord(b *testing.B) {
+	line := "123 86400 120 3600 64 3500 2048 64 7200 4096 1 17 3 9 2 1 120 30"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := swf.ParseRecord(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSWFRoundTrip1kJobs(b *testing.B) {
+	log := WorkloadToSWF(benchWorkload(1000))
+	text := log.String()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, err := swf.Read(strings.NewReader(text))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(parsed.Records) != 1000 {
+			b.Fatal("lost records")
+		}
+	}
+}
+
+func BenchmarkSWFValidate1kJobs(b *testing.B) {
+	log := WorkloadToSWF(benchWorkload(1000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swf.Validate(log)
+	}
+}
+
+func BenchmarkLublinGenerate1k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := benchWorkload(1000)
+		if len(w.Jobs) != 1000 {
+			b.Fatal("short workload")
+		}
+	}
+}
+
+func BenchmarkDESEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e des.Engine
+		for k := 0; k < 10000; k++ {
+			e.At(int64(k%997), des.PriorityArrival, func() {})
+		}
+		e.Run()
+	}
+}
+
+func benchSim(b *testing.B, scheduler string, jobs int) {
+	w := benchWorkload(jobs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := sched.New(scheduler)
+		res, err := sim.Run(w, s, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report(128).Finished == 0 {
+			b.Fatal("nothing finished")
+		}
+	}
+}
+
+func BenchmarkSimFCFS2k(b *testing.B)         { benchSim(b, "fcfs", 2000) }
+func BenchmarkSimEASY2k(b *testing.B)         { benchSim(b, "easy", 2000) }
+func BenchmarkSimConservative2k(b *testing.B) { benchSim(b, "cons", 2000) }
+func BenchmarkSimGang2k(b *testing.B)         { benchSim(b, "gang", 2000) }
+
+func BenchmarkProfileEarliestFit(b *testing.B) {
+	p := sched.NewProfile(0, 512)
+	for i := int64(0); i < 200; i++ {
+		p.Take(i*100, i*100+5000, int(i%64)+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EarliestFit(int64(i%10000), 3600, 128)
+	}
+}
+
+func BenchmarkWarmstonesSimulate(b *testing.B) {
+	sys := warmstones.StandardSystems()[1]
+	g := graph.MasterWorkers(64, 20, 90, 10e6, 20e6)
+	mapping, err := warmstones.LoadBalance{}.Map(g, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := warmstones.Simulate(g, sys, mapping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmstonesEstimate(b *testing.B) {
+	sys := warmstones.StandardSystems()[1]
+	g := graph.MasterWorkers(64, 20, 90, 10e6, 20e6)
+	mapping, _ := warmstones.LoadBalance{}.Map(g, sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warmstones.Estimate(g, sys, mapping)
+	}
+}

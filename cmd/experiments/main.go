@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's evaluation programme:
+// every table of experiments E1–E10 (see DESIGN.md for the index and
+// EXPERIMENTS.md for recorded results).
+//
+//	experiments            # run everything at default scale
+//	experiments -run E5    # one experiment
+//	experiments -quick     # seconds-scale versions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parsched/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment (E1..E10); empty = all")
+	quick := flag.Bool("quick", false, "seconds-scale configuration")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	runners := experiments.All()
+	if *runID != "" {
+		r, ok := experiments.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown ID %q\n", *runID)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tables := r.Run(cfg)
+		elapsed := time.Since(start)
+		fmt.Printf("== %s: %s (%.1fs) ==\n\n", r.ID, r.Title, elapsed.Seconds())
+		for _, tb := range tables {
+			fmt.Println(tb.String())
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command metasim simulates a metacomputing grid: several machines with
+// their own schedulers and local workloads, a stream of meta jobs
+// routed by a meta-scheduler policy, and optional co-allocation
+// requests — the Figure 1 architecture end to end.
+//
+//	metasim -sites 4 -nodes 64 -policy predicted-wait -meta-jobs 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsched/internal/core"
+	"parsched/internal/meta"
+	"parsched/internal/metrics"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/predict"
+	"parsched/internal/sched"
+	"parsched/internal/stats"
+)
+
+func main() {
+	sites := flag.Int("sites", 4, "number of sites")
+	nodes := flag.Int("nodes", 64, "nodes per site")
+	localJobs := flag.Int("local-jobs", 1000, "local jobs per site")
+	policyName := flag.String("policy", "least-work", "meta policy: random, least-work, predicted-wait")
+	metaJobs := flag.Int("meta-jobs", 200, "number of meta jobs")
+	coalloc := flag.Int("coalloc", 0, "number of co-allocation requests (2-part)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var specs []meta.SiteSpec
+	for i := 0; i < *sites; i++ {
+		load := 0.3 + 0.3*float64(i) // skewed loads across sites
+		lw := lublin.Default().Generate(model.Config{
+			MaxNodes: *nodes, Jobs: *localJobs, Seed: *seed + int64(i),
+			Load: load, EstimateFactor: 2,
+		})
+		lw.Name = fmt.Sprintf("local-%d", i)
+		specs = append(specs, meta.SiteSpec{
+			Name:      fmt.Sprintf("site%d", i),
+			Nodes:     *nodes,
+			Scheduler: sched.NewEASYWindows(),
+			Local:     lw,
+			Predictor: predict.NewRecent(25),
+		})
+	}
+	g, err := meta.NewGrid(specs)
+	if err != nil {
+		fail(err)
+	}
+
+	var policy meta.Policy
+	switch *policyName {
+	case "random":
+		policy = meta.NewRandomPolicy(*seed)
+	case "least-work":
+		policy = meta.LeastWorkPolicy{}
+	case "predicted-wait":
+		policy = meta.PredictedWaitPolicy{}
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policyName))
+	}
+
+	rng := stats.NewRNG(*seed + 1000)
+	var jobs []*core.Job
+	t := int64(3600)
+	for i := 0; i < *metaJobs; i++ {
+		t += int64(rng.Intn(1800)) + 60
+		rt := int64(300 + rng.Intn(7200))
+		jobs = append(jobs, &core.Job{
+			ID: int64(i + 1), Submit: t, Size: 1 << rng.Intn(5),
+			Runtime: rt, Estimate: 2 * rt, User: 1 + int64(rng.Intn(16)),
+		})
+	}
+	g.SubmitMeta(jobs, policy)
+
+	if *coalloc > 0 {
+		var reqs []meta.CoAllocRequest
+		ct := int64(7200)
+		for i := 0; i < *coalloc; i++ {
+			ct += int64(rng.Intn(3600)) + 600
+			reqs = append(reqs, meta.CoAllocRequest{
+				ID: int64(i + 1), Submit: ct,
+				Procs: *nodes / 2, Duration: int64(1800 + rng.Intn(3600)), Parts: 2,
+			})
+		}
+		g.SubmitCoAlloc(reqs)
+	}
+
+	g.Run(0)
+
+	outs, lost := g.MetaOutcomes()
+	r := metrics.Compute(policy.Name(), "grid", outs, g.TotalNodes())
+	fmt.Printf("grid: %d sites x %d nodes, policy %s\n", *sites, *nodes, policy.Name())
+	fmt.Printf("meta jobs: %d dispatched, %d infeasible\n", len(outs), lost)
+	fmt.Printf("  mean wait %.0fs  p90 wait %.0fs  mean bounded slowdown %.2f\n",
+		r.Wait.Mean, r.Wait.P90, r.BSLD.Mean)
+
+	for name, outs := range g.LocalOutcomes() {
+		lr := metrics.Compute("local", name, outs, *nodes)
+		fmt.Printf("local %s: %d jobs, mean wait %.0fs, util %.3f\n",
+			name, lr.Finished, lr.Wait.Mean, lr.Utilization)
+	}
+
+	if *coalloc > 0 {
+		cas := g.CoAllocations()
+		granted := 0
+		var delays []float64
+		for _, ca := range cas {
+			if ca.Granted {
+				granted++
+			}
+			if d := ca.Delay(); d >= 0 {
+				delays = append(delays, float64(d))
+			}
+		}
+		ds := stats.Summarize(delays)
+		fmt.Printf("co-allocation: %d/%d granted, mean delay %.0fs, p90 %.0fs\n",
+			granted, len(cas), ds.Mean, ds.P90)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "metasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command simsched replays a standard workload file through one or
+// more machine schedulers and prints the metric battery.
+//
+//	simsched -sched easy,cons,fcfs -outages machine.outages trace.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parsched/internal/core"
+	"parsched/internal/metrics"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/swf"
+)
+
+func main() {
+	schedList := flag.String("sched", "fcfs,easy,cons", "comma-separated schedulers: "+strings.Join(sched.Names(), ", "))
+	outagePath := flag.String("outages", "", "outage log file (standard outage format)")
+	feedback := flag.Bool("feedback", false, "honour preceding-job/think-time fields (closed loop)")
+	perfect := flag.Bool("perfect-estimates", false, "schedulers see true runtimes")
+	load := flag.Float64("scale-load", 0, "rescale offered load to this value before simulating (0 = as recorded)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	log, err := swf.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	clean, _ := swf.Clean(log)
+	w, err := core.FromSWF(clean)
+	if err != nil {
+		fail(err)
+	}
+	if *load > 0 {
+		base := w.OfferedLoad()
+		if base > 0 {
+			w.ScaleLoad(*load / base)
+		}
+	}
+
+	opts := sim.Options{Feedback: *feedback, PerfectEstimates: *perfect}
+	if *outagePath != "" {
+		f, err := os.Open(*outagePath)
+		if err != nil {
+			fail(err)
+		}
+		olog, err := outage.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		opts.Outages = olog
+	}
+
+	fmt.Printf("workload: %s (%d jobs, %d nodes, offered load %.3f)\n",
+		w.Name, len(w.Jobs), w.MaxNodes, w.OfferedLoad())
+	fmt.Println(metrics.TableHeader())
+	for _, name := range strings.Split(*schedList, ",") {
+		name = strings.TrimSpace(name)
+		s, err := sched.New(name)
+		if err != nil {
+			fail(err)
+		}
+		res, err := sim.Run(w, s, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Report(w.MaxNodes).TableRow())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Command swf is the Standard Workload Format toolchain: validate,
+// summarize, clean, and convert workload files.
+//
+// Usage:
+//
+//	swf validate file.swf            check the standard's consistency rules
+//	swf stats    file.swf            print workload statistics
+//	swf clean    in.swf out.swf      produce the canonical cleaned log
+//	swf convert  raw.log out.swf     convert a raw accounting log (anonymizing)
+//	swf feedback in.swf out.swf      insert inferred think-time dependencies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/stats"
+	"parsched/internal/swf"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "validate":
+		err = validate(args[1])
+	case "stats":
+		err = printStats(args[1])
+	case "clean":
+		err = clean(args[1], arg(args, 2))
+	case "convert":
+		err = convert(args[1], arg(args, 2))
+	case "feedback":
+		err = feedback(args[1], arg(args, 2))
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  swf validate file.swf
+  swf stats    file.swf
+  swf clean    in.swf out.swf
+  swf convert  raw.log out.swf
+  swf feedback in.swf out.swf`)
+}
+
+func arg(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	fmt.Fprintln(os.Stderr, "swf: missing output file")
+	os.Exit(2)
+	return ""
+}
+
+func validate(path string) error {
+	log, err := swf.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	findings := swf.Validate(log)
+	errs := swf.Errors(findings)
+	for _, v := range findings {
+		fmt.Println(v)
+	}
+	fmt.Printf("%d records, %d errors, %d warnings\n",
+		len(log.Records), len(errs), len(findings)-len(errs))
+	if len(errs) > 0 {
+		return fmt.Errorf("log violates the standard")
+	}
+	return nil
+}
+
+func printStats(path string) error {
+	log, err := swf.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	w, err := core.FromSWF(log)
+	if err != nil {
+		return fmt.Errorf("%v (run `swf clean` first?)", err)
+	}
+	gaps, sizes, rts := model.Marginals(w)
+	fmt.Printf("computer:      %s\n", log.Header.Computer)
+	fmt.Printf("jobs:          %d\n", len(w.Jobs))
+	fmt.Printf("users:         %d\n", len(w.Users()))
+	fmt.Printf("max nodes:     %d\n", w.MaxNodes)
+	fmt.Printf("span:          %.1f days\n", float64(w.Span())/86400)
+	fmt.Printf("offered load:  %.3f\n", w.OfferedLoad())
+	fmt.Printf("pow2 sizes:    %.1f%%\n", 100*model.Pow2Fraction(w))
+	fmt.Printf("serial jobs:   %.1f%%\n", 100*model.SerialFraction(w))
+	for name, xs := range map[string][]float64{
+		"interarrival": gaps, "size": sizes, "runtime": rts,
+	} {
+		s := stats.Summarize(xs)
+		fmt.Printf("%-13s mean %.1f  median %.1f  p90 %.1f  max %.0f\n",
+			name+":", s.Mean, s.Median, s.P90, s.Max)
+	}
+	return nil
+}
+
+func clean(in, out string) error {
+	log, err := swf.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	cleaned, rep := swf.Clean(log)
+	if err := swf.WriteFile(out, cleaned); err != nil {
+		return err
+	}
+	fmt.Printf("%d records in, %d out (%d partials, %d no-runtime, %d no-procs dropped, %d CPU clamps, shifted %ds)\n",
+		rep.Input, rep.Output, rep.DroppedPartials, rep.DroppedNoRuntime,
+		rep.DroppedNoProcs, rep.ClampedCPU, rep.ShiftedBy)
+	return nil
+}
+
+func convert(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	raws, err := swf.ParseRawLog(f)
+	if err != nil {
+		return err
+	}
+	c := swf.NewConverter()
+	for _, r := range raws {
+		c.Add(r)
+	}
+	log := c.Convert(swf.Header{
+		Conversion: "parsched swf convert",
+	})
+	users, groups, apps, queues, parts := c.Counts()
+	if err := swf.WriteFile(out, log); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d jobs (%d users, %d groups, %d apps, %d queues, %d partitions anonymized)\n",
+		len(log.Records), users, groups, apps, queues, parts)
+	return nil
+}
+
+func feedback(in, out string) error {
+	window := int64(3600)
+	log, err := swf.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	w, err := core.FromSWF(log)
+	if err != nil {
+		return err
+	}
+	rep := core.InferFeedback(w, window)
+	if err := swf.WriteFile(out, core.ToSWF(w)); err != nil {
+		return err
+	}
+	fmt.Printf("linked %d jobs into %d chains (max length %d, mean think %.0fs, window %ds)\n",
+		rep.LinkedJobs, rep.Chains, rep.MaxChainLen, rep.MeanThink, window)
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package cluster models the parallel machine a machine scheduler
+// controls: a set of nodes with per-node memory configuration
+// (configuration heterogeneity in the paper's Section 4.1 taxonomy),
+// job allocations, and node up/down state driven by the outage log.
+//
+// The machine is deliberately simple — distributed-memory space
+// slicing, one job per node — which is the machine model of the IBM SP
+// generation the paper describes ("it is possible for a node to drop
+// offline, but the system continues to operate. Any job running on that
+// node would have to be restarted, but it has no effect on any other
+// running jobs").
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoOwner marks a free node.
+const NoOwner int64 = 0
+
+// Node is one processor/compute node.
+type Node struct {
+	// Mem is the node's memory in KB (configuration heterogeneity).
+	Mem int64
+	// Down reports the node is unavailable (outage).
+	Down bool
+	// Owner is the job (or reservation) occupying the node, NoOwner if
+	// free.
+	Owner int64
+}
+
+// Machine is a space-sliced parallel computer.
+type Machine struct {
+	nodes  []Node
+	owners map[int64][]int // owner -> node indices
+}
+
+// New creates a homogeneous machine of n nodes with memPerNode KB each.
+func New(n int, memPerNode int64) *Machine {
+	mems := make([]int64, n)
+	for i := range mems {
+		mems[i] = memPerNode
+	}
+	return NewHeterogeneous(mems)
+}
+
+// NewHeterogeneous creates a machine whose node i has memPerNode[i] KB:
+// the "nodes configured with different amounts of resources" case of
+// Section 4.1.
+func NewHeterogeneous(memPerNode []int64) *Machine {
+	m := &Machine{
+		nodes:  make([]Node, len(memPerNode)),
+		owners: map[int64][]int{},
+	}
+	for i, mem := range memPerNode {
+		m.nodes[i] = Node{Mem: mem}
+	}
+	return m
+}
+
+// Total returns the number of nodes, up or down.
+func (m *Machine) Total() int { return len(m.nodes) }
+
+// Up returns the number of functional (not down) nodes.
+func (m *Machine) Up() int {
+	n := 0
+	for i := range m.nodes {
+		if !m.nodes[i].Down {
+			n++
+		}
+	}
+	return n
+}
+
+// Free returns the number of nodes that are up and unallocated.
+func (m *Machine) Free() int { return m.FreeWithMem(0) }
+
+// FreeWithMem returns the number of up, unallocated nodes with at least
+// minMem KB of memory.
+func (m *Machine) FreeWithMem(minMem int64) int {
+	n := 0
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
+			n++
+		}
+	}
+	return n
+}
+
+// InUse returns the number of allocated (and up) nodes.
+func (m *Machine) InUse() int {
+	n := 0
+	for i := range m.nodes {
+		if !m.nodes[i].Down && m.nodes[i].Owner != NoOwner {
+			n++
+		}
+	}
+	return n
+}
+
+// CanAllocate reports whether count nodes with minMem memory are free.
+func (m *Machine) CanAllocate(count int, minMem int64) bool {
+	return m.FreeWithMem(minMem) >= count
+}
+
+// Allocate assigns count free nodes with at least minMem memory to
+// owner and returns their indices. Nodes with the smallest adequate
+// memory are chosen first, preserving large-memory nodes for jobs that
+// need them (best fit). It returns false, and allocates nothing, if the
+// request cannot be satisfied. Owner must be nonzero and must not
+// already hold an allocation.
+func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
+	if owner == NoOwner {
+		panic("cluster: allocation with zero owner")
+	}
+	if _, dup := m.owners[owner]; dup {
+		panic(fmt.Sprintf("cluster: owner %d already holds an allocation", owner))
+	}
+	if count <= 0 {
+		panic("cluster: non-positive allocation size")
+	}
+	var candidates []int
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) < count {
+		return nil, false
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if m.nodes[candidates[a]].Mem != m.nodes[candidates[b]].Mem {
+			return m.nodes[candidates[a]].Mem < m.nodes[candidates[b]].Mem
+		}
+		return candidates[a] < candidates[b]
+	})
+	chosen := append([]int(nil), candidates[:count]...)
+	for _, i := range chosen {
+		m.nodes[i].Owner = owner
+	}
+	sort.Ints(chosen)
+	m.owners[owner] = chosen
+	// Return a copy: the stored list must not alias caller-visible
+	// memory (SetUp edits it in place).
+	return append([]int(nil), chosen...), true
+}
+
+// Release frees all nodes held by owner and returns them. Releasing an
+// unknown owner returns nil.
+func (m *Machine) Release(owner int64) []int {
+	nodes, ok := m.owners[owner]
+	if !ok {
+		return nil
+	}
+	for _, i := range nodes {
+		if m.nodes[i].Owner == owner {
+			m.nodes[i].Owner = NoOwner
+		}
+	}
+	delete(m.owners, owner)
+	return nodes
+}
+
+// NodesOf returns the nodes held by owner (nil if none).
+func (m *Machine) NodesOf(owner int64) []int {
+	return append([]int(nil), m.owners[owner]...)
+}
+
+// OwnerOf returns the owner of node i (NoOwner if free).
+func (m *Machine) OwnerOf(i int) int64 { return m.nodes[i].Owner }
+
+// MemOf returns the memory of node i.
+func (m *Machine) MemOf(i int) int64 { return m.nodes[i].Mem }
+
+// SetDown marks node i down and returns the owner that was evicted
+// (NoOwner if the node was free). The owner's other nodes remain
+// allocated; the caller (the simulator) decides whether to kill the
+// job and release the rest.
+func (m *Machine) SetDown(i int) int64 {
+	nd := &m.nodes[i]
+	if nd.Down {
+		return NoOwner
+	}
+	nd.Down = true
+	return nd.Owner
+}
+
+// SetUp marks node i functional again. Any stale ownership is cleared
+// (the job was killed when the node went down).
+func (m *Machine) SetUp(i int) {
+	nd := &m.nodes[i]
+	nd.Down = false
+	if nd.Owner != NoOwner {
+		// Remove the node from the stale owner's list if still present.
+		owner := nd.Owner
+		nodes := m.owners[owner]
+		kept := make([]int, 0, len(nodes))
+		for _, v := range nodes {
+			if v != i {
+				kept = append(kept, v)
+			}
+		}
+		m.owners[owner] = kept
+		if len(m.owners[owner]) == 0 {
+			delete(m.owners, owner)
+		}
+		nd.Owner = NoOwner
+	}
+}
+
+// Owners returns the active owners, ascending.
+func (m *Machine) Owners() []int64 {
+	out := make([]int64, 0, len(m.owners))
+	for o := range m.owners {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks internal consistency (every owned node appears in its
+// owner's list and vice versa). It is used by property tests.
+func (m *Machine) Validate() error {
+	seen := map[int64]int{}
+	for i := range m.nodes {
+		if o := m.nodes[i].Owner; o != NoOwner {
+			seen[o]++
+			found := false
+			for _, v := range m.owners[o] {
+				if v == i {
+					found = true
+					break
+				}
+			}
+			if !found && !m.nodes[i].Down {
+				return fmt.Errorf("node %d owned by %d but missing from owner list", i, o)
+			}
+		}
+	}
+	for o, nodes := range m.owners {
+		if len(nodes) == 0 {
+			return fmt.Errorf("owner %d has empty node list", o)
+		}
+		for _, i := range nodes {
+			if m.nodes[i].Owner != o {
+				return fmt.Errorf("owner %d lists node %d owned by %d", o, i, m.nodes[i].Owner)
+			}
+		}
+	}
+	_ = seen
+	return nil
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsched/internal/stats"
+)
+
+func TestNewCounts(t *testing.T) {
+	m := New(16, 1024)
+	if m.Total() != 16 || m.Up() != 16 || m.Free() != 16 || m.InUse() != 0 {
+		t.Fatalf("fresh machine: total=%d up=%d free=%d inuse=%d",
+			m.Total(), m.Up(), m.Free(), m.InUse())
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	m := New(8, 1024)
+	nodes, ok := m.Allocate(42, 3, 0)
+	if !ok || len(nodes) != 3 {
+		t.Fatalf("allocate failed: %v %v", nodes, ok)
+	}
+	if m.Free() != 5 || m.InUse() != 3 {
+		t.Fatalf("after alloc: free=%d inuse=%d", m.Free(), m.InUse())
+	}
+	for _, n := range nodes {
+		if m.OwnerOf(n) != 42 {
+			t.Fatalf("node %d owner = %d", n, m.OwnerOf(n))
+		}
+	}
+	got := m.Release(42)
+	if len(got) != 3 || m.Free() != 8 {
+		t.Fatalf("release returned %v, free=%d", got, m.Free())
+	}
+	if m.Release(42) != nil {
+		t.Fatal("double release should return nil")
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	m := New(4, 1024)
+	if _, ok := m.Allocate(1, 5, 0); ok {
+		t.Fatal("allocation beyond machine size succeeded")
+	}
+	if m.Free() != 4 {
+		t.Fatal("failed allocation must not leak nodes")
+	}
+}
+
+func TestAllocateDuplicateOwnerPanics(t *testing.T) {
+	m := New(4, 1024)
+	m.Allocate(1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate owner")
+		}
+	}()
+	m.Allocate(1, 1, 0)
+}
+
+func TestAllocateZeroOwnerPanics(t *testing.T) {
+	m := New(4, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero owner")
+		}
+	}()
+	m.Allocate(NoOwner, 1, 0)
+}
+
+func TestMemoryConstraints(t *testing.T) {
+	// 2 small + 2 big nodes.
+	m := NewHeterogeneous([]int64{512, 512, 4096, 4096})
+	if m.FreeWithMem(1024) != 2 {
+		t.Fatalf("FreeWithMem(1024) = %d", m.FreeWithMem(1024))
+	}
+	// Best fit: a no-memory job must take small nodes first.
+	nodes, ok := m.Allocate(1, 2, 0)
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	for _, n := range nodes {
+		if m.MemOf(n) != 512 {
+			t.Fatalf("best-fit violated: got node with %d KB", m.MemOf(n))
+		}
+	}
+	// Big-memory job still fits.
+	if _, ok := m.Allocate(2, 2, 2048); !ok {
+		t.Fatal("big-memory job blocked by best-fit failure")
+	}
+}
+
+func TestMemoryInfeasible(t *testing.T) {
+	m := NewHeterogeneous([]int64{512, 512})
+	if m.CanAllocate(1, 1024) {
+		t.Fatal("no node has 1024 KB")
+	}
+	if _, ok := m.Allocate(9, 1, 1024); ok {
+		t.Fatal("infeasible memory allocation succeeded")
+	}
+}
+
+func TestSetDownEvictsOwner(t *testing.T) {
+	m := New(4, 1024)
+	nodes, _ := m.Allocate(7, 2, 0)
+	evicted := m.SetDown(nodes[0])
+	if evicted != 7 {
+		t.Fatalf("evicted = %d, want 7", evicted)
+	}
+	if m.Up() != 3 {
+		t.Fatalf("up = %d", m.Up())
+	}
+	// Second SetDown on same node is a no-op.
+	if again := m.SetDown(nodes[0]); again != NoOwner {
+		t.Fatalf("second SetDown returned %d", again)
+	}
+}
+
+func TestSetDownFreeNode(t *testing.T) {
+	m := New(4, 1024)
+	if ev := m.SetDown(0); ev != NoOwner {
+		t.Fatalf("evicted %d from free node", ev)
+	}
+	if m.Free() != 3 {
+		t.Fatalf("free = %d", m.Free())
+	}
+}
+
+func TestSetUpClearsStaleOwnership(t *testing.T) {
+	m := New(4, 1024)
+	nodes, _ := m.Allocate(7, 2, 0)
+	m.SetDown(nodes[0])
+	// Simulator would kill job 7 and release; but even without release,
+	// SetUp must clear the stale owner.
+	m.SetUp(nodes[0])
+	if m.OwnerOf(nodes[0]) != NoOwner {
+		t.Fatal("stale owner survived SetUp")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownNodesNotAllocatable(t *testing.T) {
+	m := New(2, 1024)
+	m.SetDown(0)
+	nodes, ok := m.Allocate(5, 1, 0)
+	if !ok {
+		t.Fatal("one node still up")
+	}
+	if nodes[0] != 1 {
+		t.Fatalf("allocated down node: %v", nodes)
+	}
+	if _, ok := m.Allocate(6, 1, 0); ok {
+		t.Fatal("no nodes left")
+	}
+}
+
+func TestOwnersSorted(t *testing.T) {
+	m := New(8, 1024)
+	m.Allocate(5, 1, 0)
+	m.Allocate(2, 1, 0)
+	m.Allocate(9, 1, 0)
+	owners := m.Owners()
+	if len(owners) != 3 || owners[0] != 2 || owners[1] != 5 || owners[2] != 9 {
+		t.Fatalf("owners = %v", owners)
+	}
+}
+
+func TestNodesOfReturnsCopy(t *testing.T) {
+	m := New(4, 1024)
+	m.Allocate(1, 2, 0)
+	nodes := m.NodesOf(1)
+	nodes[0] = 99
+	if m.NodesOf(1)[0] == 99 {
+		t.Fatal("NodesOf exposed internal state")
+	}
+}
+
+// TestAllocationInvariantProperty drives random allocate/release/outage
+// sequences and checks machine consistency plus the capacity invariant
+// (free + in-use + down-free == total).
+func TestAllocationInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		m := New(32, 1024)
+		live := map[int64]bool{}
+		next := int64(1)
+		down := map[int]bool{}
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(4) {
+			case 0: // allocate
+				count := 1 + rng.Intn(8)
+				if _, ok := m.Allocate(next, count, 0); ok {
+					live[next] = true
+				}
+				next++
+			case 1: // release a random live owner
+				for o := range live {
+					m.Release(o)
+					delete(live, o)
+					break
+				}
+			case 2: // take a node down
+				n := rng.Intn(32)
+				if evicted := m.SetDown(n); evicted != NoOwner {
+					// Simulator contract: kill and release the victim.
+					m.Release(evicted)
+					delete(live, evicted)
+				}
+				down[n] = true
+			case 3: // bring a node up
+				for n := range down {
+					m.SetUp(n)
+					delete(down, n)
+					break
+				}
+			}
+			if err := m.Validate(); err != nil {
+				t.Logf("step %d: %v", step, err)
+				return false
+			}
+			if m.Free() < 0 || m.InUse() < 0 || m.Up() > m.Total() {
+				return false
+			}
+			if m.Free()+m.InUse() != m.Up() {
+				t.Logf("free %d + inuse %d != up %d", m.Free(), m.InUse(), m.Up())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

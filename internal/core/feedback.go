@@ -1,0 +1,173 @@
+package core
+
+import "sort"
+
+// This file implements the feedback methodology of Section 2.2 of the
+// paper: "we identify sequences of dependent jobs (e.g. all those
+// submitted by the same user in rapid succession), and replace the
+// absolute arrival times of jobs in the sequence with interarrival
+// times relative to the previous job in the sequence."
+
+// InferReport summarizes what InferFeedback did.
+type InferReport struct {
+	Chains      int // dependency chains found (>= 2 jobs each)
+	LinkedJobs  int // jobs that received a PrecedingJob reference
+	MeanThink   float64
+	MaxChainLen int
+}
+
+// InferFeedback detects postulated dependencies in a workload and fills
+// in PrecedingJob/ThinkTime. A job depends on the user's previous job
+// when it was submitted within window seconds after that job's
+// termination (termination = submit + wait + runtime; wait is unknown
+// in a workload, so the offered termination is submit + runtime, the
+// no-wait bound). Jobs submitted while the previous job was still
+// running are treated as independent (pipelined submission, not edit-
+// compile-run feedback).
+//
+// The workload is modified in place. Existing feedback references are
+// preserved.
+func InferFeedback(w *Workload, window int64) InferReport {
+	var rep InferReport
+
+	// Group job indices by user, keeping submit order.
+	byUser := map[int64][]int{}
+	for i, j := range w.Jobs {
+		if j.User <= 0 {
+			continue
+		}
+		byUser[j.User] = append(byUser[j.User], i)
+	}
+	users := make([]int64, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, k int) bool { return users[i] < users[k] })
+
+	var thinkSum float64
+	for _, u := range users {
+		idxs := byUser[u]
+		chainLen := 1
+		for k := 1; k < len(idxs); k++ {
+			cur := w.Jobs[idxs[k]]
+			prev := w.Jobs[idxs[k-1]]
+			if cur.PrecedingJob > 0 {
+				continue // already linked (e.g. from the log itself)
+			}
+			prevEnd := prev.Submit + prev.Runtime
+			think := cur.Submit - prevEnd
+			if think >= 0 && think <= window {
+				cur.PrecedingJob = prev.ID
+				cur.ThinkTime = think
+				rep.LinkedJobs++
+				thinkSum += float64(think)
+				chainLen++
+				if chainLen == 2 {
+					rep.Chains++
+				}
+				if chainLen > rep.MaxChainLen {
+					rep.MaxChainLen = chainLen
+				}
+			} else {
+				chainLen = 1
+			}
+		}
+	}
+	if rep.LinkedJobs > 0 {
+		rep.MeanThink = thinkSum / float64(rep.LinkedJobs)
+	}
+	return rep
+}
+
+// Session is a burst of activity by one user: consecutive jobs where
+// each was submitted within the session gap of the previous one's
+// submission or termination.
+type Session struct {
+	User  int64
+	Jobs  []int64 // job IDs in submit order
+	Start int64   // submit of the first job
+	End   int64   // submit+runtime of the last job
+}
+
+// Sessions partitions a workload into user sessions using gap seconds
+// as the inactivity threshold. It is the descriptive counterpart of
+// InferFeedback, used to characterize a log before deciding on a think
+// time distribution.
+func Sessions(w *Workload, gap int64) []Session {
+	byUser := map[int64][]*Job{}
+	for _, j := range w.Jobs {
+		if j.User <= 0 {
+			continue
+		}
+		byUser[j.User] = append(byUser[j.User], j)
+	}
+	users := make([]int64, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, k int) bool { return users[i] < users[k] })
+
+	var out []Session
+	for _, u := range users {
+		jobs := byUser[u]
+		var cur *Session
+		for _, j := range jobs {
+			end := j.Submit + j.Runtime
+			if cur != nil && j.Submit-cur.End <= gap {
+				cur.Jobs = append(cur.Jobs, j.ID)
+				if end > cur.End {
+					cur.End = end
+				}
+				continue
+			}
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &Session{User: u, Jobs: []int64{j.ID}, Start: j.Submit, End: end}
+		}
+		if cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	return out
+}
+
+// DependencyChains extracts the explicit feedback chains of a workload:
+// maximal sequences linked by PrecedingJob. Returned chains are job ID
+// slices in dependency order, longest first (ties by first ID).
+func DependencyChains(w *Workload) [][]int64 {
+	next := map[int64]int64{} // predecessor -> successor
+	hasPred := map[int64]bool{}
+	for _, j := range w.Jobs {
+		if j.PrecedingJob > 0 {
+			next[j.PrecedingJob] = j.ID
+			hasPred[j.ID] = true
+		}
+	}
+	var chains [][]int64
+	for _, j := range w.Jobs {
+		if hasPred[j.ID] {
+			continue // not a chain head
+		}
+		if _, ok := next[j.ID]; !ok {
+			continue // isolated job
+		}
+		chain := []int64{j.ID}
+		for id := j.ID; ; {
+			succ, ok := next[id]
+			if !ok {
+				break
+			}
+			chain = append(chain, succ)
+			id = succ
+		}
+		chains = append(chains, chain)
+	}
+	sort.SliceStable(chains, func(i, k int) bool {
+		if len(chains[i]) != len(chains[k]) {
+			return len(chains[i]) > len(chains[k])
+		}
+		return chains[i][0] < chains[k][0]
+	})
+	return chains
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"parsched/internal/stats"
+)
+
+// feedbackWorkload: user 1 submits an edit-compile-run chain, user 2
+// submits independent jobs far apart.
+func feedbackWorkload() *Workload {
+	return &Workload{
+		MaxNodes: 64,
+		Jobs: []*Job{
+			{ID: 1, Submit: 0, Size: 1, Runtime: 60, User: 1},
+			{ID: 2, Submit: 100, Size: 1, Runtime: 60, User: 1},  // 40 s after job 1 ends
+			{ID: 3, Submit: 200, Size: 1, Runtime: 60, User: 1},  // 40 s after job 2 ends
+			{ID: 4, Submit: 300, Size: 8, Runtime: 600, User: 2}, // unrelated
+			{ID: 5, Submit: 99999, Size: 1, Runtime: 60, User: 1},
+		},
+	}
+}
+
+func TestInferFeedbackLinksChains(t *testing.T) {
+	w := feedbackWorkload()
+	rep := InferFeedback(w, 300)
+	if rep.LinkedJobs != 2 {
+		t.Fatalf("linked %d jobs, want 2", rep.LinkedJobs)
+	}
+	if w.Jobs[1].PrecedingJob != 1 || w.Jobs[1].ThinkTime != 40 {
+		t.Fatalf("job 2 link wrong: %+v", w.Jobs[1])
+	}
+	if w.Jobs[2].PrecedingJob != 2 || w.Jobs[2].ThinkTime != 40 {
+		t.Fatalf("job 3 link wrong: %+v", w.Jobs[2])
+	}
+	if w.Jobs[4].PrecedingJob != 0 {
+		t.Fatal("distant job must not be linked")
+	}
+	if rep.Chains != 1 || rep.MaxChainLen != 3 {
+		t.Fatalf("chain stats wrong: %+v", rep)
+	}
+	if rep.MeanThink != 40 {
+		t.Fatalf("mean think = %v", rep.MeanThink)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferFeedbackSkipsOverlapping(t *testing.T) {
+	// Job submitted while the previous is still running: pipelined, not
+	// feedback.
+	w := &Workload{MaxNodes: 8, Jobs: []*Job{
+		{ID: 1, Submit: 0, Size: 1, Runtime: 1000, User: 1},
+		{ID: 2, Submit: 100, Size: 1, Runtime: 10, User: 1},
+	}}
+	rep := InferFeedback(w, 300)
+	if rep.LinkedJobs != 0 {
+		t.Fatal("overlapping submission must not be linked")
+	}
+}
+
+func TestInferFeedbackPreservesExisting(t *testing.T) {
+	w := feedbackWorkload()
+	w.Jobs[1].PrecedingJob = 1
+	w.Jobs[1].ThinkTime = 7
+	InferFeedback(w, 300)
+	if w.Jobs[1].ThinkTime != 7 {
+		t.Fatal("existing links must be preserved")
+	}
+}
+
+func TestInferFeedbackWindowZero(t *testing.T) {
+	w := feedbackWorkload()
+	rep := InferFeedback(w, 0)
+	// think times are 40 > 0, so nothing links.
+	if rep.LinkedJobs != 0 {
+		t.Fatalf("window 0 linked %d", rep.LinkedJobs)
+	}
+}
+
+func TestSessions(t *testing.T) {
+	w := feedbackWorkload()
+	ss := Sessions(w, 300)
+	// user 1: jobs 1,2,3 in one session; job 5 alone. user 2: job 4.
+	if len(ss) != 3 {
+		t.Fatalf("got %d sessions: %+v", len(ss), ss)
+	}
+	var u1First *Session
+	for i := range ss {
+		if ss[i].User == 1 && len(ss[i].Jobs) == 3 {
+			u1First = &ss[i]
+		}
+	}
+	if u1First == nil {
+		t.Fatalf("no 3-job session for user 1: %+v", ss)
+	}
+	if u1First.Start != 0 || u1First.End != 260 {
+		t.Fatalf("session bounds wrong: %+v", u1First)
+	}
+}
+
+func TestDependencyChains(t *testing.T) {
+	w := feedbackWorkload()
+	InferFeedback(w, 300)
+	chains := DependencyChains(w)
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains", len(chains))
+	}
+	if len(chains[0]) != 3 || chains[0][0] != 1 || chains[0][2] != 3 {
+		t.Fatalf("chain = %v", chains[0])
+	}
+}
+
+func TestDependencyChainsEmpty(t *testing.T) {
+	w := testWorkload()
+	w.Jobs[2].PrecedingJob = 0
+	if got := DependencyChains(w); len(got) != 0 {
+		t.Fatalf("expected no chains, got %v", got)
+	}
+}
+
+func TestStructureGangRuntime(t *testing.T) {
+	s := &Structure{Processes: 16, Barriers: 10, Granularity: 5, Variance: 0}
+	rng := stats.NewRNG(1)
+	if rt := s.GangRuntime(rng); rt != 50 {
+		t.Fatalf("balanced gang runtime = %v, want 50", rt)
+	}
+}
+
+func TestStructureVarianceSlowsDown(t *testing.T) {
+	rng := stats.NewRNG(2)
+	balanced := &Structure{Processes: 32, Barriers: 20, Granularity: 5, Variance: 0}
+	skewed := &Structure{Processes: 32, Barriers: 20, Granularity: 5, Variance: 0.5}
+	b := balanced.GangRuntime(rng)
+	s := skewed.GangRuntime(rng)
+	if s <= b {
+		t.Fatalf("variance should slow the job: %v <= %v", s, b)
+	}
+}
+
+func TestStructureUncoordinatedPenalty(t *testing.T) {
+	rng := stats.NewRNG(3)
+	s := &Structure{Processes: 8, Barriers: 100, Granularity: 1, Variance: 0}
+	gang := s.GangRuntime(rng)
+	unco := s.UncoordinatedRuntime(rng, 0.5)
+	if unco != gang+50 {
+		t.Fatalf("uncoordinated = %v, want gang %v + 50", unco, gang)
+	}
+}
+
+func TestStructureTotalWork(t *testing.T) {
+	s := &Structure{Processes: 4, Barriers: 10, Granularity: 2.5}
+	if w := s.TotalWork(); w != 100 {
+		t.Fatalf("total work = %v, want 100", w)
+	}
+}
+
+func TestStructureSyntheticRuntime(t *testing.T) {
+	s := &Structure{Processes: 16, Barriers: 10, Granularity: 5, Variance: 0}
+	if rt := s.SyntheticRuntime(); rt != 50 {
+		t.Fatalf("synthetic runtime = %d, want 50", rt)
+	}
+	s.Variance = 0.5
+	if rt := s.SyntheticRuntime(); rt <= 50 {
+		t.Fatalf("variance must inflate synthetic runtime, got %d", rt)
+	}
+	tiny := &Structure{Processes: 1, Barriers: 1, Granularity: 0.1}
+	if rt := tiny.SyntheticRuntime(); rt != 1 {
+		t.Fatalf("runtime floor = %d, want 1", rt)
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	s := &Structure{Processes: 2, Barriers: 3, Granularity: 4, Variance: 0.5}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"parsched/internal/stats"
+)
+
+// Structure is the internal-structure "strawman" summary of a parallel
+// application proposed by Feitelson & Rudolph [23] and discussed in
+// Section 2.2 of the paper: "The main parameters were the number of
+// processors, the number of barriers, the granularity, and the variance
+// of these attributes."
+//
+// A job with a Structure alternates computation phases separated by
+// barrier synchronizations. Each of the job's Processes performs
+// approximately Granularity seconds of work per phase, perturbed by
+// Variance; a barrier completes when the slowest process finishes its
+// phase. This is the model gang-scheduling evaluations need: with
+// coordinated (gang) scheduling a phase costs the max over processes,
+// while uncoordinated time slicing additionally suffers a context
+// penalty per barrier.
+type Structure struct {
+	// Processes is the number of processes (equals the job size for
+	// rigid jobs).
+	Processes int
+	// Barriers is the number of barrier synchronizations over the
+	// job's lifetime.
+	Barriers int
+	// Granularity is the mean computation time per process between
+	// consecutive barriers, in seconds.
+	Granularity float64
+	// Variance is the coefficient of variation of per-process phase
+	// times (0 = perfectly balanced).
+	Variance float64
+}
+
+func (s *Structure) String() string {
+	return fmt.Sprintf("Structure(p=%d,b=%d,g=%g,v=%g)", s.Processes, s.Barriers, s.Granularity, s.Variance)
+}
+
+// TotalWork returns the expected total CPU work of the job in
+// processor-seconds.
+func (s *Structure) TotalWork() float64 {
+	return float64(s.Processes) * float64(s.Barriers) * s.Granularity
+}
+
+// GangRuntime estimates the wall-clock runtime when all processes are
+// coscheduled: each phase costs the maximum of the per-process phase
+// times, realized with the given RNG. With Variance = 0 this is exactly
+// Barriers * Granularity.
+func (s *Structure) GangRuntime(rng *stats.RNG) float64 {
+	if s.Variance <= 0 {
+		return float64(s.Barriers) * s.Granularity
+	}
+	total := 0.0
+	for b := 0; b < s.Barriers; b++ {
+		maxPhase := 0.0
+		for p := 0; p < s.Processes; p++ {
+			t := s.phaseTime(rng)
+			if t > maxPhase {
+				maxPhase = t
+			}
+		}
+		total += maxPhase
+	}
+	return total
+}
+
+// UncoordinatedRuntime estimates the wall-clock runtime under
+// uncoordinated time slicing: every barrier additionally pays
+// ctxPenalty seconds of waiting for descheduled peers, modeling the
+// synchronization cost that motivates gang scheduling [22,34]. The
+// penalty applies per barrier on top of the gang runtime.
+func (s *Structure) UncoordinatedRuntime(rng *stats.RNG, ctxPenalty float64) float64 {
+	return s.GangRuntime(rng) + float64(s.Barriers)*ctxPenalty
+}
+
+// phaseTime draws one per-process phase duration: a gamma distribution
+// with mean Granularity and CV Variance (gamma is non-negative and
+// matches the strawman's two-moment description).
+func (s *Structure) phaseTime(rng *stats.RNG) float64 {
+	if s.Variance <= 0 {
+		return s.Granularity
+	}
+	// For a gamma distribution CV = 1/sqrt(alpha).
+	alpha := 1 / (s.Variance * s.Variance)
+	beta := s.Granularity / alpha
+	return stats.Gamma{Alpha: alpha, Beta: beta}.Sample(rng)
+}
+
+// SyntheticRuntime converts the structure into a deterministic nominal
+// runtime (used when attaching a Structure to a workload job whose
+// runtime must stay fixed): Barriers * Granularity * (1 + half the
+// variance penalty of the expected maximum over processes).
+func (s *Structure) SyntheticRuntime() int64 {
+	// E[max of n iid] grows roughly with sqrt(2 ln n) stds for light
+	// tails; we use that as a deterministic stand-in.
+	imbalance := 1.0
+	if s.Variance > 0 && s.Processes > 1 {
+		// E[max of n iid] grows roughly with sqrt(2 ln n) standard
+		// deviations for light-tailed phase times.
+		imbalance = 1 + s.Variance*math.Sqrt(2*math.Log(float64(s.Processes)))
+	}
+	rt := float64(s.Barriers) * s.Granularity * imbalance
+	if rt < 1 {
+		rt = 1
+	}
+	return int64(rt)
+}

@@ -1,0 +1,197 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, PriorityArrival, func() { got = append(got, 3) })
+	e.At(10, PriorityArrival, func() { got = append(got, 1) })
+	e.At(20, PriorityArrival, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d", e.Now())
+	}
+}
+
+func TestOrderingByPriority(t *testing.T) {
+	var e Engine
+	var got []string
+	e.At(10, PriorityArrival, func() { got = append(got, "arrival") })
+	e.At(10, PriorityFinish, func() { got = append(got, "finish") })
+	e.At(10, PriorityOutage, func() { got = append(got, "outage") })
+	e.At(10, PrioritySchedule, func() { got = append(got, "schedule") })
+	e.Run()
+	want := []string{"finish", "outage", "arrival", "schedule"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderingBySeqWithinSameTimePriority(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, PriorityArrival, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("insertion order not preserved: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	h := e.At(10, PriorityArrival, func() { fired = true })
+	if h.Cancelled() {
+		t.Fatal("fresh handle reports cancelled")
+	}
+	e.Cancel(h)
+	if !h.Cancelled() {
+		t.Fatal("cancel did not mark handle")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	var e Engine
+	h := e.At(10, PriorityArrival, func() {})
+	e.Cancel(h)
+	e.Cancel(h) // no panic
+	e.Cancel(Handle{})
+	e.Run()
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	var e Engine
+	var got []int64
+	e.At(10, PriorityArrival, func() {
+		got = append(got, e.Now())
+		e.After(5, PriorityArrival, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(100, PriorityArrival, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for past event")
+			}
+		}()
+		e.At(50, PriorityArrival, func() {})
+	})
+	e.Run()
+}
+
+func TestNilActionPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil action")
+		}
+	}()
+	e.At(1, PriorityArrival, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []int64
+	for _, tt := range []int64{10, 20, 30, 40} {
+		tt := tt
+		e.At(tt, PriorityArrival, func() { got = append(got, tt) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("fired %v", got)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %d, want 25", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events lost: %v", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	e.At(1, PriorityArrival, func() { count++; e.Stop() })
+	e.At(2, PriorityArrival, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after stop", count)
+	}
+	e.Run() // resumes
+	if count != 2 {
+		t.Fatalf("count = %d after resume", count)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 5; i++ {
+		e.At(int64(i), PriorityArrival, func() {})
+	}
+	h := e.At(9, PriorityArrival, func() {})
+	e.Cancel(h)
+	e.Run()
+	if e.Processed != 5 {
+		t.Fatalf("processed = %d, want 5 (cancelled events don't count)", e.Processed)
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	// Property: any multiset of events fires in sorted (time, seq) order.
+	f := func(times []uint16) bool {
+		var e Engine
+		var got []int64
+		for _, tt := range times {
+			tt := int64(tt)
+			e.At(tt, PriorityArrival, func() { got = append(got, tt) })
+		}
+		e.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	var e Engine
+	e.At(1, PriorityArrival, func() {})
+	e.At(2, PriorityArrival, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after step", e.Pending())
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments implements the paper's evaluation programme as
+// ten numbered, reproducible experiments (E1–E10), each mapped in
+// DESIGN.md to the section of the paper that motivates it. Every
+// experiment returns formatted tables; cmd/experiments prints them and
+// EXPERIMENTS.md records the measured results against the paper's
+// qualitative claims.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parsched/internal/core"
+	"parsched/internal/metrics"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/model/registry"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+)
+
+// Config scales the experiments. Quick shrinks workloads so the whole
+// battery runs in seconds (used by tests and benchmarks); the default
+// sizes match the tables recorded in EXPERIMENTS.md.
+type Config struct {
+	Seed  int64
+	Jobs  int
+	Nodes int
+	Quick bool
+}
+
+// Default returns the EXPERIMENTS.md configuration.
+func Default() Config { return Config{Seed: 1999, Jobs: 5000, Nodes: 128} }
+
+// QuickConfig returns a seconds-scale configuration.
+func QuickConfig() Config { return Config{Seed: 1999, Jobs: 600, Nodes: 64, Quick: true} }
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1999
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 5000
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 128
+	}
+	return c
+}
+
+// Table is one experiment output table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a free-text note under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) []Table
+}
+
+// All returns the experiment battery in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Scheduler comparison across workload models", E1SchedulerComparison},
+		{"E2", "Metric conflicts between response time and slowdown", E2MetricConflict},
+		{"E3", "Objective-weight sensitivity of scheduler rankings", E3ObjectiveWeights},
+		{"E4", "Open-loop versus closed-loop (feedback) evaluation", E4Feedback},
+		{"E5", "Outage impact and outage-aware scheduling", E5Outages},
+		{"E6", "Advance reservations versus backfilling", E6Reservations},
+		{"E7", "Queue-wait prediction accuracy and meta-scheduling gain", E7Prediction},
+		{"E8", "Co-allocation across machine schedulers", E8CoAllocation},
+		{"E9", "Workload model fidelity (co-plot analogue)", E9ModelFidelity},
+		{"E10", "WARMstones scoreboard and fidelity agreement", E10Warmstones},
+	}
+}
+
+// ByID returns a single experiment runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+
+// genWorkload generates a workload from a named model.
+func genWorkload(name string, cfg Config, load float64) *core.Workload {
+	m, err := registry.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m.Generate(model.Config{
+		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
+		Load: load, EstimateFactor: 2,
+	})
+}
+
+// lublinWorkload is the default test substrate (the model the paper
+// calls relatively representative).
+func lublinWorkload(cfg Config, load float64) *core.Workload {
+	return lublin.Default().Generate(model.Config{
+		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
+		Load: load, EstimateFactor: 2,
+	})
+}
+
+// runOn simulates a workload under a named scheduler.
+func runOn(w *core.Workload, schedName string, opts sim.Options) metrics.Report {
+	s, err := sched.New(schedName)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run(w, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res.Report(w.MaxNodes)
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// f3 formats a float with 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// rankOf converts scores (lower better) to a rank list of names.
+func rankOf(names []string, scores []float64) []string {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] < scores[idx[b]]
+		}
+		return names[idx[a]] < names[idx[b]]
+	})
+	out := make([]string, len(idx))
+	for i, k := range idx {
+		out[i] = names[k]
+	}
+	return out
+}

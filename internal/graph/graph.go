@@ -1,0 +1,249 @@
+// Package graph implements annotated program graphs in the style of
+// Legion program graphs [33], which Section 4.3 of the paper selects as
+// the application representation for the WARMstones evaluation
+// environment: "Rather than executing these applications directly, we
+// will represent them using annotated graphs, and simulate the
+// execution by interpreting the graphs."
+//
+// A Graph is a DAG of modules annotated with compute work, memory and
+// device requirements; edges are annotated with communication volume.
+// The package also provides the micro-benchmark generators of Section
+// 3.2: compute-intensive, communication-intensive, and device-bound
+// meta-applications, plus the master-workers structure Section 1.2
+// mentions as the typical flexible application.
+package graph
+
+import (
+	"fmt"
+
+	"parsched/internal/stats"
+)
+
+// Module is one schedulable unit of a meta-application.
+type Module struct {
+	// ID indexes the module within its graph (0-based, dense).
+	ID int
+	// Work is the compute demand in seconds on a unit-speed processor.
+	Work float64
+	// MemKB is the memory requirement per module.
+	MemKB int64
+	// Device names a required special resource ("" = none); device-
+	// bound modules can only run on machines advertising the device.
+	Device string
+}
+
+// Edge is a data dependency with communication volume.
+type Edge struct {
+	From, To int
+	// Bytes transferred from From to To when From completes.
+	Bytes float64
+}
+
+// Graph is an annotated DAG of modules.
+type Graph struct {
+	Name    string
+	Modules []Module
+	Edges   []Edge
+}
+
+// Validate checks structural sanity: dense IDs, edges in range, no
+// self-loops, acyclic.
+func (g *Graph) Validate() error {
+	for i, m := range g.Modules {
+		if m.ID != i {
+			return fmt.Errorf("graph %s: module %d has ID %d", g.Name, i, m.ID)
+		}
+		if m.Work < 0 {
+			return fmt.Errorf("graph %s: module %d has negative work", g.Name, i)
+		}
+	}
+	n := len(g.Modules)
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("graph %s: edge %d->%d out of range", g.Name, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph %s: self loop on %d", g.Name, e.From)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("graph %s: negative bytes on %d->%d", g.Name, e.From, e.To)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological order (Kahn's algorithm
+// with smallest-ID-first tie breaking) or an error if the graph has a
+// cycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.Modules)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	// Min-heap behaviour via a simple sorted frontier (n is small).
+	var frontier []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var order []int
+	for len(frontier) > 0 {
+		// Pick the smallest ID for determinism.
+		mi := 0
+		for k := 1; k < len(frontier); k++ {
+			if frontier[k] < frontier[mi] {
+				mi = k
+			}
+		}
+		m := frontier[mi]
+		frontier = append(frontier[:mi], frontier[mi+1:]...)
+		order = append(order, m)
+		for _, s := range succ[m] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph %s: cycle detected", g.Name)
+	}
+	return order, nil
+}
+
+// Preds returns each module's predecessor lists (with edge bytes).
+func (g *Graph) Preds() map[int][]Edge {
+	preds := map[int][]Edge{}
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], e)
+	}
+	return preds
+}
+
+// TotalWork sums module work.
+func (g *Graph) TotalWork() float64 {
+	var w float64
+	for _, m := range g.Modules {
+		w += m.Work
+	}
+	return w
+}
+
+// TotalBytes sums edge volumes.
+func (g *Graph) TotalBytes() float64 {
+	var b float64
+	for _, e := range g.Edges {
+		b += e.Bytes
+	}
+	return b
+}
+
+// CriticalPath returns the longest compute-only path length in seconds
+// (unit speed, zero communication): the makespan lower bound with
+// unlimited processors.
+func (g *Graph) CriticalPath() float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	finish := make([]float64, len(g.Modules))
+	preds := g.Preds()
+	var cp float64
+	for _, id := range order {
+		start := 0.0
+		for _, e := range preds[id] {
+			if finish[e.From] > start {
+				start = finish[e.From]
+			}
+		}
+		finish[id] = start + g.Modules[id].Work
+		if finish[id] > cp {
+			cp = finish[id]
+		}
+	}
+	return cp
+}
+
+// CCR returns the communication-to-computation ratio in bytes per
+// work-second — the axis separating the micro-benchmark classes.
+func (g *Graph) CCR() float64 {
+	w := g.TotalWork()
+	if w == 0 {
+		return 0
+	}
+	return g.TotalBytes() / w
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmark generators (Section 3.2)
+
+// ComputeIntensive builds "a compute-intensive meta-application that
+// can use all the cycles from all the machines it can get": n
+// independent modules of meanWork seconds each (perturbed ±25%), no
+// communication.
+func ComputeIntensive(n int, meanWork float64, seed int64) *Graph {
+	rng := stats.NewRNG(seed)
+	g := &Graph{Name: fmt.Sprintf("compute-%d", n)}
+	for i := 0; i < n; i++ {
+		w := meanWork * (0.75 + 0.5*rng.Float64())
+		g.Modules = append(g.Modules, Module{ID: i, Work: w, MemKB: 1 << 16})
+	}
+	return g
+}
+
+// CommunicationIntensive builds "a communication-intensive meta
+// application that requires extensive data transfers between its
+// parts": a pipeline of n stages moving bytesPerEdge each hop, with
+// modest compute per stage.
+func CommunicationIntensive(n int, work float64, bytesPerEdge float64, seed int64) *Graph {
+	rng := stats.NewRNG(seed)
+	g := &Graph{Name: fmt.Sprintf("comm-%d", n)}
+	for i := 0; i < n; i++ {
+		w := work * (0.9 + 0.2*rng.Float64())
+		g.Modules = append(g.Modules, Module{ID: i, Work: w, MemKB: 1 << 18})
+		if i > 0 {
+			g.Edges = append(g.Edges, Edge{From: i - 1, To: i, Bytes: bytesPerEdge})
+		}
+	}
+	return g
+}
+
+// DeviceBound builds "a meta-application that requires a specific set
+// of devices from different locations": k device stages (each pinned to
+// a named device) feeding a merge module.
+func DeviceBound(devices []string, work float64, bytesPerEdge float64) *Graph {
+	g := &Graph{Name: fmt.Sprintf("device-%d", len(devices))}
+	for i, d := range devices {
+		g.Modules = append(g.Modules, Module{ID: i, Work: work, Device: d, MemKB: 1 << 16})
+	}
+	merge := len(devices)
+	g.Modules = append(g.Modules, Module{ID: merge, Work: work / 2, MemKB: 1 << 16})
+	for i := range devices {
+		g.Edges = append(g.Edges, Edge{From: i, To: merge, Bytes: bytesPerEdge})
+	}
+	return g
+}
+
+// MasterWorkers builds the master-workers structure of Section 1.2:
+// a master module scatters to n workers and gathers their results.
+func MasterWorkers(n int, masterWork, workerWork, scatterBytes, gatherBytes float64) *Graph {
+	g := &Graph{Name: fmt.Sprintf("master-workers-%d", n)}
+	g.Modules = append(g.Modules, Module{ID: 0, Work: masterWork, MemKB: 1 << 17})
+	for i := 1; i <= n; i++ {
+		g.Modules = append(g.Modules, Module{ID: i, Work: workerWork, MemKB: 1 << 16})
+		g.Edges = append(g.Edges, Edge{From: 0, To: i, Bytes: scatterBytes})
+	}
+	gather := n + 1
+	g.Modules = append(g.Modules, Module{ID: gather, Work: masterWork / 2, MemKB: 1 << 17})
+	for i := 1; i <= n; i++ {
+		g.Edges = append(g.Edges, Edge{From: i, To: gather, Bytes: gatherBytes})
+	}
+	return g
+}

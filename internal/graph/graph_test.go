@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateGoodGraphs(t *testing.T) {
+	for _, g := range []*Graph{
+		ComputeIntensive(10, 100, 1),
+		CommunicationIntensive(8, 10, 1e6, 2),
+		DeviceBound([]string{"tape", "viz"}, 50, 1e6),
+		MasterWorkers(5, 10, 50, 1e5, 2e5),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	g := &Graph{Name: "cyc", Modules: []Module{{ID: 0, Work: 1}, {ID: 1, Work: 1}},
+		Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 0}}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateCatchesBadEdges(t *testing.T) {
+	g := &Graph{Name: "bad", Modules: []Module{{ID: 0, Work: 1}},
+		Edges: []Edge{{From: 0, To: 5}}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range edge not detected")
+	}
+	g2 := &Graph{Name: "self", Modules: []Module{{ID: 0, Work: 1}},
+		Edges: []Edge{{From: 0, To: 0}}}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("self loop not detected")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := MasterWorkers(4, 10, 50, 1, 1)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d->%d violated in order %v", e.From, e.To, order)
+		}
+	}
+}
+
+func TestCriticalPathPipeline(t *testing.T) {
+	// Pipeline of 5 stages, 10s each: critical path is the sum.
+	g := CommunicationIntensive(5, 10, 1e6, 3)
+	cp := g.CriticalPath()
+	total := g.TotalWork()
+	if cp != total {
+		t.Fatalf("pipeline critical path %v should equal total work %v", cp, total)
+	}
+}
+
+func TestCriticalPathParallel(t *testing.T) {
+	// Independent modules: critical path is the largest single module.
+	g := ComputeIntensive(20, 100, 4)
+	cp := g.CriticalPath()
+	var maxW float64
+	for _, m := range g.Modules {
+		if m.Work > maxW {
+			maxW = m.Work
+		}
+	}
+	if cp != maxW {
+		t.Fatalf("cp = %v, want max module %v", cp, maxW)
+	}
+}
+
+func TestMasterWorkersShape(t *testing.T) {
+	g := MasterWorkers(8, 10, 50, 1e6, 2e6)
+	if len(g.Modules) != 10 { // master + 8 workers + gather
+		t.Fatalf("modules = %d", len(g.Modules))
+	}
+	if len(g.Edges) != 16 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	// Critical path: master -> worker -> gather.
+	want := 10.0 + 50 + 5
+	if cp := g.CriticalPath(); cp != want {
+		t.Fatalf("cp = %v, want %v", cp, want)
+	}
+}
+
+func TestCCRSeparatesClasses(t *testing.T) {
+	compute := ComputeIntensive(32, 120, 5)
+	comm := CommunicationIntensive(16, 30, 200e6, 6)
+	if compute.CCR() != 0 {
+		t.Fatalf("compute-intensive CCR = %v, want 0", compute.CCR())
+	}
+	if comm.CCR() < 1e5 {
+		t.Fatalf("communication-intensive CCR = %v, too small", comm.CCR())
+	}
+}
+
+func TestDeviceBoundDevices(t *testing.T) {
+	g := DeviceBound([]string{"a", "b"}, 10, 1e3)
+	if g.Modules[0].Device != "a" || g.Modules[1].Device != "b" || g.Modules[2].Device != "" {
+		t.Fatalf("devices wrong: %+v", g.Modules)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := ComputeIntensive(10, 100, 42)
+	b := ComputeIntensive(10, 100, 42)
+	for i := range a.Modules {
+		if a.Modules[i].Work != b.Modules[i].Work {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	// Property: every generated micro-benchmark is a valid DAG whose
+	// topological order covers all modules exactly once.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		for _, g := range []*Graph{
+			ComputeIntensive(n, 50, seed),
+			CommunicationIntensive(n, 20, 1e6, seed),
+			MasterWorkers(n, 5, 25, 1e3, 1e3),
+		} {
+			order, err := g.TopoOrder()
+			if err != nil || len(order) != len(g.Modules) {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, id := range order {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

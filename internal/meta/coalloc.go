@@ -1,0 +1,160 @@
+package meta
+
+import (
+	"sort"
+
+	"parsched/internal/des"
+	"parsched/internal/sched"
+)
+
+// CoAllocRequest asks for Procs processors for Duration seconds split
+// evenly across Parts sites, all starting at the same instant —
+// the co-allocation problem of Section 3.1 ("meta applications may ask
+// for simultaneous access to resources from several local schedulers").
+type CoAllocRequest struct {
+	ID       int64
+	Submit   int64
+	Procs    int
+	Duration int64
+	Parts    int
+}
+
+// CoAllocation records the result of a co-allocation attempt.
+type CoAllocation struct {
+	Request CoAllocRequest
+	// Start is the negotiated common start time (-1 if negotiation
+	// failed).
+	Start int64
+	// Sites are the chosen site names, one per part.
+	Sites []string
+	// Granted reports whether every component reservation was honoured
+	// at start time.
+	Granted bool
+
+	pending int
+	failed  bool
+}
+
+// Delay returns negotiated start minus submit (-1 if failed).
+func (c *CoAllocation) Delay() int64 {
+	if c.Start < 0 {
+		return -1
+	}
+	return c.Start - c.Request.Submit
+}
+
+// SubmitCoAlloc schedules co-allocation requests: at each request's
+// submit time the grid negotiates a common start across the Parts
+// least-loaded feasible sites and places component reservations. The
+// negotiation is the classic fixed-point iteration: take the max of the
+// sites' earliest fits, re-check, repeat.
+func (g *Grid) SubmitCoAlloc(reqs []CoAllocRequest) {
+	for i := range reqs {
+		req := reqs[i]
+		g.Engine.At(req.Submit, des.PriorityArrival, func() { g.negotiate(req) })
+	}
+}
+
+// negotiate finds the earliest common start and reserves.
+func (g *Grid) negotiate(req CoAllocRequest) {
+	now := g.Engine.Now()
+	ca := CoAllocation{Request: req, Start: -1}
+	defer func() { g.coalloc = append(g.coalloc, ca) }()
+
+	if req.Parts < 1 || req.Parts > len(g.Sites) {
+		return
+	}
+	part := req.Procs / req.Parts
+	if part < 1 {
+		part = 1
+	}
+
+	// Choose the Parts sites with the least queued work that can host a
+	// component.
+	type cand struct {
+		site *Site
+		load float64
+	}
+	var cands []cand
+	for _, s := range g.Sites {
+		if part <= s.Nodes {
+			cands = append(cands, cand{s, float64(s.Instance.QueuedWork()) / float64(s.Nodes)})
+		}
+	}
+	if len(cands) < req.Parts {
+		return
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		return cands[a].site.Name < cands[b].site.Name
+	})
+	chosen := cands[:req.Parts]
+
+	// Fixed-point negotiation of the common start time.
+	start := now
+	for iter := 0; iter < 64; iter++ {
+		next := start
+		for _, c := range chosen {
+			p := sched.BuildProfile(c.site.Instance)
+			fit := p.EarliestFit(start, req.Duration, part)
+			if fit < 0 {
+				return // component can never fit
+			}
+			if fit > next {
+				next = fit
+			}
+		}
+		if next == start {
+			break
+		}
+		start = next
+	}
+
+	// Place the component reservations.
+	ca.Start = start
+	ca.pending = req.Parts
+	caIdx := len(g.coalloc) // position this CoAllocation will occupy
+	for _, c := range chosen {
+		ca.Sites = append(ca.Sites, c.site.Name)
+		site := c.site
+		id := site.Instance.Reserve(sched.Reservation{
+			Procs: part, Start: start, End: start + req.Duration,
+		})
+		// Check the grant after the claim fires at the start instant
+		// (PrioritySchedule orders after PriorityOutage claims).
+		g.Engine.At(start, des.PrioritySchedule, func() {
+			g.checkGrant(caIdx, site, id)
+		})
+	}
+	ca.Granted = false
+}
+
+// checkGrant verifies a component reservation was honoured; when all
+// components of a co-allocation report, Granted is finalized.
+func (g *Grid) checkGrant(idx int, site *Site, resvID int64) {
+	if idx >= len(g.coalloc) {
+		return
+	}
+	ca := &g.coalloc[idx]
+	granted := false
+	for _, ro := range site.Instance.ReservationOutcomes() {
+		if ro.Reservation.ID == resvID && ro.Granted {
+			granted = true
+			break
+		}
+	}
+	if !granted {
+		ca.failed = true
+	}
+	ca.pending--
+	if ca.pending == 0 {
+		ca.Granted = !ca.failed
+	}
+}
+
+// CoAllocations returns the results of all co-allocation attempts.
+func (g *Grid) CoAllocations() []CoAllocation {
+	return append([]CoAllocation(nil), g.coalloc...)
+}

@@ -1,0 +1,210 @@
+package meta
+
+import (
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/predict"
+	"parsched/internal/sched"
+)
+
+// twoSiteGrid builds a 2-site grid: site A idle, site B loaded with a
+// long local job.
+func twoSiteGrid(t *testing.T) *Grid {
+	t.Helper()
+	busy := &core.Workload{Name: "local-b", MaxNodes: 16, Jobs: []*core.Job{
+		{ID: 1, Submit: 0, Size: 16, Runtime: 10000, User: 1},
+	}}
+	g, err := NewGrid([]SiteSpec{
+		{Name: "a", Nodes: 16, Scheduler: sched.NewEASY()},
+		{Name: "b", Nodes: 16, Scheduler: sched.NewEASY(), Local: busy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func metaJob(id int64, submit int64, size int, rt int64) *core.Job {
+	return &core.Job{ID: id, Submit: submit, Size: size, Runtime: rt, User: 7}
+}
+
+func TestLeastWorkRoutesAroundLoad(t *testing.T) {
+	g := twoSiteGrid(t)
+	g.SubmitMeta([]*core.Job{metaJob(1, 100, 8, 60)}, LeastWorkPolicy{})
+	g.Run(0)
+	outs, lost := g.MetaOutcomes()
+	if lost != 0 || len(outs) != 1 {
+		t.Fatalf("outcomes: %v lost %d", outs, lost)
+	}
+	// Site a was idle: the job must have started immediately.
+	if outs[0].Wait() != 0 {
+		t.Fatalf("meta job waited %d; least-work should pick the idle site", outs[0].Wait())
+	}
+}
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	run := func() int64 {
+		g := twoSiteGrid(t)
+		g.SubmitMeta([]*core.Job{metaJob(1, 100, 8, 60)}, NewRandomPolicy(9))
+		g.Run(0)
+		outs, _ := g.MetaOutcomes()
+		return outs[0].Wait()
+	}
+	if run() != run() {
+		t.Fatal("random policy with fixed seed must be deterministic")
+	}
+}
+
+func TestInfeasibleJobLost(t *testing.T) {
+	g := twoSiteGrid(t)
+	g.SubmitMeta([]*core.Job{metaJob(1, 0, 64, 60)}, LeastWorkPolicy{}) // bigger than any site
+	g.Run(0)
+	_, lost := g.MetaOutcomes()
+	if lost != 1 {
+		t.Fatalf("lost = %d, want 1", lost)
+	}
+}
+
+func TestLocalOutcomesSeparated(t *testing.T) {
+	g := twoSiteGrid(t)
+	g.SubmitMeta([]*core.Job{metaJob(1, 100, 8, 60)}, LeastWorkPolicy{})
+	g.Run(0)
+	locals := g.LocalOutcomes()
+	if len(locals["b"]) != 1 {
+		t.Fatalf("site b locals: %v", locals["b"])
+	}
+	if len(locals["a"]) != 0 {
+		t.Fatalf("site a should have no local jobs: %v", locals["a"])
+	}
+}
+
+func TestPredictedWaitPolicyLearns(t *testing.T) {
+	// Two sites; site b is persistently congested by local jobs. After
+	// a few observations the predicted-wait policy should route meta
+	// jobs to site a.
+	localB := lublin.Default().Generate(model.Config{
+		MaxNodes: 16, Jobs: 300, Seed: 31, Load: 1.4,
+	})
+	localB.Name = "local-b"
+	g, err := NewGrid([]SiteSpec{
+		{Name: "a", Nodes: 16, Scheduler: sched.NewEASY(), Predictor: predict.NewRecent(20)},
+		{Name: "b", Nodes: 16, Scheduler: sched.NewEASY(), Local: localB, Predictor: predict.NewRecent(20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*core.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, metaJob(int64(i+1), int64(50000+i*5000), 4, 300))
+	}
+	g.SubmitMeta(jobs, PredictedWaitPolicy{})
+	g.Run(0)
+	outs, lost := g.MetaOutcomes()
+	if lost != 0 {
+		t.Fatalf("lost %d meta jobs", lost)
+	}
+	// Most late meta jobs should see near-zero waits (routed to a).
+	short := 0
+	for _, o := range outs[len(outs)/2:] {
+		if o.Wait() == 0 {
+			short++
+		}
+	}
+	if short < len(outs)/4 {
+		t.Fatalf("predicted-wait policy failed to learn: %d zero-wait of %d", short, len(outs))
+	}
+}
+
+func TestGridTotalNodes(t *testing.T) {
+	g := twoSiteGrid(t)
+	if g.TotalNodes() != 32 {
+		t.Fatalf("total nodes = %d", g.TotalNodes())
+	}
+}
+
+func TestCoAllocationOnIdleGrid(t *testing.T) {
+	g := twoSiteGrid(t) // site b busy 10000 s on all 16 nodes
+	g.SubmitCoAlloc([]CoAllocRequest{
+		{ID: 1, Submit: 100, Procs: 16, Duration: 600, Parts: 2},
+	})
+	g.Run(0)
+	cas := g.CoAllocations()
+	if len(cas) != 1 {
+		t.Fatalf("co-allocations: %d", len(cas))
+	}
+	ca := cas[0]
+	if ca.Start < 0 {
+		t.Fatal("negotiation failed on a feasible grid")
+	}
+	// Site b is full until 10000, so the common start is >= 10000 when
+	// using both sites (8 procs each).
+	if ca.Start < 10000 {
+		t.Fatalf("common start %d ignores site b's load", ca.Start)
+	}
+	if !ca.Granted {
+		t.Fatalf("co-allocation not granted: %+v", ca)
+	}
+	if ca.Delay() != ca.Start-100 {
+		t.Fatalf("delay = %d", ca.Delay())
+	}
+}
+
+func TestCoAllocationTooManyParts(t *testing.T) {
+	g := twoSiteGrid(t)
+	g.SubmitCoAlloc([]CoAllocRequest{
+		{ID: 1, Submit: 0, Procs: 8, Duration: 60, Parts: 5},
+	})
+	g.Run(0)
+	if ca := g.CoAllocations()[0]; ca.Start >= 0 {
+		t.Fatal("negotiation should fail with more parts than sites")
+	}
+}
+
+func TestCoAllocationComponentsShareStart(t *testing.T) {
+	// Property: all component reservations of a granted co-allocation
+	// start at the same instant — verified via the reservation outcomes
+	// on each chosen site.
+	g := twoSiteGrid(t)
+	g.SubmitCoAlloc([]CoAllocRequest{
+		{ID: 1, Submit: 50, Procs: 8, Duration: 120, Parts: 2},
+	})
+	g.Run(0)
+	ca := g.CoAllocations()[0]
+	if !ca.Granted {
+		t.Fatalf("not granted: %+v", ca)
+	}
+	for _, s := range g.Sites {
+		for _, ro := range s.Instance.ReservationOutcomes() {
+			if ro.Reservation.Start != ca.Start {
+				t.Fatalf("component on %s starts at %d, want %d", s.Name, ro.Reservation.Start, ca.Start)
+			}
+		}
+	}
+}
+
+func TestCoAllocationWithReservationAwareLocals(t *testing.T) {
+	// With easy+win locals, local jobs drain around the reservation, so
+	// the grant must succeed even with competing local load arriving
+	// before the reservation start.
+	local := &core.Workload{Name: "l", MaxNodes: 16, Jobs: []*core.Job{
+		{ID: 1, Submit: 0, Size: 16, Runtime: 500, User: 1, Estimate: 500},
+	}}
+	g, err := NewGrid([]SiteSpec{
+		{Name: "a", Nodes: 16, Scheduler: sched.NewEASYWindows(), Local: local},
+		{Name: "b", Nodes: 16, Scheduler: sched.NewEASYWindows()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SubmitCoAlloc([]CoAllocRequest{
+		{ID: 1, Submit: 10, Procs: 32, Duration: 300, Parts: 2},
+	})
+	g.Run(0)
+	ca := g.CoAllocations()[0]
+	if !ca.Granted {
+		t.Fatalf("reservation-aware locals should honour the co-allocation: %+v", ca)
+	}
+}

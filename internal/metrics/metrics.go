@@ -1,0 +1,247 @@
+// Package metrics computes the performance measures used to evaluate
+// parallel job schedulers — the objective functions of Section 1.2 of
+// the paper: response time, wait time, bounded slowdown (to minimize),
+// utilization and throughput (to maximize), plus the weighted composite
+// objectives of Krallmann/Schwiegelshohn/Yahyapour [41] whose weight
+// sensitivity experiment E3 reproduces.
+//
+// The paper warns that "measurement using different metrics may lead to
+// conflicting results" [30]; this package therefore computes the whole
+// battery at once so experiments can compare rankings across metrics.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parsched/internal/stats"
+)
+
+// BoundedSlowdownTau is the runtime floor (seconds) of the bounded
+// slowdown metric, which prevents very short jobs from dominating the
+// average. 10 seconds is the customary value.
+const BoundedSlowdownTau = 10
+
+// Outcome is the scheduling result of one job.
+type Outcome struct {
+	JobID   int64
+	User    int64
+	Submit  int64 // effective submittal (feedback shifts it)
+	Start   int64 // -1 if never started
+	End     int64 // -1 if never finished
+	Size    int
+	Runtime int64 // actual runtime of the final (successful) execution
+	// Restarts counts executions killed by outages before the final one.
+	Restarts int
+	// LostWork is processor-seconds of killed partial executions.
+	LostWork int64
+	// Dropped marks jobs abandoned after exceeding the restart cap.
+	Dropped bool
+}
+
+// Finished reports whether the job completed normally.
+func (o Outcome) Finished() bool { return o.End >= 0 && !o.Dropped }
+
+// Wait returns the queueing delay of the final execution's start.
+func (o Outcome) Wait() int64 {
+	if o.Start < 0 {
+		return -1
+	}
+	return o.Start - o.Submit
+}
+
+// Response returns submit-to-completion time.
+func (o Outcome) Response() int64 {
+	if o.End < 0 {
+		return -1
+	}
+	return o.End - o.Submit
+}
+
+// BoundedSlowdown returns max(1, response / max(runtime, tau)).
+func (o Outcome) BoundedSlowdown() float64 {
+	if o.End < 0 {
+		return -1
+	}
+	rt := o.Runtime
+	if rt < BoundedSlowdownTau {
+		rt = BoundedSlowdownTau
+	}
+	s := float64(o.Response()) / float64(rt)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Report aggregates outcomes into the standard battery of measures.
+type Report struct {
+	Scheduler string
+	Workload  string
+
+	Jobs       int // total outcomes
+	Finished   int
+	Unfinished int // never started or never finished within the horizon
+	Dropped    int // abandoned after restart cap
+
+	Makespan    int64   // last completion - first submittal
+	Utilization float64 // useful processor-seconds / (procs * makespan)
+	Throughput  float64 // finished jobs per hour of makespan
+
+	Wait     stats.Summary // seconds, finished jobs only
+	Response stats.Summary
+	BSLD     stats.Summary // bounded slowdown
+	GeoBSLD  float64       // geometric mean bounded slowdown
+
+	Restarts int
+	LostWork int64 // processor-seconds destroyed by kills
+}
+
+// Compute aggregates outcomes for a machine of procs processors.
+// Unfinished jobs contribute to counts but not to time statistics —
+// report them, don't hide them.
+func Compute(scheduler, workload string, outs []Outcome, procs int) Report {
+	r := Report{Scheduler: scheduler, Workload: workload, Jobs: len(outs)}
+	if len(outs) == 0 {
+		return r
+	}
+
+	var waits, resps, bslds []float64
+	var firstSubmit, lastEnd int64 = 1<<62 - 1, 0
+	var usefulWork int64
+	for _, o := range outs {
+		if o.Submit < firstSubmit {
+			firstSubmit = o.Submit
+		}
+		if o.Dropped {
+			r.Dropped++
+		}
+		r.Restarts += o.Restarts
+		r.LostWork += o.LostWork
+		if !o.Finished() {
+			r.Unfinished++
+			continue
+		}
+		r.Finished++
+		if o.End > lastEnd {
+			lastEnd = o.End
+		}
+		usefulWork += int64(o.Size) * o.Runtime
+		waits = append(waits, float64(o.Wait()))
+		resps = append(resps, float64(o.Response()))
+		bslds = append(bslds, o.BoundedSlowdown())
+	}
+	if r.Finished == 0 {
+		return r
+	}
+	r.Makespan = lastEnd - firstSubmit
+	if r.Makespan > 0 && procs > 0 {
+		r.Utilization = float64(usefulWork) / (float64(r.Makespan) * float64(procs))
+		r.Throughput = float64(r.Finished) / (float64(r.Makespan) / 3600)
+	}
+	r.Wait = stats.Summarize(waits)
+	r.Response = stats.Summarize(resps)
+	r.BSLD = stats.Summarize(bslds)
+	r.GeoBSLD = stats.GeoMean(bslds)
+	return r
+}
+
+// PerUser splits outcomes by user and computes a report per user —
+// the user-centric view meta-scheduling evaluation needs (Section 4.2:
+// "metaschedulers ... are more focused on high-level, user-centric
+// metrics").
+func PerUser(scheduler, workload string, outs []Outcome, procs int) map[int64]Report {
+	byUser := map[int64][]Outcome{}
+	for _, o := range outs {
+		byUser[o.User] = append(byUser[o.User], o)
+	}
+	reports := make(map[int64]Report, len(byUser))
+	for u, os := range byUser {
+		reports[u] = Compute(scheduler, workload, os, procs)
+	}
+	return reports
+}
+
+// SizeClass buckets job sizes for per-class breakdowns.
+func SizeClass(size int) string {
+	switch {
+	case size == 1:
+		return "serial"
+	case size <= 8:
+		return "small(2-8)"
+	case size <= 64:
+		return "medium(9-64)"
+	default:
+		return "large(>64)"
+	}
+}
+
+// PerClass splits outcomes by size class.
+func PerClass(scheduler, workload string, outs []Outcome, procs int) map[string]Report {
+	byClass := map[string][]Outcome{}
+	for _, o := range outs {
+		byClass[SizeClass(o.Size)] = append(byClass[SizeClass(o.Size)], o)
+	}
+	reports := make(map[string]Report, len(byClass))
+	for c, os := range byClass {
+		reports[c] = Compute(scheduler, workload, os, procs)
+	}
+	return reports
+}
+
+// Objective is a weighted composite objective in the style of [41]:
+// score = W·(normalized mean wait) + (1-W)·(1 - utilization), to be
+// minimized. Normalization divides the mean wait by Scale seconds so
+// the two terms share a [0, ~1] range.
+type Objective struct {
+	W     float64
+	Scale float64 // seconds that count as "wait = 1.0"; default 3600
+}
+
+// Score evaluates the objective on a report (lower is better).
+func (ob Objective) Score(r Report) float64 {
+	scale := ob.Scale
+	if scale <= 0 {
+		scale = 3600
+	}
+	normWait := r.Wait.Mean / scale
+	return ob.W*normWait + (1-ob.W)*(1-r.Utilization)
+}
+
+// Rank orders scheduler names by ascending score under the objective
+// (best first). It is deterministic: ties break by name.
+func (ob Objective) Rank(reports []Report) []string {
+	idx := make([]int, len(reports))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := ob.Score(reports[idx[a]]), ob.Score(reports[idx[b]])
+		if sa != sb {
+			return sa < sb
+		}
+		return reports[idx[a]].Scheduler < reports[idx[b]].Scheduler
+	})
+	names := make([]string, len(idx))
+	for i, k := range idx {
+		names[i] = reports[k].Scheduler
+	}
+	return names
+}
+
+// TableRow renders the headline measures as a fixed-width row; Header
+// gives the matching header. These feed the experiment harness tables.
+func (r Report) TableRow() string {
+	return fmt.Sprintf("%-10s %-12s %6d %6d %8.0f %8.0f %8.2f %8.2f %6.3f %9.1f",
+		r.Scheduler, r.Workload, r.Jobs, r.Finished,
+		r.Wait.Mean, r.Response.Mean, r.BSLD.Mean, r.GeoBSLD,
+		r.Utilization, r.Throughput)
+}
+
+// TableHeader is the header matching TableRow.
+func TableHeader() string {
+	h := fmt.Sprintf("%-10s %-12s %6s %6s %8s %8s %8s %8s %6s %9s",
+		"sched", "workload", "jobs", "done", "wait", "resp", "bsld", "gbsld", "util", "jobs/h")
+	return h + "\n" + strings.Repeat("-", len(h))
+}

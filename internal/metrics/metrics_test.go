@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleOutcomes() []Outcome {
+	return []Outcome{
+		{JobID: 1, User: 1, Submit: 0, Start: 0, End: 100, Size: 4, Runtime: 100},
+		{JobID: 2, User: 1, Submit: 10, Start: 110, End: 210, Size: 8, Runtime: 100},
+		{JobID: 3, User: 2, Submit: 20, Start: 20, End: 25, Size: 1, Runtime: 5},
+	}
+}
+
+func TestOutcomeDerived(t *testing.T) {
+	o := sampleOutcomes()[1]
+	if o.Wait() != 100 {
+		t.Fatalf("wait = %d", o.Wait())
+	}
+	if o.Response() != 200 {
+		t.Fatalf("response = %d", o.Response())
+	}
+	if bsld := o.BoundedSlowdown(); bsld != 2 {
+		t.Fatalf("bsld = %v", bsld)
+	}
+}
+
+func TestBoundedSlowdownFloor(t *testing.T) {
+	// A 5-second job with a 5-second response: bounded slowdown uses
+	// tau=10, so 5/10 clamps to 1.
+	o := Outcome{Submit: 20, Start: 20, End: 25, Runtime: 5}
+	if b := o.BoundedSlowdown(); b != 1 {
+		t.Fatalf("bsld = %v, want 1 (floor)", b)
+	}
+	// Short job with long wait: tau prevents explosion.
+	o = Outcome{Submit: 0, Start: 100, End: 105, Runtime: 5}
+	if b := o.BoundedSlowdown(); b != 10.5 {
+		t.Fatalf("bsld = %v, want 105/10", b)
+	}
+}
+
+func TestUnstartedOutcome(t *testing.T) {
+	o := Outcome{Submit: 0, Start: -1, End: -1}
+	if o.Finished() || o.Wait() != -1 || o.Response() != -1 || o.BoundedSlowdown() != -1 {
+		t.Fatal("unstarted job should report sentinel values")
+	}
+}
+
+func TestComputeBasics(t *testing.T) {
+	r := Compute("easy", "test", sampleOutcomes(), 16)
+	if r.Jobs != 3 || r.Finished != 3 || r.Unfinished != 0 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.Makespan != 210 {
+		t.Fatalf("makespan = %d", r.Makespan)
+	}
+	// useful work = 400 + 800 + 5 = 1205; util = 1205/(210*16)
+	want := 1205.0 / (210 * 16)
+	if math.Abs(r.Utilization-want) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", r.Utilization, want)
+	}
+	if math.Abs(r.Wait.Mean-(0+100+0)/3.0) > 1e-12 {
+		t.Fatalf("mean wait = %v", r.Wait.Mean)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+func TestComputeEmptyAndUnfinished(t *testing.T) {
+	r := Compute("s", "w", nil, 16)
+	if r.Jobs != 0 {
+		t.Fatal("empty compute wrong")
+	}
+	r = Compute("s", "w", []Outcome{{Submit: 0, Start: -1, End: -1}}, 16)
+	if r.Unfinished != 1 || r.Finished != 0 {
+		t.Fatalf("unfinished counting wrong: %+v", r)
+	}
+}
+
+func TestComputeRestartsAndLoss(t *testing.T) {
+	outs := []Outcome{
+		{Submit: 0, Start: 50, End: 150, Size: 4, Runtime: 100, Restarts: 2, LostWork: 300},
+		{Submit: 0, Start: -1, End: -1, Dropped: true},
+	}
+	r := Compute("s", "w", outs, 8)
+	if r.Restarts != 2 || r.LostWork != 300 || r.Dropped != 1 {
+		t.Fatalf("loss accounting wrong: %+v", r)
+	}
+}
+
+func TestPerUser(t *testing.T) {
+	rs := PerUser("s", "w", sampleOutcomes(), 16)
+	if len(rs) != 2 {
+		t.Fatalf("users = %d", len(rs))
+	}
+	if rs[1].Finished != 2 || rs[2].Finished != 1 {
+		t.Fatalf("per-user split wrong: %+v", rs)
+	}
+}
+
+func TestPerClass(t *testing.T) {
+	rs := PerClass("s", "w", sampleOutcomes(), 16)
+	if rs["serial"].Finished != 1 {
+		t.Fatalf("serial class wrong: %+v", rs)
+	}
+	if rs["small(2-8)"].Finished != 2 {
+		t.Fatalf("small class wrong: %+v", rs)
+	}
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]string{1: "serial", 2: "small(2-8)", 8: "small(2-8)",
+		9: "medium(9-64)", 64: "medium(9-64)", 65: "large(>64)"}
+	for in, want := range cases {
+		if got := SizeClass(in); got != want {
+			t.Errorf("SizeClass(%d) = %q", in, got)
+		}
+	}
+}
+
+func TestObjectiveScoreAndRank(t *testing.T) {
+	// Scheduler A: low wait, low utilization. B: high wait, high util.
+	a := Report{Scheduler: "A"}
+	a.Wait.Mean = 360 // 0.1 normalized
+	a.Utilization = 0.5
+	b := Report{Scheduler: "B"}
+	b.Wait.Mean = 7200 // 2.0 normalized
+	b.Utilization = 0.95
+
+	waitHeavy := Objective{W: 0.9}
+	utilHeavy := Objective{W: 0.1}
+	if waitHeavy.Score(a) >= waitHeavy.Score(b) {
+		t.Fatal("wait-heavy objective should prefer A")
+	}
+	if utilHeavy.Score(a) <= utilHeavy.Score(b) {
+		t.Fatal("util-heavy objective should prefer B")
+	}
+	// Ranking flips with the weight — the [41] effect.
+	r1 := waitHeavy.Rank([]Report{a, b})
+	r2 := utilHeavy.Rank([]Report{a, b})
+	if r1[0] != "A" || r2[0] != "B" {
+		t.Fatalf("rankings: %v vs %v", r1, r2)
+	}
+}
+
+func TestObjectiveDefaultScale(t *testing.T) {
+	r := Report{}
+	r.Wait.Mean = 3600
+	r.Utilization = 1
+	if s := (Objective{W: 1}).Score(r); s != 1 {
+		t.Fatalf("score = %v, want 1 (default scale)", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	r := Compute("easy", "lublin", sampleOutcomes(), 16)
+	row := r.TableRow()
+	if !strings.Contains(row, "easy") || !strings.Contains(row, "lublin") {
+		t.Fatalf("row = %q", row)
+	}
+	if !strings.Contains(TableHeader(), "bsld") {
+		t.Fatal("header missing columns")
+	}
+}

@@ -1,0 +1,115 @@
+// Package downey implements the workload model of Downey, "A Parallel
+// Workload Model and Its Implications for Processor Allocation" (HPDC
+// 1997) [13 in the paper] — the flexible-job model the paper cites for
+// describing "the total computation and the speedup function, instead
+// of the required number of processors and runtime".
+//
+// Downey's observations, reproduced here:
+//
+//   - Cumulative (sequential) lifetimes are log-uniform over several
+//     orders of magnitude;
+//   - A job's average parallelism A is log-uniform between 1 and the
+//     machine size;
+//   - The variance-of-parallelism parameter sigma is uniform on
+//     [0, SigmaMax];
+//   - The speedup function S(n; A, sigma) is Downey's piecewise model
+//     (implemented as core.DowneySpeedup).
+//
+// The model can emit either moldable jobs (Class=Moldable, carrying the
+// speedup model, size = a default allocation the scheduler may change)
+// or their rigid projection (size fixed at the default allocation).
+package downey
+
+import (
+	"math"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+// Params are the model constants.
+type Params struct {
+	// MinWork and MaxWork bound the log-uniform sequential work
+	// (processor-seconds on one processor).
+	MinWork, MaxWork float64
+	// SigmaMax bounds the uniform sigma.
+	SigmaMax float64
+	// Moldable controls whether jobs carry their speedup model and the
+	// Moldable class (true) or are frozen rigid at the default
+	// allocation (false).
+	Moldable bool
+	// AllocFraction is the default allocation as a fraction of A
+	// (1.0 allocates exactly the average parallelism).
+	AllocFraction float64
+}
+
+// DefaultParams follows the published ranges: lifetimes spanning
+// seconds to days, sigma in [0,2].
+func DefaultParams() Params {
+	return Params{
+		MinWork:       60,  // one minute
+		MaxWork:       4e6, // ~46 processor-days
+		SigmaMax:      2,
+		Moldable:      true,
+		AllocFraction: 1,
+	}
+}
+
+// New returns a Downey '97 model.
+func New(p Params) model.Model {
+	s := &sampler{p: p}
+	return &model.Generator{
+		ModelName: "downey97",
+		SampleJob: s.sample,
+		Decorate:  s.decorate,
+	}
+}
+
+// Default returns the model with DefaultParams.
+func Default() model.Model { return New(DefaultParams()) }
+
+type sampler struct {
+	p Params
+	// carried between sample and decorate for the same job
+	lastA     float64
+	lastSigma float64
+	lastWork  float64
+}
+
+func (s *sampler) sample(rng *stats.RNG, cfg model.Config) (int, int64) {
+	work := stats.LogUniform{Lo: s.p.MinWork, Hi: s.p.MaxWork}.Sample(rng)
+	A := stats.LogUniform{Lo: 1, Hi: float64(cfg.MaxNodes)}.Sample(rng)
+	sigma := stats.Uniform{Lo: 0, Hi: s.p.SigmaMax}.Sample(rng)
+
+	s.lastA, s.lastSigma, s.lastWork = A, sigma, work
+
+	// Default allocation: AllocFraction of the average parallelism,
+	// rounded to a power of two (allocation practice at the sites
+	// Downey studied).
+	n := int(math.Round(A * s.p.AllocFraction))
+	if n < 1 {
+		n = 1
+	}
+	n = model.RoundPow2(n)
+	if n > cfg.MaxNodes {
+		n = cfg.MaxNodes
+	}
+
+	sp := core.DowneySpeedup{A: A, Sigma: sigma}
+	rt := work / sp.Speedup(n)
+	if rt < 1 {
+		rt = 1
+	}
+	return n, int64(rt)
+}
+
+func (s *sampler) decorate(rng *stats.RNG, cfg model.Config, j *core.Job) {
+	if !s.p.Moldable {
+		return
+	}
+	j.Class = core.Moldable
+	j.Speedup = core.DowneySpeedup{A: s.lastA, Sigma: s.lastSigma}
+	j.MinSize = 1
+	j.MaxSize = cfg.MaxNodes
+}

@@ -1,0 +1,84 @@
+package downey
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+)
+
+func TestMoldableJobsCarrySpeedup(t *testing.T) {
+	w := Default().Generate(model.Config{MaxNodes: 128, Jobs: 500, Seed: 1, Load: 0.6})
+	for _, j := range w.Jobs {
+		if j.Class != core.Moldable {
+			t.Fatalf("job %d not moldable", j.ID)
+		}
+		d, ok := j.Speedup.(core.DowneySpeedup)
+		if !ok {
+			t.Fatalf("job %d speedup type %T", j.ID, j.Speedup)
+		}
+		if d.A < 1 || d.A > 128 {
+			t.Fatalf("average parallelism %v out of range", d.A)
+		}
+		if d.Sigma < 0 || d.Sigma > 2 {
+			t.Fatalf("sigma %v outside [0,2]", d.Sigma)
+		}
+	}
+}
+
+func TestRigidVariant(t *testing.T) {
+	p := DefaultParams()
+	p.Moldable = false
+	w := New(p).Generate(model.Config{MaxNodes: 128, Jobs: 200, Seed: 2, Load: 0.6})
+	for _, j := range w.Jobs {
+		if j.Class != core.Rigid || j.Speedup != nil {
+			t.Fatalf("rigid variant leaked flexibility: %+v", j)
+		}
+	}
+}
+
+func TestSizesArePowersOfTwo(t *testing.T) {
+	w := Default().Generate(model.Config{MaxNodes: 128, Jobs: 1000, Seed: 3, Load: 0.6})
+	for _, j := range w.Jobs {
+		if j.Size&(j.Size-1) != 0 {
+			t.Fatalf("allocation %d not a power of two", j.Size)
+		}
+	}
+}
+
+func TestLifetimesSpanOrders(t *testing.T) {
+	// Log-uniform work: the runtime spread must cover several orders of
+	// magnitude.
+	w := Default().Generate(model.Config{
+		MaxNodes: 128, Jobs: 3000, Seed: 4, Load: 0.6, MaxRuntime: 1 << 40,
+	})
+	minRT, maxRT := int64(math.MaxInt64), int64(0)
+	for _, j := range w.Jobs {
+		if j.Runtime < minRT {
+			minRT = j.Runtime
+		}
+		if j.Runtime > maxRT {
+			maxRT = j.Runtime
+		}
+	}
+	if float64(maxRT)/float64(minRT) < 1000 {
+		t.Errorf("runtime spread %d..%d too narrow for log-uniform lifetimes", minRT, maxRT)
+	}
+}
+
+func TestRuntimeConsistentWithSpeedup(t *testing.T) {
+	// The recorded (size, runtime) pair must satisfy runtime =
+	// work/speedup(size): RuntimeOn(size) == Runtime by construction,
+	// and total work is recoverable.
+	w := Default().Generate(model.Config{MaxNodes: 128, Jobs: 300, Seed: 5, Load: 0.6})
+	for _, j := range w.Jobs {
+		if j.RuntimeOn(j.Size) != j.Runtime {
+			t.Fatalf("job %d: RuntimeOn(own size) != runtime", j.ID)
+		}
+		// Doubling processors never slows a moldable job down.
+		if j.Size*2 <= 128 && j.RuntimeOn(j.Size*2) > j.Runtime {
+			t.Fatalf("job %d slows down with more processors", j.ID)
+		}
+	}
+}

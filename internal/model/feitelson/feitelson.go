@@ -1,0 +1,143 @@
+// Package feitelson implements the rigid-job workload model of
+// Feitelson, "Packing Schemes for Gang Scheduling" (JSSPP 1996) [18 in
+// the paper], one of the models the paper cites as the state of the art
+// for generating "rectangular" jobs.
+//
+// The model's signature features, reproduced here:
+//
+//   - Job sizes follow a harmonic-like distribution (small jobs are
+//     common) with strong extra emphasis on powers of two and on
+//     "interesting" sizes like the full machine;
+//   - Runtimes are drawn from a hyper-exponential whose long branch is
+//     more likely for larger jobs, creating the observed positive
+//     correlation between size and runtime;
+//   - Jobs are resubmitted: each generated job is repeated a random
+//     number of times (most jobs run once, some run many times),
+//     modeling the re-run behaviour seen in production logs.
+package feitelson
+
+import (
+	"math"
+
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+// Params are the tunable constants of the model. Defaults follow the
+// published model's shape; see DESIGN.md for the calibration note.
+type Params struct {
+	// Pow2Prob is the probability that a sampled size is rounded to a
+	// power of two.
+	Pow2Prob float64
+	// FullMachineProb is the probability mass given to full-machine jobs.
+	FullMachineProb float64
+	// HarmonicS is the exponent of the harmonic size distribution
+	// (P(n) ∝ 1/n^s).
+	HarmonicS float64
+	// MeanShort and MeanLong are the two runtime branches (seconds).
+	MeanShort, MeanLong float64
+	// LongProbBase is the probability of the long branch for a serial
+	// job; it grows with log2(size) up to LongProbMax.
+	LongProbBase, LongProbMax float64
+	// RepeatProb is the probability that a job is a repeat of the
+	// previous distinct job (geometric repetition).
+	RepeatProb float64
+}
+
+// DefaultParams returns the standard parameterization.
+func DefaultParams() Params {
+	return Params{
+		Pow2Prob:        0.8,
+		FullMachineProb: 0.02,
+		HarmonicS:       1.3,
+		MeanShort:       600,   // 10 minutes
+		MeanLong:        12600, // 3.5 hours
+		LongProbBase:    0.25,
+		LongProbMax:     0.75,
+		RepeatProb:      0.35,
+	}
+}
+
+// New returns the Feitelson '96 model with the given parameters.
+func New(p Params) model.Model {
+	st := &state{p: p}
+	return &model.Generator{
+		ModelName: "feitelson96",
+		SampleJob: st.sample,
+	}
+}
+
+// Default returns the model with DefaultParams.
+func Default() model.Model { return New(DefaultParams()) }
+
+// state carries the repetition memory between SampleJob calls.
+type state struct {
+	p        Params
+	zipf     *stats.Zipf // lazily built for the current machine size
+	zipfFor  int
+	lastSize int
+	lastRT   int64
+	repeats  int
+}
+
+func (s *state) sample(rng *stats.RNG, cfg model.Config) (int, int64) {
+	// Repetition: emit the previous job again with geometric
+	// probability, modeling users re-running the same program.
+	if s.repeats > 0 {
+		s.repeats--
+		return s.lastSize, s.lastRT
+	}
+
+	size := s.sampleSize(rng, cfg.MaxNodes)
+	rt := s.sampleRuntime(rng, size)
+
+	s.lastSize, s.lastRT = size, rt
+	if rng.Bool(s.p.RepeatProb) {
+		// Geometric number of additional runs (at least 1 more).
+		n := 1
+		for rng.Bool(s.p.RepeatProb) && n < 50 {
+			n++
+		}
+		s.repeats = n
+	}
+	return size, rt
+}
+
+func (s *state) sampleSize(rng *stats.RNG, maxNodes int) int {
+	if rng.Bool(s.p.FullMachineProb) {
+		return maxNodes
+	}
+	if s.zipf == nil || s.zipfFor != maxNodes {
+		s.zipf = stats.NewZipf(maxNodes, s.p.HarmonicS)
+		s.zipfFor = maxNodes
+	}
+	size := int(s.zipf.Sample(rng))
+	if rng.Bool(s.p.Pow2Prob) {
+		size = model.RoundPow2(size)
+	}
+	if size > maxNodes {
+		size = maxNodes
+	}
+	return size
+}
+
+func (s *state) sampleRuntime(rng *stats.RNG, size int) int64 {
+	// The long branch becomes more likely as size grows: this yields
+	// the positive size/runtime correlation of the published model.
+	pLong := s.p.LongProbBase + (s.p.LongProbMax-s.p.LongProbBase)*
+		math.Log2(float64(size)+1)/10
+	if pLong > s.p.LongProbMax {
+		pLong = s.p.LongProbMax
+	}
+	var mean float64
+	if rng.Bool(pLong) {
+		mean = s.p.MeanLong
+	} else {
+		mean = s.p.MeanShort
+	}
+	rt := stats.Exponential{Lambda: 1 / mean}.Sample(rng)
+	if rt < 1 {
+		rt = 1
+	}
+	return int64(rt)
+}

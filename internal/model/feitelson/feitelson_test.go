@@ -1,0 +1,96 @@
+package feitelson
+
+import (
+	"testing"
+
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+func TestSizeEmphasis(t *testing.T) {
+	st := &state{p: DefaultParams()}
+	rng := stats.NewRNG(1)
+	counts := map[int]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[st.sampleSize(rng, 128)]++
+	}
+	// Small sizes dominate (harmonic) and powers of two dominate their
+	// neighbourhoods.
+	if counts[1] < counts[16] {
+		t.Errorf("size 1 (%d) should be more common than 16 (%d)", counts[1], counts[16])
+	}
+	if counts[8] < counts[7]+counts[9] {
+		t.Errorf("power-of-two 8 (%d) should beat neighbours 7+9 (%d)",
+			counts[8], counts[7]+counts[9])
+	}
+	// Full-machine jobs exist (the FullMachineProb mass).
+	if counts[128] == 0 {
+		t.Error("no full-machine jobs generated")
+	}
+}
+
+func TestRuntimeSizeCorrelation(t *testing.T) {
+	st := &state{p: DefaultParams()}
+	rng := stats.NewRNG(2)
+	mean := func(size int) float64 {
+		var sum float64
+		const n = 8000
+		for i := 0; i < n; i++ {
+			sum += float64(st.sampleRuntime(rng, size))
+		}
+		return sum / n
+	}
+	if mean(64) <= mean(1) {
+		t.Errorf("large jobs should run longer: size1=%v size64=%v", mean(1), mean(64))
+	}
+}
+
+func TestRepetitionMechanism(t *testing.T) {
+	st := &state{p: DefaultParams()}
+	rng := stats.NewRNG(3)
+	cfg := model.Config{MaxNodes: 128, MaxRuntime: 1 << 30}
+	repeats := 0
+	var lastS int
+	var lastR int64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s, r := st.sample(rng, cfg)
+		if i > 0 && s == lastS && r == lastR {
+			repeats++
+		}
+		lastS, lastR = s, r
+	}
+	if repeats < n/20 {
+		t.Errorf("only %d/%d consecutive repeats; repetition mechanism inert", repeats, n)
+	}
+}
+
+func TestNoRepetitionWhenDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.RepeatProb = 0
+	st := &state{p: p}
+	rng := stats.NewRNG(4)
+	cfg := model.Config{MaxNodes: 128, MaxRuntime: 1 << 30}
+	repeats := 0
+	var lastS int
+	var lastR int64
+	for i := 0; i < 5000; i++ {
+		s, r := st.sample(rng, cfg)
+		if i > 0 && s == lastS && r == lastR {
+			repeats++
+		}
+		lastS, lastR = s, r
+	}
+	// Chance collisions only.
+	if repeats > 100 {
+		t.Errorf("%d repeats with RepeatProb=0", repeats)
+	}
+}
+
+func TestGenerateThroughDriver(t *testing.T) {
+	w := Default().Generate(model.Config{MaxNodes: 64, Jobs: 800, Seed: 5, Load: 0.7})
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

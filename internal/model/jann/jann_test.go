@@ -1,0 +1,94 @@
+package jann
+
+import (
+	"testing"
+
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+func TestDefaultParamsBuckets(t *testing.T) {
+	p := DefaultParams(128)
+	// Buckets follow powers of two: 1, 2-3, 4-7, ..., 128 -> 8 buckets.
+	if len(p.Buckets) != 8 {
+		t.Fatalf("buckets = %d", len(p.Buckets))
+	}
+	if p.Buckets[0].Lo != 1 || p.Buckets[7].Lo != 128 {
+		t.Fatalf("bucket bounds wrong: %+v", p.Buckets)
+	}
+	for i := 1; i < len(p.Buckets); i++ {
+		if p.Buckets[i].Weight >= p.Buckets[i-1].Weight && i > 1 {
+			t.Fatalf("bucket popularity should decline: %v", p.Buckets)
+		}
+	}
+}
+
+func TestServiceTimeGrowsWithBucket(t *testing.T) {
+	p := DefaultParams(128)
+	first := p.Buckets[0].Service.Mean()
+	last := p.Buckets[len(p.Buckets)-1].Service.Mean()
+	if last <= first {
+		t.Fatalf("service mean should grow with size: %v -> %v", first, last)
+	}
+}
+
+func TestServiceTimeHighCV(t *testing.T) {
+	// Hyper-Erlang fits have CV > 1 (mixture of short and long).
+	p := DefaultParams(64)
+	rng := stats.NewRNG(1)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = p.Buckets[3].Service.Sample(rng)
+	}
+	s := stats.Summarize(xs)
+	if s.CV <= 1 {
+		t.Errorf("service CV %v, want > 1", s.CV)
+	}
+}
+
+func TestSamplerRespectsBuckets(t *testing.T) {
+	m := Default()
+	w := m.Generate(model.Config{MaxNodes: 32, Jobs: 2000, Seed: 2, Load: 0.5})
+	for _, j := range w.Jobs {
+		if j.Size < 1 || j.Size > 32 {
+			t.Fatalf("size %d out of machine", j.Size)
+		}
+	}
+}
+
+func TestLazyTableRebuildOnMachineChange(t *testing.T) {
+	m := Default()
+	small := m.Generate(model.Config{MaxNodes: 8, Jobs: 200, Seed: 3, Load: 0.5})
+	for _, j := range small.Jobs {
+		if j.Size > 8 {
+			t.Fatalf("size %d on 8-node machine", j.Size)
+		}
+	}
+	// Same model instance, bigger machine: table must rebuild.
+	big := m.Generate(model.Config{MaxNodes: 128, Jobs: 2000, Seed: 3, Load: 0.5})
+	seen128 := false
+	for _, j := range big.Jobs {
+		if j.Size > 8 {
+			seen128 = true
+		}
+	}
+	if !seen128 {
+		t.Fatal("model stuck on the small machine's bucket table")
+	}
+}
+
+func TestCustomBucketTable(t *testing.T) {
+	p := Params{Buckets: []Bucket{{
+		Lo: 4, Hi: 4, Weight: 1, Pow2Prob: 1,
+		Service: stats.HyperErlang{
+			Branches: []stats.Erlang{{K: 1, Lambda: 0.01}},
+			Probs:    []float64{1},
+		},
+	}}}
+	w := New(p).Generate(model.Config{MaxNodes: 16, Jobs: 100, Seed: 4, Load: 0.5})
+	for _, j := range w.Jobs {
+		if j.Size != 4 {
+			t.Fatalf("custom table ignored: size %d", j.Size)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lublin
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+func TestDefaultParamsPublishedConstants(t *testing.T) {
+	p := DefaultParams()
+	// The hyper-gamma runtime constants and fractions follow the
+	// published parameterization; lock them down.
+	if p.A1 != 4.2 || p.B1 != 0.94 || p.A2 != 312 || p.B2 != 0.03 {
+		t.Fatalf("runtime constants changed: %+v", p)
+	}
+	if p.SerialProb != 0.244 {
+		t.Fatalf("serial probability: %v", p.SerialProb)
+	}
+	if p.PA != -0.0054 || p.PB != 0.78 {
+		t.Fatalf("size-dependent mixing constants: %v %v", p.PA, p.PB)
+	}
+}
+
+func TestSizeDistributionShape(t *testing.T) {
+	s := &sampler{p: DefaultParams()}
+	rng := stats.NewRNG(1)
+	serial, pow2 := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		size := s.sampleSize(rng, 128)
+		if size < 1 || size > 128 {
+			t.Fatalf("size %d out of range", size)
+		}
+		if size == 1 {
+			serial++
+		}
+		if size&(size-1) == 0 {
+			pow2++
+		}
+	}
+	if f := float64(serial) / n; math.Abs(f-0.244) > 0.02 {
+		t.Errorf("serial fraction %v, want ~0.244", f)
+	}
+	if f := float64(pow2) / n; f < 0.6 {
+		t.Errorf("power-of-two fraction %v, want > 0.6", f)
+	}
+}
+
+func TestRuntimeCorrelatesWithSize(t *testing.T) {
+	s := &sampler{p: DefaultParams()}
+	rng := stats.NewRNG(2)
+	meanRT := func(size int) float64 {
+		var sum float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += float64(s.sampleRuntime(rng, size))
+		}
+		return sum / n
+	}
+	small := meanRT(1)
+	large := meanRT(100)
+	if large <= small {
+		t.Errorf("runtime should grow with size: size1=%v size100=%v", small, large)
+	}
+}
+
+func TestRuntimeRange(t *testing.T) {
+	s := &sampler{p: DefaultParams()}
+	rng := stats.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		rt := s.sampleRuntime(rng, 1+rng.Intn(128))
+		if rt < 1 || rt > 1e7 {
+			t.Fatalf("runtime %d outside guard rails", rt)
+		}
+	}
+}
+
+func TestSmallMachineSanity(t *testing.T) {
+	// UMed exceeds log2(maxNodes) on tiny machines; the sampler must
+	// still produce in-range sizes.
+	w := Default().Generate(model.Config{MaxNodes: 4, Jobs: 500, Seed: 4, Load: 0.5})
+	for _, j := range w.Jobs {
+		if j.Size < 1 || j.Size > 4 {
+			t.Fatalf("size %d on 4-node machine", j.Size)
+		}
+	}
+}
+
+func TestDailyCycleEnabled(t *testing.T) {
+	// The Lublin model is the one with the diurnal cycle: at high
+	// arrival rates its arrivals must cluster in working hours clearly
+	// more than the uniform baseline of 10/24.
+	w := Default().Generate(model.Config{MaxNodes: 64, Jobs: 20000, Seed: 5, Load: 1.5})
+	inDay := 0
+	for _, j := range w.Jobs {
+		h := (j.Submit % 86400) / 3600
+		if h >= 8 && h < 18 {
+			inDay++
+		}
+	}
+	frac := float64(inDay) / float64(len(w.Jobs))
+	const uniform = 10.0 / 24
+	if frac < uniform+0.05 {
+		t.Errorf("daytime arrival fraction %v, want clearly above the uniform %v", frac, uniform)
+	}
+}

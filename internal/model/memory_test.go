@@ -1,0 +1,78 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/stats"
+)
+
+func TestSynthesizeMemoryShape(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		used, req := SynthesizeMemory(rng, 1+rng.Intn(128), 32*1024)
+		if used < 1 {
+			t.Fatalf("used memory %d", used)
+		}
+		if req < used {
+			t.Fatalf("request %d below usage %d", req, used)
+		}
+		if req&(req-1) != 0 {
+			t.Fatalf("request %d not a power of two KB", req)
+		}
+	}
+}
+
+func TestSynthesizeMemoryGrowsWithSize(t *testing.T) {
+	rng := stats.NewRNG(2)
+	mean := func(size int) float64 {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			u, _ := SynthesizeMemory(rng, size, 32*1024)
+			sum += float64(u)
+		}
+		return sum / n
+	}
+	small, large := mean(1), mean(128)
+	if large <= small {
+		t.Errorf("per-proc memory should grow with size: %v -> %v", small, large)
+	}
+	// Growth is moderate (~15%/doubling over 7 doublings ≈ 2.7x), not
+	// explosive.
+	if large > 8*small {
+		t.Errorf("memory growth too steep: %v -> %v", small, large)
+	}
+}
+
+func TestGeneratorMemoryExtension(t *testing.T) {
+	m := constModel(8, 100)
+	off := m.Generate(Config{MaxNodes: 64, Jobs: 50, Seed: 3})
+	for _, j := range off.Jobs {
+		if j.MemPerProc != 0 || j.ReqMemPerProc != 0 {
+			t.Fatal("memory fields set without Memory flag")
+		}
+	}
+	on := m.Generate(Config{MaxNodes: 64, Jobs: 200, Seed: 3, Memory: true})
+	for _, j := range on.Jobs {
+		if j.MemPerProc < 1 || j.ReqMemPerProc < j.MemPerProc {
+			t.Fatalf("memory fields wrong: used=%d req=%d", j.MemPerProc, j.ReqMemPerProc)
+		}
+	}
+}
+
+func TestMemoryMedianScale(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		u, _ := SynthesizeMemory(rng, 1, 32*1024)
+		xs = append(xs, float64(u))
+	}
+	s := stats.Summarize(xs)
+	// Median of the serial-job distribution ≈ the configured median
+	// (x1.15^1 size growth for size 1 -> log2(2)=1 doubling).
+	want := 32 * 1024 * math.Pow(1.15, 1)
+	if math.Abs(s.Median-want)/want > 0.10 {
+		t.Errorf("median %v, want ~%v", s.Median, want)
+	}
+}

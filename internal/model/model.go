@@ -1,0 +1,354 @@
+// Package model defines the common interface and shared machinery for
+// statistical workload models. The paper (Section 2.1) surveys the
+// state of the art in rigid-job models — Feitelson '96, Jann '97,
+// Lublin '99, Downey '97 — and this repository implements all four as
+// subpackages, plus a naive guesswork baseline. All models emit
+// core.Workloads that can be written as standard workload files.
+//
+// Each model owns its marginal distributions; this package provides the
+// pieces they share: load calibration (turning a target offered load
+// into an interarrival scale), daily-cycle arrival modulation, identity
+// assignment (Zipf-popular users and applications), power-of-two size
+// rounding, and user runtime-estimate synthesis.
+package model
+
+import (
+	"math"
+	"sort"
+
+	"parsched/internal/core"
+	"parsched/internal/stats"
+)
+
+// Config carries the knobs every model understands.
+type Config struct {
+	// MaxNodes is the machine size the workload targets.
+	MaxNodes int
+	// Jobs is how many jobs to generate.
+	Jobs int
+	// Seed makes generation reproducible.
+	Seed int64
+	// Load is the target offered load (0 < Load < ~1.5). Zero means
+	// "the model's natural arrival rate". Models calibrate their
+	// interarrival scale so that total work / (span * MaxNodes) ≈ Load.
+	Load float64
+	// Users and Apps bound the identity space (defaults 64 and 32).
+	Users int
+	// Apps is the number of distinct applications.
+	Apps int
+	// MaxRuntime caps runtimes (seconds); 0 means the model default.
+	MaxRuntime int64
+	// EstimateFactor controls how badly users overestimate runtimes:
+	// estimates are runtime * (1 + Exp(mean=EstimateFactor)), rounded
+	// up. Zero disables estimates (schedulers then see perfect ones via
+	// EstimateOrRuntime). A typical production value is 1–4.
+	EstimateFactor float64
+	// Memory enables the Section 2.2 memory extension: jobs draw a
+	// per-processor memory demand (used and requested KB) from a
+	// log-normal whose location grows with log2(size), following the
+	// LANL CM-5 observation [17] that larger jobs use more memory per
+	// processor. Zero values leave memory fields unset.
+	Memory bool
+	// MemMeanKB is the median per-processor memory of a serial job in
+	// KB (default 32 MB) when Memory is on.
+	MemMeanKB int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 128
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 1000
+	}
+	if c.Users == 0 {
+		c.Users = 64
+	}
+	if c.Apps == 0 {
+		c.Apps = 32
+	}
+	if c.MaxRuntime == 0 {
+		c.MaxRuntime = 36 * 3600
+	}
+	if c.MemMeanKB == 0 {
+		c.MemMeanKB = 32 * 1024 // 32 MB median per processor
+	}
+	return c
+}
+
+// Model generates synthetic workloads.
+type Model interface {
+	// Name identifies the model in tables and CLIs.
+	Name() string
+	// Generate produces cfg.Jobs jobs on a cfg.MaxNodes machine.
+	Generate(cfg Config) *core.Workload
+}
+
+// Generator is the template all concrete models instantiate: a model
+// supplies per-job size/runtime sampling and this driver handles
+// arrivals, identities, estimates, and assembly. SampleJob returns the
+// size and runtime of the next job; it may also return extra jobs
+// (repeated runs) which the driver spaces closely.
+type Generator struct {
+	ModelName string
+	// SampleJob draws one (size, runtime) pair.
+	SampleJob func(rng *stats.RNG, cfg Config) (size int, runtime int64)
+	// Decorate optionally post-processes each job (e.g. attach speedup
+	// models or structures). May be nil.
+	Decorate func(rng *stats.RNG, cfg Config, j *core.Job)
+	// DailyCycle enables diurnal arrival-rate modulation.
+	DailyCycle bool
+}
+
+// Name implements Model.
+func (g *Generator) Name() string { return g.ModelName }
+
+// Generate implements Model.
+func (g *Generator) Generate(cfg Config) *core.Workload {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	sizeRng := rng.Fork()
+	arrRng := rng.Fork()
+	idRng := rng.Fork()
+	estRng := rng.Fork()
+	decRng := rng.Fork()
+
+	// Pre-sample to estimate mean area for load calibration.
+	meanArea := g.estimateMeanArea(cfg)
+	meanGap := 3600.0 // natural default: one job per hour
+	if cfg.Load > 0 {
+		// load = meanArea / (gap * nodes)  =>  gap = meanArea/(load*nodes)
+		meanGap = meanArea / (cfg.Load * float64(cfg.MaxNodes))
+	}
+
+	w := &core.Workload{Name: g.ModelName, MaxNodes: cfg.MaxNodes}
+	userPop := stats.NewZipf(cfg.Users, 1.1)
+	appPop := stats.NewZipf(cfg.Apps, 1.2)
+
+	t := int64(0)
+	for i := 0; i < cfg.Jobs; i++ {
+		size, runtime := g.SampleJob(sizeRng, cfg)
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.MaxNodes {
+			size = cfg.MaxNodes
+		}
+		if runtime < 1 {
+			runtime = 1
+		}
+		if runtime > cfg.MaxRuntime {
+			runtime = cfg.MaxRuntime
+		}
+		gap := nextGap(arrRng, meanGap, t, g.DailyCycle)
+		t += gap
+		j := &core.Job{
+			ID:        int64(i + 1),
+			Submit:    t,
+			Size:      size,
+			Runtime:   runtime,
+			User:      int64(userPop.Sample(idRng)),
+			App:       int64(appPop.Sample(idRng)),
+			Group:     1,
+			Queue:     1,
+			Partition: 1,
+		}
+		j.Group = 1 + j.User%8 // a few groups, correlated with users
+		if cfg.EstimateFactor > 0 {
+			j.Estimate = SynthesizeEstimate(estRng, runtime, cfg.EstimateFactor, cfg.MaxRuntime)
+		}
+		if cfg.Memory {
+			used, req := SynthesizeMemory(estRng, size, cfg.MemMeanKB)
+			j.MemPerProc = used
+			j.ReqMemPerProc = req
+		}
+		if g.Decorate != nil {
+			g.Decorate(decRng, cfg, j)
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	w.SortBySubmit()
+	return w
+}
+
+// estimateMeanArea samples (size, runtime) pairs to estimate the mean
+// processor-seconds per job, used for load calibration.
+func (g *Generator) estimateMeanArea(cfg Config) float64 {
+	rng := stats.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
+	const n = 3000
+	var sum float64
+	for i := 0; i < n; i++ {
+		size, runtime := g.SampleJob(rng, cfg)
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.MaxNodes {
+			size = cfg.MaxNodes
+		}
+		if runtime < 1 {
+			runtime = 1
+		}
+		if runtime > cfg.MaxRuntime {
+			runtime = cfg.MaxRuntime
+		}
+		sum += float64(size) * float64(runtime)
+	}
+	return sum / n
+}
+
+// nextGap draws the next interarrival gap. With a daily cycle, gaps are
+// modulated so that arrivals cluster in working hours: the instantaneous
+// rate at second-of-day s is scaled by cycleWeight(s).
+func nextGap(rng *stats.RNG, meanGap float64, now int64, daily bool) int64 {
+	base := stats.Exponential{Lambda: 1 / meanGap}.Sample(rng)
+	if daily {
+		sod := float64((now % 86400))
+		base /= cycleWeight(sod)
+	}
+	g := int64(math.Round(base))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// cycleWeight is a smooth diurnal modulation with a daytime peak
+// (roughly 8:00–18:00) about 3.5x the overnight trough, normalized to
+// integrate to ~1 over the day so the daily job count stays calibrated.
+func cycleWeight(secondOfDay float64) float64 {
+	h := secondOfDay / 3600
+	// Raised cosine centred on 13:00.
+	w := 1 + 0.85*math.Cos((h-13)/24*2*math.Pi)
+	return w
+}
+
+// RoundPow2 rounds n to the nearest power of two (ties go down), at
+// least 1. Production logs are dominated by power-of-two sizes, a
+// regularity every cited model reproduces.
+func RoundPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	l := math.Log2(float64(n))
+	lo := 1 << int(math.Floor(l))
+	hi := lo * 2
+	if n-lo <= hi-n {
+		return lo
+	}
+	return hi
+}
+
+// SynthesizeEstimate produces a user runtime estimate: the runtime
+// inflated by a random overestimation factor and rounded up to a
+// quarter hour, mimicking the coarse estimates users give batch
+// systems. The result is at least runtime and at most maxRuntime.
+func SynthesizeEstimate(rng *stats.RNG, runtime int64, factor float64, maxRuntime int64) int64 {
+	over := 1 + stats.Exponential{Lambda: 1 / factor}.Sample(rng)
+	est := float64(runtime) * over
+	const quarter = 900
+	est = math.Ceil(est/quarter) * quarter
+	e := int64(est)
+	if e < runtime {
+		e = runtime
+	}
+	if maxRuntime > 0 && e > maxRuntime {
+		e = maxRuntime
+	}
+	return e
+}
+
+// SynthesizeMemory draws (used, requested) per-processor memory in KB
+// for a job of the given size: log-normal used memory whose median
+// grows ~15% per doubling of job size, and a requested figure padded by
+// a uniform 1–2x safety factor rounded up to a power-of-two KB count
+// (users request round numbers). This implements the memory extension
+// of paper Section 2.2 pending real usage data ("there is only little
+// data about actual memory usage patterns [17]").
+func SynthesizeMemory(rng *stats.RNG, size int, medianKB int64) (used, req int64) {
+	growth := math.Pow(1.15, math.Log2(float64(size)+1))
+	median := float64(medianKB) * growth
+	u := stats.LogNormal{Mu: math.Log(median), Sigma: 0.8}.Sample(rng)
+	if u < 1 {
+		u = 1
+	}
+	used = int64(u)
+	pad := 1 + rng.Float64()
+	r := float64(used) * pad
+	// Round the request up to a power of two KB.
+	p := int64(1)
+	for float64(p) < r {
+		p *= 2
+	}
+	return used, p
+}
+
+// Marginals extracts the three marginal samples (interarrival gaps,
+// sizes, runtimes) used to compare workloads and models (experiment E9,
+// the paper's co-plot comparison [58] reduced to K-S distances).
+func Marginals(w *core.Workload) (gaps, sizes, runtimes []float64) {
+	for i, j := range w.Jobs {
+		if i > 0 {
+			gaps = append(gaps, float64(j.Submit-w.Jobs[i-1].Submit))
+		}
+		sizes = append(sizes, float64(j.Size))
+		runtimes = append(runtimes, float64(j.Runtime))
+	}
+	return gaps, sizes, runtimes
+}
+
+// Pow2Fraction reports the fraction of jobs whose size is a power of
+// two, a headline statistic of production workloads.
+func Pow2Fraction(w *core.Workload) float64 {
+	if len(w.Jobs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, j := range w.Jobs {
+		if j.Size&(j.Size-1) == 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(w.Jobs))
+}
+
+// SerialFraction reports the fraction of single-processor jobs.
+func SerialFraction(w *core.Workload) float64 {
+	if len(w.Jobs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, j := range w.Jobs {
+		if j.Size == 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(w.Jobs))
+}
+
+// SizeRuntimeCorrelation returns the Pearson correlation between
+// log2(size) and log(runtime), the size/runtime dependence the models
+// differ on.
+func SizeRuntimeCorrelation(w *core.Workload) float64 {
+	var xs, ys []float64
+	for _, j := range w.Jobs {
+		xs = append(xs, math.Log2(float64(j.Size)))
+		ys = append(ys, math.Log(float64(j.Runtime)+1))
+	}
+	return stats.Correlation(xs, ys)
+}
+
+// SortedSizes returns the distinct sizes in the workload, ascending —
+// a convenience for tests and reports.
+func SortedSizes(w *core.Workload) []int {
+	seen := map[int]bool{}
+	for _, j := range w.Jobs {
+		seen[j.Size] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/stats"
+)
+
+// constModel is a trivial model for driver tests.
+func constModel(size int, rt int64) *Generator {
+	return &Generator{
+		ModelName: "const",
+		SampleJob: func(*stats.RNG, Config) (int, int64) { return size, rt },
+	}
+}
+
+func TestGeneratorBasics(t *testing.T) {
+	m := constModel(8, 100)
+	w := m.Generate(Config{MaxNodes: 64, Jobs: 500, Seed: 1})
+	if len(w.Jobs) != 500 {
+		t.Fatalf("got %d jobs", len(w.Jobs))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if j.Size != 8 || j.Runtime != 100 {
+			t.Fatalf("job fields wrong: %+v", j)
+		}
+		if j.User < 1 || j.App < 1 || j.Group < 1 {
+			t.Fatalf("identities must be natural: %+v", j)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{MaxNodes: 64, Jobs: 200, Seed: 42, Load: 0.6}
+	a := constModel(4, 60).Generate(cfg)
+	b := constModel(4, 60).Generate(cfg)
+	for i := range a.Jobs {
+		if a.Jobs[i].Submit != b.Jobs[i].Submit || a.Jobs[i].User != b.Jobs[i].User {
+			t.Fatalf("same seed diverged at job %d", i)
+		}
+	}
+	c := constModel(4, 60).Generate(Config{MaxNodes: 64, Jobs: 200, Seed: 43, Load: 0.6})
+	diff := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Submit != c.Jobs[i].Submit {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+}
+
+func TestLoadCalibration(t *testing.T) {
+	for _, target := range []float64{0.3, 0.7, 1.0} {
+		m := constModel(8, 1000)
+		w := m.Generate(Config{MaxNodes: 64, Jobs: 4000, Seed: 7, Load: target})
+		got := w.OfferedLoad()
+		if math.Abs(got-target)/target > 0.15 {
+			t.Errorf("target load %v, offered %v", target, got)
+		}
+	}
+}
+
+func TestClampingToMachine(t *testing.T) {
+	m := constModel(1<<20, 100) // absurd size gets clamped
+	w := m.Generate(Config{MaxNodes: 32, Jobs: 10, Seed: 1})
+	for _, j := range w.Jobs {
+		if j.Size != 32 {
+			t.Fatalf("size not clamped: %d", j.Size)
+		}
+	}
+}
+
+func TestEstimatesWhenEnabled(t *testing.T) {
+	m := constModel(4, 500)
+	w := m.Generate(Config{MaxNodes: 64, Jobs: 300, Seed: 3, EstimateFactor: 2})
+	over := 0
+	for _, j := range w.Jobs {
+		if j.Estimate < j.Runtime {
+			t.Fatalf("estimate %d below runtime %d", j.Estimate, j.Runtime)
+		}
+		if j.Estimate%900 != 0 {
+			t.Fatalf("estimate %d not rounded to 15 min", j.Estimate)
+		}
+		if j.Estimate > j.Runtime {
+			over++
+		}
+	}
+	if over < 200 {
+		t.Fatalf("only %d/300 jobs overestimate; expected most", over)
+	}
+}
+
+func TestNoEstimatesByDefault(t *testing.T) {
+	w := constModel(4, 500).Generate(Config{MaxNodes: 64, Jobs: 10, Seed: 3})
+	for _, j := range w.Jobs {
+		if j.Estimate != 0 {
+			t.Fatal("estimates must be off by default")
+		}
+	}
+}
+
+func TestRoundPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 5: 4, 6: 4, 7: 8, 12: 8, 13: 16, 100: 128, 96: 64}
+	for in, want := range cases {
+		if got := RoundPow2(in); got != want {
+			t.Errorf("RoundPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRoundPow2Property(t *testing.T) {
+	for n := 1; n < 3000; n++ {
+		p := RoundPow2(n)
+		if p&(p-1) != 0 {
+			t.Fatalf("RoundPow2(%d) = %d is not a power of two", n, p)
+		}
+		if p < n/2 || p > 2*n {
+			t.Fatalf("RoundPow2(%d) = %d too far", n, p)
+		}
+	}
+}
+
+func TestDailyCycleClustersArrivals(t *testing.T) {
+	day := &Generator{ModelName: "d", SampleJob: func(*stats.RNG, Config) (int, int64) { return 1, 10 }, DailyCycle: true}
+	flat := &Generator{ModelName: "f", SampleJob: func(*stats.RNG, Config) (int, int64) { return 1, 10 }}
+	cfg := Config{MaxNodes: 4, Jobs: 20000, Seed: 5, Load: 0.01}
+
+	frac := func(w *core.Workload) float64 {
+		inDay := 0
+		for _, j := range w.Jobs {
+			h := (j.Submit % 86400) / 3600
+			if h >= 8 && h < 18 {
+				inDay++
+			}
+		}
+		return float64(inDay) / float64(len(w.Jobs))
+	}
+	fd := frac(day.Generate(cfg))
+	ff := frac(flat.Generate(cfg))
+	if fd < ff+0.1 {
+		t.Fatalf("daily cycle should concentrate arrivals: day=%v flat=%v", fd, ff)
+	}
+}
+
+func TestCycleWeightMeanNearOne(t *testing.T) {
+	sum := 0.0
+	const n = 86400
+	for s := 0; s < n; s++ {
+		sum += cycleWeight(float64(s))
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("cycle weight mean = %v, want ~1", mean)
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	w := &core.Workload{MaxNodes: 8, Jobs: []*core.Job{
+		{ID: 1, Submit: 0, Size: 2, Runtime: 10},
+		{ID: 2, Submit: 5, Size: 4, Runtime: 20},
+		{ID: 3, Submit: 15, Size: 8, Runtime: 30},
+	}}
+	gaps, sizes, rts := Marginals(w)
+	if len(gaps) != 2 || gaps[0] != 5 || gaps[1] != 10 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if len(sizes) != 3 || len(rts) != 3 {
+		t.Fatal("marginal lengths wrong")
+	}
+}
+
+func TestFractionHelpers(t *testing.T) {
+	w := &core.Workload{Jobs: []*core.Job{
+		{Size: 1}, {Size: 2}, {Size: 3}, {Size: 4},
+	}}
+	if f := Pow2Fraction(w); f != 0.75 {
+		t.Fatalf("pow2 fraction = %v", f)
+	}
+	if f := SerialFraction(w); f != 0.25 {
+		t.Fatalf("serial fraction = %v", f)
+	}
+	if Pow2Fraction(&core.Workload{}) != 0 || SerialFraction(&core.Workload{}) != 0 {
+		t.Fatal("empty workload fractions should be 0")
+	}
+}
+
+func TestSynthesizeEstimateBounds(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		est := SynthesizeEstimate(rng, 1000, 2, 7200)
+		if est < 1000 || est > 7200 {
+			t.Fatalf("estimate %d out of bounds", est)
+		}
+	}
+}
+
+func TestSortedSizes(t *testing.T) {
+	w := &core.Workload{Jobs: []*core.Job{{Size: 8}, {Size: 2}, {Size: 8}}}
+	got := SortedSizes(w)
+	if len(got) != 2 || got[0] != 2 || got[1] != 8 {
+		t.Fatalf("sizes = %v", got)
+	}
+}

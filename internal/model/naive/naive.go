@@ -1,0 +1,38 @@
+// Package naive is the guesswork baseline the paper says evaluations
+// had to rely on "a mere five years ago": uniform job sizes and
+// exponential runtimes, with no power-of-two structure, no size/runtime
+// correlation, and no daily cycle. It exists to be compared against the
+// measurement-based models (experiment E9) and loses to all of them.
+package naive
+
+import (
+	"parsched/internal/model"
+	"parsched/internal/stats"
+)
+
+// Params are the baseline constants.
+type Params struct {
+	// MeanRuntime is the exponential runtime mean in seconds.
+	MeanRuntime float64
+}
+
+// DefaultParams uses a one-hour mean runtime.
+func DefaultParams() Params { return Params{MeanRuntime: 3600} }
+
+// New returns the naive model.
+func New(p Params) model.Model {
+	return &model.Generator{
+		ModelName: "naive",
+		SampleJob: func(rng *stats.RNG, cfg model.Config) (int, int64) {
+			size := 1 + rng.Intn(cfg.MaxNodes)
+			rt := stats.Exponential{Lambda: 1 / p.MeanRuntime}.Sample(rng)
+			if rt < 1 {
+				rt = 1
+			}
+			return size, int64(rt)
+		},
+	}
+}
+
+// Default returns the model with DefaultParams.
+func Default() model.Model { return New(DefaultParams()) }

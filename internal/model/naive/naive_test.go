@@ -1,0 +1,42 @@
+package naive
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/model"
+)
+
+func TestUniformSizes(t *testing.T) {
+	w := Default().Generate(model.Config{MaxNodes: 64, Jobs: 20000, Seed: 1, Load: 0.5})
+	counts := make([]int, 65)
+	for _, j := range w.Jobs {
+		if j.Size < 1 || j.Size > 64 {
+			t.Fatalf("size %d out of range", j.Size)
+		}
+		counts[j.Size]++
+	}
+	// Uniform: every size present, no size dominating.
+	for s := 1; s <= 64; s++ {
+		if counts[s] == 0 {
+			t.Fatalf("size %d never generated", s)
+		}
+		if float64(counts[s]) > 3*20000.0/64 {
+			t.Fatalf("size %d overrepresented: %d", s, counts[s])
+		}
+	}
+}
+
+func TestExponentialRuntimes(t *testing.T) {
+	w := New(Params{MeanRuntime: 1800}).Generate(model.Config{
+		MaxNodes: 64, Jobs: 20000, Seed: 2, Load: 0.5, MaxRuntime: 1 << 30,
+	})
+	var sum float64
+	for _, j := range w.Jobs {
+		sum += float64(j.Runtime)
+	}
+	mean := sum / float64(len(w.Jobs))
+	if math.Abs(mean-1800)/1800 > 0.05 {
+		t.Errorf("mean runtime %v, want ~1800", mean)
+	}
+}

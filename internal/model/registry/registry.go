@@ -1,0 +1,63 @@
+// Package registry enumerates all workload models by name, for CLIs and
+// experiment harnesses that select models from flags or sweep over all
+// of them.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"parsched/internal/model"
+	"parsched/internal/model/downey"
+	"parsched/internal/model/feitelson"
+	"parsched/internal/model/jann"
+	"parsched/internal/model/lublin"
+	"parsched/internal/model/naive"
+)
+
+// New returns a fresh instance of the named model. Models are stateful
+// generators, so callers get a new instance per use.
+func New(name string) (model.Model, error) {
+	switch name {
+	case "feitelson96", "feitelson":
+		return feitelson.Default(), nil
+	case "jann97", "jann":
+		return jann.Default(), nil
+	case "lublin99", "lublin":
+		return lublin.Default(), nil
+	case "downey97", "downey":
+		return downey.Default(), nil
+	case "naive":
+		return naive.Default(), nil
+	default:
+		return nil, fmt.Errorf("unknown workload model %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the canonical model names, sorted.
+func Names() []string {
+	names := []string{"feitelson96", "jann97", "lublin99", "downey97", "naive"}
+	sort.Strings(names)
+	return names
+}
+
+// All returns a fresh instance of every model, in Names() order.
+func All() []model.Model {
+	var ms []model.Model
+	for _, n := range Names() {
+		m, err := New(n)
+		if err != nil {
+			panic(err) // unreachable: Names and New are in sync
+		}
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// Cited returns the four measurement-based models the paper cites
+// (excluding the naive baseline).
+func Cited() []model.Model {
+	return []model.Model{
+		feitelson.Default(), jann.Default(), lublin.Default(), downey.Default(),
+	}
+}

@@ -1,0 +1,236 @@
+// Package registry_test runs the shared invariant suite over every
+// model: this is where the per-model behavioural checks live so each
+// model is exercised through the same lens.
+package registry
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/stats"
+	"parsched/internal/swf"
+)
+
+func TestNewKnownAndUnknown(t *testing.T) {
+	for _, n := range Names() {
+		m, err := New(n)
+		if err != nil || m == nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if m.Name() != n {
+			t.Errorf("Name() = %q, want %q", m.Name(), n)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestAliases(t *testing.T) {
+	for _, alias := range []string{"lublin", "feitelson", "jann", "downey"} {
+		if _, err := New(alias); err != nil {
+			t.Errorf("alias %q rejected: %v", alias, err)
+		}
+	}
+}
+
+func TestAllAndCited(t *testing.T) {
+	if got := len(All()); got != 5 {
+		t.Fatalf("All() = %d models", got)
+	}
+	if got := len(Cited()); got != 4 {
+		t.Fatalf("Cited() = %d models", got)
+	}
+}
+
+// cfg is the shared generation config for the invariant suite.
+var cfg = model.Config{MaxNodes: 128, Jobs: 3000, Seed: 11, Load: 0.7, EstimateFactor: 1.5}
+
+// generate builds one workload per model.
+func generateAll(t *testing.T) map[string]*core.Workload {
+	t.Helper()
+	out := map[string]*core.Workload{}
+	for _, m := range All() {
+		out[m.Name()] = m.Generate(cfg)
+	}
+	return out
+}
+
+func TestEveryModelProducesValidWorkloads(t *testing.T) {
+	for name, w := range generateAll(t) {
+		if len(w.Jobs) != cfg.Jobs {
+			t.Errorf("%s: %d jobs, want %d", name, len(w.Jobs), cfg.Jobs)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: invalid workload: %v", name, err)
+		}
+		for _, j := range w.Jobs {
+			if j.Size < 1 || j.Size > cfg.MaxNodes {
+				t.Fatalf("%s: job size %d out of range", name, j.Size)
+			}
+			if j.Runtime < 1 || j.Runtime > cfg.MaxRuntime && cfg.MaxRuntime > 0 {
+				t.Fatalf("%s: runtime %d out of range", name, j.Runtime)
+			}
+			if j.Estimate < j.Runtime {
+				t.Fatalf("%s: estimate below runtime", name)
+			}
+		}
+	}
+}
+
+func TestEveryModelRoundTripsThroughSWF(t *testing.T) {
+	for name, w := range generateAll(t) {
+		log := core.ToSWF(w)
+		if vs := swf.Errors(swf.Validate(log)); len(vs) != 0 {
+			t.Errorf("%s: SWF validation errors: %v (first of %d)", name, vs[0], len(vs))
+			continue
+		}
+		back, err := core.FromSWF(log)
+		if err != nil {
+			t.Errorf("%s: FromSWF: %v", name, err)
+			continue
+		}
+		if len(back.Jobs) != len(w.Jobs) {
+			t.Errorf("%s: job count changed in round trip", name)
+		}
+	}
+}
+
+func TestEveryModelHitsTargetLoad(t *testing.T) {
+	for name, w := range generateAll(t) {
+		got := w.OfferedLoad()
+		if math.Abs(got-cfg.Load)/cfg.Load > 0.35 {
+			t.Errorf("%s: offered load %v, target %v", name, got, cfg.Load)
+		}
+	}
+}
+
+func TestEveryModelDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		m1, _ := New(name)
+		m2, _ := New(name)
+		a := m1.Generate(cfg)
+		b := m2.Generate(cfg)
+		for i := range a.Jobs {
+			if a.Jobs[i].Submit != b.Jobs[i].Submit ||
+				a.Jobs[i].Size != b.Jobs[i].Size ||
+				a.Jobs[i].Runtime != b.Jobs[i].Runtime {
+				t.Errorf("%s: same-seed generation diverged at job %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestMeasurementModelsShowPow2Structure(t *testing.T) {
+	ws := generateAll(t)
+	for _, name := range []string{"feitelson96", "jann97", "lublin99"} {
+		if f := model.Pow2Fraction(ws[name]); f < 0.5 {
+			t.Errorf("%s: power-of-two fraction %v, want > 0.5", name, f)
+		}
+	}
+	// The naive baseline must NOT show this structure: on a 128-node
+	// machine only 8 of 128 sizes are powers of two.
+	if f := model.Pow2Fraction(ws["naive"]); f > 0.2 {
+		t.Errorf("naive: power-of-two fraction %v, want < 0.2", f)
+	}
+}
+
+func TestLublinSerialFraction(t *testing.T) {
+	ws := generateAll(t)
+	f := model.SerialFraction(ws["lublin99"])
+	if math.Abs(f-0.244) > 0.06 {
+		t.Errorf("lublin serial fraction = %v, want ~0.244", f)
+	}
+}
+
+func TestSizeRuntimeCorrelationSign(t *testing.T) {
+	ws := generateAll(t)
+	// Feitelson and Lublin encode positive size/runtime correlation.
+	for _, name := range []string{"feitelson96", "lublin99"} {
+		if c := model.SizeRuntimeCorrelation(ws[name]); c <= 0.02 {
+			t.Errorf("%s: size/runtime correlation %v, want positive", name, c)
+		}
+	}
+	// Naive has none by construction.
+	if c := model.SizeRuntimeCorrelation(ws["naive"]); math.Abs(c) > 0.08 {
+		t.Errorf("naive: correlation %v, want ~0", c)
+	}
+}
+
+func TestDowneyEmitsMoldableJobs(t *testing.T) {
+	m, _ := New("downey97")
+	w := m.Generate(cfg)
+	moldable := 0
+	for _, j := range w.Jobs {
+		if j.Class == core.Moldable {
+			moldable++
+			if j.Speedup == nil {
+				t.Fatal("moldable job without speedup model")
+			}
+			if j.MaxSize != cfg.MaxNodes || j.MinSize != 1 {
+				t.Fatalf("moldable bounds wrong: %+v", j)
+			}
+		}
+	}
+	if moldable != len(w.Jobs) {
+		t.Fatalf("%d/%d jobs moldable; Downey default should be all", moldable, len(w.Jobs))
+	}
+}
+
+func TestDowneyMoldableRuntimeScales(t *testing.T) {
+	m, _ := New("downey97")
+	w := m.Generate(model.Config{MaxNodes: 128, Jobs: 200, Seed: 9, Load: 0.5})
+	checked := 0
+	for _, j := range w.Jobs {
+		if j.Size >= 4 {
+			half := j.RuntimeOn(j.Size / 2)
+			if half < j.Runtime {
+				t.Fatalf("halving processors should not speed up job: %d -> %d", j.Runtime, half)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no jobs large enough to check")
+	}
+}
+
+func TestRuntimeDistributionsDiffer(t *testing.T) {
+	// Sanity: the models should be distinguishable — K-S distance
+	// between naive and lublin runtimes must be substantial.
+	ws := generateAll(t)
+	_, _, rtNaive := model.Marginals(ws["naive"])
+	_, _, rtLublin := model.Marginals(ws["lublin99"])
+	if d := stats.KSStatistic(rtNaive, rtLublin); d < 0.15 {
+		t.Errorf("naive vs lublin runtime K-S = %v, expected clear separation", d)
+	}
+}
+
+func TestFeitelsonRepetition(t *testing.T) {
+	m, _ := New("feitelson96")
+	w := m.Generate(model.Config{MaxNodes: 128, Jobs: 2000, Seed: 13, Load: 0.6})
+	// Count consecutive identical (size, runtime) pairs: the repetition
+	// mechanism should produce clearly more than chance.
+	repeats := 0
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Size == w.Jobs[i-1].Size && w.Jobs[i].Runtime == w.Jobs[i-1].Runtime {
+			repeats++
+		}
+	}
+	if repeats < 100 {
+		t.Errorf("only %d repeated jobs in 2000; repetition mechanism inert", repeats)
+	}
+}
+
+func TestJannBucketsRespectMachine(t *testing.T) {
+	m, _ := New("jann97")
+	small := m.Generate(model.Config{MaxNodes: 8, Jobs: 500, Seed: 17, Load: 0.5})
+	for _, j := range small.Jobs {
+		if j.Size > 8 {
+			t.Fatalf("size %d exceeds 8-node machine", j.Size)
+		}
+	}
+}

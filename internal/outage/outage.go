@@ -1,0 +1,449 @@
+// Package outage implements the standard outage-log format proposed in
+// Section 2.2 of Chapin et al. (JSSPP'99) as a companion to the standard
+// workload format: "A standard format for outage data should be created
+// to compliment the scheduling workload traces. The two datasets should
+// be keyed to each other."
+//
+// An outage file is an ASCII file with one line per outage, integers
+// only, semicolon comments, sharing the workload's time base (seconds
+// from log start). Each line carries exactly the information the paper
+// asks for: when the outage became known to the scheduler, when it
+// started and ended, its type, how many nodes were affected, and which
+// specific components went down.
+//
+// The package also provides generators for machine failures (sudden,
+// announced only at detection) and human-generated outages (scheduled
+// maintenance and dedicated time, announced in advance), plus an
+// availability timeline that schedulers consume.
+package outage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parsched/internal/stats"
+)
+
+// Type classifies an outage, following the paper's list: CPU failure,
+// network failure, facility, plus disk failure and the human-generated
+// categories (scheduled maintenance, dedicated time) the text discusses.
+type Type int64
+
+// Outage types. Values are part of the file format.
+const (
+	CPUFailure     Type = 1
+	NetworkFailure Type = 2
+	DiskFailure    Type = 3
+	Facility       Type = 4
+	Maintenance    Type = 5 // scheduled maintenance, announced in advance
+	Dedicated      Type = 6 // dedicated time, announced in advance
+)
+
+func (t Type) String() string {
+	switch t {
+	case CPUFailure:
+		return "cpu-failure"
+	case NetworkFailure:
+		return "network-failure"
+	case DiskFailure:
+		return "disk-failure"
+	case Facility:
+		return "facility"
+	case Maintenance:
+		return "maintenance"
+	case Dedicated:
+		return "dedicated"
+	default:
+		return fmt.Sprintf("Type(%d)", int64(t))
+	}
+}
+
+// Planned reports whether outages of this type are known in advance
+// (human-generated outages) as opposed to detected at start (failures).
+func (t Type) Planned() bool { return t == Maintenance || t == Dedicated }
+
+// Record is one outage. Times are seconds on the workload's time base.
+type Record struct {
+	// ID is a counter starting from 1, in file order.
+	ID int64
+	// Announced is when the outage information became available to the
+	// scheduler. For scheduled outages this precedes Start; for failures
+	// it equals Start (the scheduler "suddenly detects that there were
+	// fewer nodes available").
+	Announced int64
+	// Start is when the outage actually occurred.
+	Start int64
+	// End is when the affected resources were again schedulable.
+	End int64
+	// Kind is the outage type.
+	Kind Type
+	// Nodes lists the specific affected components (node numbers,
+	// 0-based). Its length is the "number of nodes affected" field.
+	Nodes []int64
+}
+
+// Duration returns End-Start.
+func (r Record) Duration() int64 { return r.End - r.Start }
+
+// LeadTime returns Start-Announced: how much warning the scheduler had.
+func (r Record) LeadTime() int64 { return r.Start - r.Announced }
+
+// String renders the record as a standard outage line:
+//
+//	id announced start end type count node1 ... nodeN
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %d %d %d %d %d", r.ID, r.Announced, r.Start, r.End, int64(r.Kind), len(r.Nodes))
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, " %d", n)
+	}
+	return b.String()
+}
+
+// ParseRecord parses one outage line.
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	fields := strings.Fields(line)
+	if len(fields) < 6 {
+		return r, fmt.Errorf("outage: record has %d fields, want at least 6", len(fields))
+	}
+	vals := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("outage: field %d %q: not an integer", i+1, f)
+		}
+		vals[i] = v
+	}
+	r.ID, r.Announced, r.Start, r.End, r.Kind = vals[0], vals[1], vals[2], vals[3], Type(vals[4])
+	count := vals[5]
+	if int64(len(fields)-6) != count {
+		return r, fmt.Errorf("outage: declared %d affected nodes but %d listed", count, len(fields)-6)
+	}
+	r.Nodes = vals[6:]
+	return r, nil
+}
+
+// Log is a parsed outage file.
+type Log struct {
+	// Comments preserves header comment lines (without the semicolon).
+	Comments []string
+	Records  []Record
+}
+
+// Read parses an outage file.
+func Read(rd io.Reader) (*Log, error) {
+	log := &Log{}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			log.Comments = append(log.Comments, strings.TrimSpace(strings.TrimPrefix(line, ";")))
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		log.Records = append(log.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// Write serializes the log.
+func Write(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range log.Comments {
+		if _, err := fmt.Fprintf(bw, ";%s\n", c); err != nil {
+			return err
+		}
+	}
+	for _, r := range log.Records {
+		if _, err := fmt.Fprintln(bw, r.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Validate checks internal consistency: IDs sequential from 1, start
+// before end, announcement no later than start, sorted by start time,
+// node numbers within [0, maxNodes) when maxNodes > 0.
+func Validate(log *Log, maxNodes int64) []error {
+	var errs []error
+	var prevStart int64
+	for i, r := range log.Records {
+		if r.ID != int64(i+1) {
+			errs = append(errs, fmt.Errorf("record %d: ID %d, want %d", i+1, r.ID, i+1))
+		}
+		if r.End < r.Start {
+			errs = append(errs, fmt.Errorf("record %d: end %d before start %d", i+1, r.End, r.Start))
+		}
+		if r.Announced > r.Start {
+			errs = append(errs, fmt.Errorf("record %d: announced %d after start %d", i+1, r.Announced, r.Start))
+		}
+		if r.Start < prevStart {
+			errs = append(errs, fmt.Errorf("record %d: not sorted by start time", i+1))
+		}
+		prevStart = r.Start
+		if len(r.Nodes) == 0 {
+			errs = append(errs, fmt.Errorf("record %d: no affected components listed", i+1))
+		}
+		seen := map[int64]bool{}
+		for _, n := range r.Nodes {
+			if maxNodes > 0 && (n < 0 || n >= maxNodes) {
+				errs = append(errs, fmt.Errorf("record %d: node %d outside [0,%d)", i+1, n, maxNodes))
+			}
+			if seen[n] {
+				errs = append(errs, fmt.Errorf("record %d: node %d listed twice", i+1, n))
+			}
+			seen[n] = true
+		}
+		if !r.Kind.Planned() && r.Announced != r.Start {
+			errs = append(errs, fmt.Errorf("record %d: failure outage announced before start", i+1))
+		}
+	}
+	return errs
+}
+
+// GeneratorConfig drives synthetic outage generation.
+type GeneratorConfig struct {
+	Nodes   int64 // cluster size
+	Horizon int64 // seconds of log to cover
+
+	// Failures: each node fails independently; inter-failure times on
+	// the machine are drawn from MTBF (seconds), repair times from
+	// Repair. FailureNodes bounds how many nodes one failure takes down
+	// (1 = independent node crash; larger models switch/rack failures).
+	MTBF         stats.Dist
+	Repair       stats.Dist
+	FailureNodes stats.Dist // >= 1; clamped to cluster size
+
+	// Scheduled maintenance: a whole-machine outage every
+	// MaintenanceEvery seconds lasting MaintenanceLength seconds,
+	// announced MaintenanceLead seconds in advance. Zero disables.
+	MaintenanceEvery  int64
+	MaintenanceLength int64
+	MaintenanceLead   int64
+}
+
+// Generate produces an outage log under cfg using the given seed.
+// Failures are announced at their start time; maintenance windows are
+// announced MaintenanceLead in advance, as the paper's field list
+// requires ("was it known in advance, or did the scheduler suddenly
+// detect that there were fewer nodes available?").
+func Generate(cfg GeneratorConfig, seed int64) *Log {
+	rng := stats.NewRNG(seed)
+	log := &Log{Comments: []string{
+		"parsched synthetic outage log",
+		fmt.Sprintf("Nodes: %d", cfg.Nodes),
+		fmt.Sprintf("Horizon: %d", cfg.Horizon),
+	}}
+
+	var recs []Record
+
+	// Failures.
+	if cfg.MTBF != nil && cfg.Repair != nil {
+		t := int64(0)
+		for {
+			gap := int64(cfg.MTBF.Sample(rng))
+			if gap < 1 {
+				gap = 1
+			}
+			t += gap
+			if t >= cfg.Horizon {
+				break
+			}
+			dur := int64(cfg.Repair.Sample(rng))
+			if dur < 1 {
+				dur = 1
+			}
+			n := int64(1)
+			if cfg.FailureNodes != nil {
+				n = int64(cfg.FailureNodes.Sample(rng))
+			}
+			if n < 1 {
+				n = 1
+			}
+			if n > cfg.Nodes {
+				n = cfg.Nodes
+			}
+			kind := CPUFailure
+			switch {
+			case n >= cfg.Nodes:
+				kind = Facility
+			case n > 1:
+				kind = NetworkFailure
+			}
+			nodes := pickNodes(rng, cfg.Nodes, n)
+			end := t + dur
+			if end > cfg.Horizon {
+				end = cfg.Horizon
+			}
+			recs = append(recs, Record{
+				Announced: t, Start: t, End: end, Kind: kind, Nodes: nodes,
+			})
+		}
+	}
+
+	// Scheduled maintenance.
+	if cfg.MaintenanceEvery > 0 && cfg.MaintenanceLength > 0 {
+		for t := cfg.MaintenanceEvery; t < cfg.Horizon; t += cfg.MaintenanceEvery {
+			ann := t - cfg.MaintenanceLead
+			if ann < 0 {
+				ann = 0
+			}
+			all := make([]int64, cfg.Nodes)
+			for i := range all {
+				all[i] = int64(i)
+			}
+			end := t + cfg.MaintenanceLength
+			if end > cfg.Horizon {
+				end = cfg.Horizon
+			}
+			recs = append(recs, Record{
+				Announced: ann, Start: t, End: end, Kind: Maintenance, Nodes: all,
+			})
+		}
+	}
+
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	for i := range recs {
+		recs[i].ID = int64(i + 1)
+	}
+	log.Records = recs
+	return log
+}
+
+// pickNodes selects n distinct node numbers out of total.
+func pickNodes(rng *stats.RNG, total, n int64) []int64 {
+	perm := rng.Perm(int(total))
+	nodes := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		nodes[i] = int64(perm[i])
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// Event is a change in node availability derived from an outage log.
+type Event struct {
+	Time  int64
+	Node  int64
+	Down  bool  // true = node goes down, false = node restored
+	Kind  Type  // outage type responsible
+	Known int64 // announcement time of the responsible outage
+}
+
+// Events flattens a log into per-node down/up events sorted by time
+// (down events before up events at the same instant, so that a
+// back-to-back outage keeps the node down).
+func Events(log *Log) []Event {
+	var evs []Event
+	for _, r := range log.Records {
+		for _, n := range r.Nodes {
+			evs = append(evs, Event{Time: r.Start, Node: n, Down: true, Kind: r.Kind, Known: r.Announced})
+			evs = append(evs, Event{Time: r.End, Node: n, Down: false, Kind: r.Kind, Known: r.Announced})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].Down && !evs[j].Down
+	})
+	return evs
+}
+
+// Timeline answers availability queries against an outage log. Nodes may
+// appear in overlapping outages; a node is up only when no outage covers
+// it.
+type Timeline struct {
+	nodes   int64
+	records []Record
+}
+
+// NewTimeline builds a timeline for a cluster of the given size.
+func NewTimeline(log *Log, nodes int64) *Timeline {
+	return &Timeline{nodes: nodes, records: append([]Record(nil), log.Records...)}
+}
+
+// DownAt returns the set of nodes that are down at time t.
+func (tl *Timeline) DownAt(t int64) map[int64]bool {
+	down := map[int64]bool{}
+	for _, r := range tl.records {
+		if r.Start <= t && t < r.End {
+			for _, n := range r.Nodes {
+				down[n] = true
+			}
+		}
+	}
+	return down
+}
+
+// AvailableAt returns how many nodes are up at time t.
+func (tl *Timeline) AvailableAt(t int64) int64 {
+	return tl.nodes - int64(len(tl.DownAt(t)))
+}
+
+// MachineAvailability integrates node-seconds of availability over
+// [0,horizon) and returns the fraction of total node-seconds available.
+func (tl *Timeline) MachineAvailability(horizon int64) float64 {
+	if horizon <= 0 || tl.nodes == 0 {
+		return 1
+	}
+	var downSeconds int64
+	for n := int64(0); n < tl.nodes; n++ {
+		downSeconds += tl.nodeDownSeconds(n, horizon)
+	}
+	total := tl.nodes * horizon
+	return 1 - float64(downSeconds)/float64(total)
+}
+
+// nodeDownSeconds merges this node's outage intervals over [0,horizon).
+func (tl *Timeline) nodeDownSeconds(node, horizon int64) int64 {
+	type iv struct{ s, e int64 }
+	var ivs []iv
+	for _, r := range tl.records {
+		for _, n := range r.Nodes {
+			if n == node {
+				s, e := r.Start, r.End
+				if s < 0 {
+					s = 0
+				}
+				if e > horizon {
+					e = horizon
+				}
+				if e > s {
+					ivs = append(ivs, iv{s, e})
+				}
+			}
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var total, end int64
+	end = -1
+	for _, v := range ivs {
+		if v.s > end {
+			total += v.e - v.s
+			end = v.e
+		} else if v.e > end {
+			total += v.e - end
+			end = v.e
+		}
+	}
+	return total
+}

@@ -1,0 +1,278 @@
+package outage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parsched/internal/stats"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{ID: 1, Announced: 100, Start: 200, End: 300, Kind: Maintenance,
+		Nodes: []int64{0, 1, 5}}
+	parsed, err := ParseRecord(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ID != 1 || parsed.Kind != Maintenance || len(parsed.Nodes) != 3 {
+		t.Fatalf("round trip lost data: %+v", parsed)
+	}
+	if parsed.Nodes[2] != 5 {
+		t.Fatalf("nodes wrong: %v", parsed.Nodes)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	if _, err := ParseRecord("1 2 3"); err == nil {
+		t.Fatal("short line should fail")
+	}
+	if _, err := ParseRecord("1 0 0 10 1 2 7"); err == nil {
+		t.Fatal("node count mismatch should fail")
+	}
+	if _, err := ParseRecord("1 0 0 10 1 one 7"); err == nil {
+		t.Fatal("non-integer should fail")
+	}
+}
+
+func TestLogReadWrite(t *testing.T) {
+	log := &Log{
+		Comments: []string{"test log"},
+		Records: []Record{
+			{ID: 1, Announced: 0, Start: 0, End: 50, Kind: CPUFailure, Nodes: []int64{3}},
+			{ID: 2, Announced: 60, Start: 100, End: 200, Kind: Maintenance, Nodes: []int64{0, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 || len(back.Comments) != 1 {
+		t.Fatalf("round trip wrong: %+v", back)
+	}
+	if back.Records[1].Kind != Maintenance || back.Records[1].LeadTime() != 40 {
+		t.Fatalf("record 2 wrong: %+v", back.Records[1])
+	}
+}
+
+func TestReadBadLine(t *testing.T) {
+	if _, err := Read(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	log := &Log{Records: []Record{
+		{ID: 1, Announced: 0, Start: 0, End: 10, Kind: CPUFailure, Nodes: []int64{1}},
+		{ID: 2, Announced: 5, Start: 20, End: 30, Kind: Maintenance, Nodes: []int64{0, 1}},
+	}}
+	if errs := Validate(log, 4); len(errs) != 0 {
+		t.Fatalf("clean log flagged: %v", errs)
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	cases := []struct {
+		name string
+		log  *Log
+	}{
+		{"bad-id", &Log{Records: []Record{{ID: 7, Start: 0, End: 1, Kind: CPUFailure, Nodes: []int64{0}}}}},
+		{"end-before-start", &Log{Records: []Record{{ID: 1, Start: 10, End: 5, Announced: 10, Kind: CPUFailure, Nodes: []int64{0}}}}},
+		{"announce-after-start", &Log{Records: []Record{{ID: 1, Announced: 20, Start: 10, End: 30, Kind: Maintenance, Nodes: []int64{0}}}}},
+		{"no-nodes", &Log{Records: []Record{{ID: 1, Start: 0, End: 1, Kind: CPUFailure}}}},
+		{"node-out-of-range", &Log{Records: []Record{{ID: 1, Start: 0, End: 1, Kind: CPUFailure, Nodes: []int64{99}}}}},
+		{"dup-node", &Log{Records: []Record{{ID: 1, Start: 0, End: 1, Kind: CPUFailure, Nodes: []int64{2, 2}}}}},
+		{"failure-preannounced", &Log{Records: []Record{{ID: 1, Announced: 0, Start: 5, End: 6, Kind: CPUFailure, Nodes: []int64{0}}}}},
+		{"unsorted", &Log{Records: []Record{
+			{ID: 1, Announced: 100, Start: 100, End: 110, Kind: CPUFailure, Nodes: []int64{0}},
+			{ID: 2, Announced: 5, Start: 5, End: 10, Kind: CPUFailure, Nodes: []int64{1}},
+		}}},
+	}
+	for _, c := range cases {
+		if errs := Validate(c.log, 8); len(errs) == 0 {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestGenerateFailures(t *testing.T) {
+	cfg := GeneratorConfig{
+		Nodes:   64,
+		Horizon: 30 * 86400,
+		MTBF:    stats.Exponential{Lambda: 1.0 / 86400}, // ~1/day
+		Repair:  stats.Constant{C: 3600},
+	}
+	log := Generate(cfg, 1)
+	if len(log.Records) < 10 {
+		t.Fatalf("expected ~30 failures, got %d", len(log.Records))
+	}
+	if errs := Validate(log, 64); len(errs) != 0 {
+		t.Fatalf("generated log invalid: %v", errs)
+	}
+	for _, r := range log.Records {
+		if r.Kind.Planned() {
+			t.Fatal("failure-only config produced planned outage")
+		}
+		if r.Announced != r.Start {
+			t.Fatal("failures must be announced at start")
+		}
+	}
+}
+
+func TestGenerateMaintenance(t *testing.T) {
+	cfg := GeneratorConfig{
+		Nodes:             16,
+		Horizon:           14 * 86400,
+		MaintenanceEvery:  7 * 86400,
+		MaintenanceLength: 4 * 3600,
+		MaintenanceLead:   86400,
+	}
+	log := Generate(cfg, 2)
+	if len(log.Records) != 1 {
+		t.Fatalf("expected 1 maintenance window inside horizon, got %d", len(log.Records))
+	}
+	r := log.Records[0]
+	if r.Kind != Maintenance || r.LeadTime() != 86400 || len(r.Nodes) != 16 {
+		t.Fatalf("maintenance record wrong: %+v", r)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := GeneratorConfig{
+		Nodes: 32, Horizon: 10 * 86400,
+		MTBF:   stats.Exponential{Lambda: 1.0 / 43200},
+		Repair: stats.LogNormal{Mu: 8, Sigma: 0.5},
+	}
+	a := Generate(cfg, 7)
+	b := Generate(cfg, 7)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different record count")
+	}
+	for i := range a.Records {
+		if a.Records[i].String() != b.Records[i].String() {
+			t.Fatalf("record %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateMultiNodeFailures(t *testing.T) {
+	cfg := GeneratorConfig{
+		Nodes: 32, Horizon: 20 * 86400,
+		MTBF:         stats.Exponential{Lambda: 1.0 / 86400},
+		Repair:       stats.Constant{C: 1800},
+		FailureNodes: stats.Constant{C: 4},
+	}
+	log := Generate(cfg, 3)
+	for _, r := range log.Records {
+		if len(r.Nodes) != 4 {
+			t.Fatalf("expected 4-node failures, got %d", len(r.Nodes))
+		}
+		if r.Kind != NetworkFailure {
+			t.Fatalf("multi-node partial failure should be network type, got %v", r.Kind)
+		}
+	}
+}
+
+func TestEventsOrdering(t *testing.T) {
+	log := &Log{Records: []Record{
+		{ID: 1, Start: 10, End: 20, Kind: CPUFailure, Announced: 10, Nodes: []int64{1}},
+		{ID: 2, Start: 20, End: 30, Kind: CPUFailure, Announced: 20, Nodes: []int64{1}},
+	}}
+	evs := Events(log)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	// At t=20 the down event of outage 2 must precede the up of outage 1.
+	if evs[1].Time != 20 || !evs[1].Down {
+		t.Fatalf("tie-breaking wrong: %+v", evs)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	log := &Log{Records: []Record{
+		{ID: 1, Start: 10, End: 20, Kind: CPUFailure, Announced: 10, Nodes: []int64{0, 1}},
+		{ID: 2, Start: 15, End: 25, Kind: CPUFailure, Announced: 15, Nodes: []int64{1, 2}},
+	}}
+	tl := NewTimeline(log, 8)
+	if got := tl.AvailableAt(5); got != 8 {
+		t.Fatalf("AvailableAt(5) = %d", got)
+	}
+	if got := tl.AvailableAt(17); got != 5 { // nodes 0,1,2 down
+		t.Fatalf("AvailableAt(17) = %d", got)
+	}
+	if got := tl.AvailableAt(22); got != 6 { // nodes 1,2 down
+		t.Fatalf("AvailableAt(22) = %d", got)
+	}
+	if got := tl.AvailableAt(30); got != 8 {
+		t.Fatalf("AvailableAt(30) = %d", got)
+	}
+}
+
+func TestMachineAvailability(t *testing.T) {
+	// One node down for half the horizon out of 2 nodes -> 75%.
+	log := &Log{Records: []Record{
+		{ID: 1, Start: 0, End: 50, Kind: CPUFailure, Announced: 0, Nodes: []int64{0}},
+	}}
+	tl := NewTimeline(log, 2)
+	if got := tl.MachineAvailability(100); got != 0.75 {
+		t.Fatalf("availability = %v, want 0.75", got)
+	}
+}
+
+func TestMachineAvailabilityOverlap(t *testing.T) {
+	// Overlapping outages on the same node must not double count.
+	log := &Log{Records: []Record{
+		{ID: 1, Start: 0, End: 60, Kind: CPUFailure, Announced: 0, Nodes: []int64{0}},
+		{ID: 2, Start: 30, End: 80, Kind: DiskFailure, Announced: 30, Nodes: []int64{0}},
+	}}
+	tl := NewTimeline(log, 1)
+	if got := tl.MachineAvailability(100); got < 0.2-1e-9 || got > 0.2+1e-9 {
+		t.Fatalf("availability = %v, want 0.2 (80 of 100 seconds down)", got)
+	}
+}
+
+func TestAvailabilityProperty(t *testing.T) {
+	// Property: availability is always within [0,1] and decreases as
+	// outages are added.
+	f := func(seed int64) bool {
+		cfg := GeneratorConfig{
+			Nodes: 16, Horizon: 86400,
+			MTBF:   stats.Exponential{Lambda: 1.0 / 7200},
+			Repair: stats.Constant{C: 1200},
+		}
+		log := Generate(cfg, seed)
+		tl := NewTimeline(log, 16)
+		a := tl.MachineAvailability(86400)
+		if a < 0 || a > 1 {
+			return false
+		}
+		// Adding one more whole-machine outage cannot raise availability.
+		all := make([]int64, 16)
+		for i := range all {
+			all[i] = int64(i)
+		}
+		log2 := &Log{Records: append(append([]Record(nil), log.Records...), Record{
+			ID: int64(len(log.Records) + 1), Announced: 1000, Start: 1000,
+			End: 5000, Kind: Facility, Nodes: all,
+		})}
+		tl2 := NewTimeline(log2, 16)
+		return tl2.MachineAvailability(86400) <= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if CPUFailure.String() != "cpu-failure" || Type(99).String() == "" {
+		t.Fatal("type strings wrong")
+	}
+	if !Maintenance.Planned() || CPUFailure.Planned() {
+		t.Fatal("Planned() wrong")
+	}
+}

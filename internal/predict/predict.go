@@ -1,0 +1,235 @@
+// Package predict implements queue-wait-time predictors, the
+// information source Section 3.1 of the paper says meta-schedulers
+// need: "work on supercomputer queue time prediction [15,57,31] could
+// be used to provide this information. However, the results obtained
+// for queue time predictions are still relatively inaccurate."
+//
+// Three estimator families are provided, in increasing sophistication:
+// a recent-window mean, exponential smoothing, and the
+// category-template approach of Gibbons / Smith-Taylor-Foster (group
+// history by similar jobs, predict from the category's statistics).
+// An evaluator measures prediction error against simulation outcomes,
+// which is exactly experiment E7.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"parsched/internal/core"
+)
+
+// Predictor estimates how long a job will wait in a machine's queue.
+// Observe feeds back truth as jobs start; predictors are online
+// learners, mirroring how the cited systems retrain on history.
+type Predictor interface {
+	Name() string
+	// Predict returns the predicted wait in seconds for job j arriving
+	// now. Cold-start predictors return their prior (usually 0).
+	Predict(j *core.Job, now int64) int64
+	// Observe records an actual outcome: job j waited wait seconds.
+	Observe(j *core.Job, wait int64)
+}
+
+// Zero always predicts zero wait — the "no information" baseline a
+// meta-scheduler without prediction effectively uses.
+type Zero struct{}
+
+// Name implements Predictor.
+func (Zero) Name() string { return "zero" }
+
+// Predict implements Predictor.
+func (Zero) Predict(*core.Job, int64) int64 { return 0 }
+
+// Observe implements Predictor.
+func (Zero) Observe(*core.Job, int64) {}
+
+// Recent predicts the mean of the last N observed waits, regardless of
+// job attributes.
+type Recent struct {
+	N      int
+	window []int64
+}
+
+// NewRecent returns a sliding-window predictor over n observations.
+func NewRecent(n int) *Recent {
+	if n < 1 {
+		n = 1
+	}
+	return &Recent{N: n}
+}
+
+// Name implements Predictor.
+func (r *Recent) Name() string { return fmt.Sprintf("recent%d", r.N) }
+
+// Predict implements Predictor.
+func (r *Recent) Predict(*core.Job, int64) int64 {
+	if len(r.window) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, w := range r.window {
+		sum += w
+	}
+	return sum / int64(len(r.window))
+}
+
+// Observe implements Predictor.
+func (r *Recent) Observe(_ *core.Job, wait int64) {
+	r.window = append(r.window, wait)
+	if len(r.window) > r.N {
+		r.window = r.window[1:]
+	}
+}
+
+// EWMA predicts an exponentially weighted moving average of waits.
+type EWMA struct {
+	Alpha float64
+	value float64
+	warm  bool
+}
+
+// NewEWMA returns an exponential-smoothing predictor (alpha in (0,1]).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{Alpha: alpha}
+}
+
+// Name implements Predictor.
+func (e *EWMA) Name() string { return fmt.Sprintf("ewma%.2g", e.Alpha) }
+
+// Predict implements Predictor.
+func (e *EWMA) Predict(*core.Job, int64) int64 {
+	return int64(e.value)
+}
+
+// Observe implements Predictor.
+func (e *EWMA) Observe(_ *core.Job, wait int64) {
+	if !e.warm {
+		e.value = float64(wait)
+		e.warm = true
+		return
+	}
+	e.value = e.Alpha*float64(wait) + (1-e.Alpha)*e.value
+}
+
+// Category groups jobs into templates by size class and estimate class
+// and keeps running mean waits per template — the historical-profiler
+// approach of Gibbons [31] and Smith et al. [57]. Jobs fall back on a
+// global mean until their category has data.
+type Category struct {
+	cats   map[string]*catStat
+	global catStat
+}
+
+type catStat struct {
+	n   int64
+	sum int64
+}
+
+func (c *catStat) mean() int64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / c.n
+}
+
+// NewCategory returns the category-template predictor.
+func NewCategory() *Category {
+	return &Category{cats: map[string]*catStat{}}
+}
+
+// Name implements Predictor.
+func (c *Category) Name() string { return "category" }
+
+// key buckets a job: size in powers of two, estimate in decades.
+func (c *Category) key(j *core.Job) string {
+	sizeBucket := 0
+	for s := j.Size; s > 1; s /= 2 {
+		sizeBucket++
+	}
+	est := j.EstimateOrRuntime()
+	estBucket := 0
+	for e := est; e >= 10; e /= 10 {
+		estBucket++
+	}
+	return fmt.Sprintf("s%d-e%d", sizeBucket, estBucket)
+}
+
+// Predict implements Predictor.
+func (c *Category) Predict(j *core.Job, _ int64) int64 {
+	if st, ok := c.cats[c.key(j)]; ok && st.n > 0 {
+		return st.mean()
+	}
+	return c.global.mean()
+}
+
+// Observe implements Predictor.
+func (c *Category) Observe(j *core.Job, wait int64) {
+	k := c.key(j)
+	st, ok := c.cats[k]
+	if !ok {
+		st = &catStat{}
+		c.cats[k] = st
+	}
+	st.n++
+	st.sum += wait
+	c.global.n++
+	c.global.sum += wait
+}
+
+// Evaluator accumulates prediction error as (prediction, truth) pairs
+// stream in chronologically.
+type Evaluator struct {
+	Predictor Predictor
+	n         int64
+	absErr    float64
+	sqErr     float64
+	meanTruth float64
+}
+
+// NewEvaluator wraps a predictor.
+func NewEvaluator(p Predictor) *Evaluator { return &Evaluator{Predictor: p} }
+
+// Feed predicts for the job, then reveals the truth and lets the
+// predictor learn. It returns the prediction made.
+func (ev *Evaluator) Feed(j *core.Job, now int64, actualWait int64) int64 {
+	pred := ev.Predictor.Predict(j, now)
+	ev.n++
+	d := float64(pred - actualWait)
+	ev.absErr += math.Abs(d)
+	ev.sqErr += d * d
+	ev.meanTruth += float64(actualWait)
+	ev.Predictor.Observe(j, actualWait)
+	return pred
+}
+
+// N returns how many pairs were fed.
+func (ev *Evaluator) N() int64 { return ev.n }
+
+// MAE is the mean absolute error in seconds.
+func (ev *Evaluator) MAE() float64 {
+	if ev.n == 0 {
+		return 0
+	}
+	return ev.absErr / float64(ev.n)
+}
+
+// RMSE is the root mean squared error in seconds.
+func (ev *Evaluator) RMSE() float64 {
+	if ev.n == 0 {
+		return 0
+	}
+	return math.Sqrt(ev.sqErr / float64(ev.n))
+}
+
+// NormalizedMAE is MAE divided by the mean actual wait — the relative
+// inaccuracy figure the paper's Section 3.1 complains about.
+func (ev *Evaluator) NormalizedMAE() float64 {
+	if ev.n == 0 || ev.meanTruth == 0 {
+		return 0
+	}
+	return ev.absErr / ev.meanTruth
+}

@@ -1,0 +1,145 @@
+package predict
+
+import (
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+)
+
+func j(size int, est int64) *core.Job {
+	return &core.Job{ID: 1, Size: size, Runtime: est, Estimate: est, User: 1}
+}
+
+func TestZero(t *testing.T) {
+	var p Zero
+	if p.Predict(j(4, 100), 0) != 0 {
+		t.Fatal("zero predictor must predict 0")
+	}
+	p.Observe(j(4, 100), 500) // no-op, no panic
+}
+
+func TestRecentWindow(t *testing.T) {
+	p := NewRecent(3)
+	if p.Predict(j(1, 10), 0) != 0 {
+		t.Fatal("cold start should predict 0")
+	}
+	p.Observe(j(1, 10), 100)
+	p.Observe(j(1, 10), 200)
+	if got := p.Predict(j(1, 10), 0); got != 150 {
+		t.Fatalf("predict = %d, want 150", got)
+	}
+	p.Observe(j(1, 10), 300)
+	p.Observe(j(1, 10), 400) // pushes 100 out
+	if got := p.Predict(j(1, 10), 0); got != 300 {
+		t.Fatalf("predict = %d, want 300", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	p := NewEWMA(0.5)
+	p.Observe(nil, 100)
+	if p.Predict(nil, 0) != 100 {
+		t.Fatal("first observation should seed the average")
+	}
+	p.Observe(nil, 200)
+	if p.Predict(nil, 0) != 150 {
+		t.Fatalf("predict = %d, want 150", p.Predict(nil, 0))
+	}
+}
+
+func TestEWMABadAlphaDefaults(t *testing.T) {
+	if NewEWMA(-1).Alpha != 0.2 || NewEWMA(2).Alpha != 0.2 {
+		t.Fatal("invalid alpha should default")
+	}
+}
+
+func TestCategorySeparatesClasses(t *testing.T) {
+	p := NewCategory()
+	small, big := j(1, 60), j(64, 36000)
+	p.Observe(small, 10)
+	p.Observe(big, 10000)
+	if got := p.Predict(small, 0); got != 10 {
+		t.Fatalf("small predict = %d", got)
+	}
+	if got := p.Predict(big, 0); got != 10000 {
+		t.Fatalf("big predict = %d", got)
+	}
+	// Unknown category falls back on global mean.
+	mid := j(8, 600)
+	if got := p.Predict(mid, 0); got != (10+10000)/2 {
+		t.Fatalf("fallback predict = %d", got)
+	}
+}
+
+func TestEvaluatorErrorAccounting(t *testing.T) {
+	ev := NewEvaluator(NewRecent(10))
+	ev.Feed(j(1, 10), 0, 100) // predicted 0, truth 100: |err| 100
+	ev.Feed(j(1, 10), 1, 100) // predicted 100, truth 100: err 0
+	if ev.N() != 2 {
+		t.Fatalf("n = %d", ev.N())
+	}
+	if ev.MAE() != 50 {
+		t.Fatalf("MAE = %v", ev.MAE())
+	}
+	if ev.RMSE() <= ev.MAE() {
+		t.Fatalf("RMSE %v should exceed MAE %v here", ev.RMSE(), ev.MAE())
+	}
+	if ev.NormalizedMAE() != 0.5 {
+		t.Fatalf("NMAE = %v", ev.NormalizedMAE())
+	}
+}
+
+// TestPredictorsOnRealTrace runs a simulation and checks the learned
+// predictors beat the zero baseline on a loaded machine.
+func TestPredictorsOnRealTrace(t *testing.T) {
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 1200, Seed: 21, Load: 0.95, EstimateFactor: 1,
+	})
+	res, err := sim.Run(w, sched.NewEASY(), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalFor := func(p Predictor) *Evaluator {
+		ev := NewEvaluator(p)
+		jobsByID := map[int64]*core.Job{}
+		for _, jb := range w.Jobs {
+			jobsByID[jb.ID] = jb
+		}
+		for _, o := range res.Outcomes {
+			if o.Start < 0 {
+				continue
+			}
+			ev.Feed(jobsByID[o.JobID], o.Submit, o.Wait())
+		}
+		return ev
+	}
+
+	zero := evalFor(Zero{})
+	recent := evalFor(NewRecent(25))
+	cat := evalFor(NewCategory())
+	if zero.N() < 1000 {
+		t.Fatalf("too few observations: %d", zero.N())
+	}
+	if zero.MAE() == 0 {
+		t.Skip("workload produced no waiting; cannot compare predictors")
+	}
+	if recent.MAE() >= zero.MAE() {
+		t.Errorf("recent-window MAE %v should beat zero %v", recent.MAE(), zero.MAE())
+	}
+	if cat.MAE() >= zero.MAE() {
+		t.Errorf("category MAE %v should beat zero %v", cat.MAE(), zero.MAE())
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	for _, p := range []Predictor{Zero{}, NewRecent(5), NewEWMA(0.3), NewCategory()} {
+		if p.Name() == "" {
+			t.Fatal("empty predictor name")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package sched
+
+import "parsched/internal/core"
+
+// EASY is aggressive backfilling as introduced on the Argonne SP-1
+// (EASY) and analyzed by Feitelson & Weil: jobs run FCFS, but when the
+// head of the queue cannot start, a reservation ("shadow time") is
+// computed for it from the running jobs' expected completions, and any
+// later job may start immediately if it does not delay that
+// reservation — either because it ends before the shadow time or
+// because it fits in the processors left over at the shadow time.
+//
+// The paper's Section 3 singles out backfilling as the scheduler family
+// that reservations for metacomputing extend ("A simple approach may be
+// an extension of backfilling"): with Windows=true, announced outages
+// and accepted reservations become capacity reductions in the shadow
+// computation, giving the reservation-aware/outage-aware variant.
+type EASY struct {
+	// Windows folds Outages() and Reservations() into the availability
+	// profile, making the scheduler drain for known capacity holes.
+	Windows bool
+
+	queue []*core.Job
+}
+
+// NewEASY returns plain EASY backfilling.
+func NewEASY() *EASY { return &EASY{} }
+
+// NewEASYWindows returns EASY that respects announced outages and
+// accepted advance reservations.
+func NewEASYWindows() *EASY { return &EASY{Windows: true} }
+
+// Name implements Scheduler.
+func (e *EASY) Name() string {
+	if e.Windows {
+		return "easy+win"
+	}
+	return "easy"
+}
+
+// Queued implements QueueReporter.
+func (e *EASY) Queued() []*core.Job { return append([]*core.Job(nil), e.queue...) }
+
+// OnSubmit implements Scheduler.
+func (e *EASY) OnSubmit(ctx Context, j *core.Job) {
+	e.queue = append(e.queue, j)
+	e.schedule(ctx)
+}
+
+// OnFinish implements Scheduler.
+func (e *EASY) OnFinish(ctx Context, _ *core.Job) { e.schedule(ctx) }
+
+// OnChange implements Scheduler.
+func (e *EASY) OnChange(ctx Context) { e.schedule(ctx) }
+
+// profile builds the availability profile EASY consults. Without
+// Windows, only running jobs count (classic EASY is oblivious to
+// outages it has not been told about).
+func (e *EASY) profile(ctx Context) *Profile {
+	if e.Windows {
+		return BuildProfile(ctx)
+	}
+	now := ctx.Now()
+	p := NewProfile(now, ctx.FreeProcs())
+	for _, r := range ctx.Running() {
+		p.Release(overdueClamp(now, r.ExpEnd), r.Size)
+	}
+	return p
+}
+
+func (e *EASY) schedule(ctx Context) {
+	now := ctx.Now()
+	// One profile per scheduling pass; job starts are mirrored into it
+	// with Take so it stays current without rebuilding (rebuilding per
+	// candidate makes window-heavy runs quadratic).
+	p := e.profile(ctx)
+
+	// Phase 1: start jobs FCFS from the head while they fit.
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if !e.canStartNow(ctx, p, head) {
+			break
+		}
+		ctx.Start(head, head.Size)
+		p.Take(now, now+ctx.Estimate(head), head.Size)
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) <= 1 {
+		return
+	}
+
+	// Phase 2: the head is blocked. Compute its reservation from the
+	// profile, then backfill later jobs that do not delay it.
+	head := e.queue[0]
+	shadow := p.EarliestFit(now, ctx.Estimate(head), head.Size)
+	if shadow < 0 {
+		// The head can never fit (bigger than the machine after
+		// failures); skip backfill gating against it.
+		shadow = maxFuture
+	}
+	// Processors left over for backfill at the shadow time.
+	extra := p.FreeAt(shadow) - head.Size
+
+	i := 1
+	for i < len(e.queue) {
+		j := e.queue[i]
+		if !e.canStartNow(ctx, p, j) {
+			i++
+			continue
+		}
+		est := ctx.Estimate(j)
+		fitsBefore := now+est <= shadow
+		fitsBeside := j.Size <= extra
+		if fitsBefore || fitsBeside {
+			ctx.Start(j, j.Size)
+			p.Take(now, now+est, j.Size)
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			if !fitsBefore {
+				extra -= j.Size
+			}
+			continue
+		}
+		i++
+	}
+}
+
+// canStartNow checks capacity plus, in Windows mode, that the job would
+// not collide with a future capacity hole it is required to respect.
+// p is the pass's working profile (already reflecting this pass's
+// starts).
+func (e *EASY) canStartNow(ctx Context, p *Profile, j *core.Job) bool {
+	if !ctx.CanStart(j, j.Size) {
+		return false
+	}
+	if !e.Windows {
+		return true
+	}
+	// The job must fit under the profile for its whole estimated
+	// duration starting now (otherwise it would collide with a window).
+	return p.EarliestFit(ctx.Now(), ctx.Estimate(j), j.Size) == ctx.Now()
+}
+
+const maxFuture = int64(1) << 60
+
+// Conservative is conservative backfilling: every queued job gets a
+// reservation, and a job may backfill only if it delays no earlier
+// reservation. This implementation rebuilds the full profile on every
+// event and walks the queue in arrival order, which reproduces the
+// algorithm's guarantee directly: job i's start never trails the
+// estimate-based promise made at its submittal.
+type Conservative struct {
+	// Windows folds outages/reservations into the profile.
+	Windows bool
+
+	queue []*core.Job
+}
+
+// NewConservative returns conservative backfilling.
+func NewConservative() *Conservative { return &Conservative{} }
+
+// NewConservativeWindows returns the outage/reservation-aware variant.
+func NewConservativeWindows() *Conservative { return &Conservative{Windows: true} }
+
+// Name implements Scheduler.
+func (c *Conservative) Name() string {
+	if c.Windows {
+		return "cons+win"
+	}
+	return "cons"
+}
+
+// Queued implements QueueReporter.
+func (c *Conservative) Queued() []*core.Job { return append([]*core.Job(nil), c.queue...) }
+
+// OnSubmit implements Scheduler.
+func (c *Conservative) OnSubmit(ctx Context, j *core.Job) {
+	c.queue = append(c.queue, j)
+	c.schedule(ctx)
+}
+
+// OnFinish implements Scheduler.
+func (c *Conservative) OnFinish(ctx Context, _ *core.Job) { c.schedule(ctx) }
+
+// OnChange implements Scheduler.
+func (c *Conservative) OnChange(ctx Context) { c.schedule(ctx) }
+
+func (c *Conservative) schedule(ctx Context) {
+	now := ctx.Now()
+	var p *Profile
+	if c.Windows {
+		p = BuildProfile(ctx)
+	} else {
+		p = NewProfile(now, ctx.FreeProcs())
+		for _, r := range ctx.Running() {
+			p.Release(overdueClamp(now, r.ExpEnd), r.Size)
+		}
+	}
+
+	kept := c.queue[:0]
+	for _, j := range c.queue {
+		est := ctx.Estimate(j)
+		start := p.EarliestFit(now, est, j.Size)
+		if start == now && ctx.CanStart(j, j.Size) {
+			ctx.Start(j, j.Size)
+			// Its processors are busy until its expected end; reflect
+			// that for the jobs behind it.
+			p.Take(now, now+est, j.Size)
+			continue
+		}
+		if start < 0 {
+			// Larger than the (possibly degraded) machine: hold it.
+			kept = append(kept, j)
+			continue
+		}
+		// Reserve: later jobs must not delay this one.
+		p.Take(start, start+est, j.Size)
+		kept = append(kept, j)
+	}
+	c.queue = kept
+}

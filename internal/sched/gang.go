@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"sort"
+
+	"parsched/internal/core"
+)
+
+// Gang is a gang scheduler with an Ousterhout matrix: the machine's
+// processors are time-sliced across up to Slots rows; all processes of
+// a job occupy one row (coscheduled), and rows execute round-robin.
+// A job assigned to a matrix with k occupied rows runs at rate 1/k.
+//
+// The paper discusses gang scheduling both as the space/time-slicing
+// comparison in the sigmetrics community (Section 2.2) and as the
+// intellectual ancestor of co-allocation ("similar to the idea of gang
+// scheduling on parallel machines [21]"). The event-driven simulation
+// abstracts quantum rotation by execution rates, which is exact in the
+// limit of quanta much shorter than runtimes.
+type Gang struct {
+	// Slots is the maximum multiprogramming level (matrix rows).
+	Slots int
+	// CtxPenalty is an optional per-rate-change overhead knob kept at
+	// zero by default (rates already capture slice sharing).
+	CtxPenalty float64
+
+	rows  []*gangRow
+	queue []*core.Job
+}
+
+type gangRow struct {
+	used int
+	jobs []*core.Job
+}
+
+// NewGang returns a gang scheduler with the given multiprogramming
+// level (a typical value is 2–5 rows).
+func NewGang(slots int) *Gang {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Gang{Slots: slots}
+}
+
+// Name implements Scheduler.
+func (g *Gang) Name() string { return "gang" }
+
+// Queued implements QueueReporter.
+func (g *Gang) Queued() []*core.Job { return append([]*core.Job(nil), g.queue...) }
+
+// OnSubmit implements Scheduler.
+func (g *Gang) OnSubmit(ctx Context, j *core.Job) {
+	g.queue = append(g.queue, j)
+	g.schedule(ctx)
+}
+
+// OnFinish implements Scheduler.
+func (g *Gang) OnFinish(ctx Context, j *core.Job) {
+	g.removeJob(j)
+	g.schedule(ctx)
+}
+
+// OnChange implements Scheduler.
+func (g *Gang) OnChange(ctx Context) { g.schedule(ctx) }
+
+func (g *Gang) removeJob(j *core.Job) {
+	for ri, row := range g.rows {
+		for k, jj := range row.jobs {
+			if jj.ID == j.ID {
+				row.jobs = append(row.jobs[:k], row.jobs[k+1:]...)
+				row.used -= j.Size
+				if len(row.jobs) == 0 {
+					g.rows = append(g.rows[:ri], g.rows[ri+1:]...)
+				}
+				return
+			}
+		}
+	}
+}
+
+// schedule packs queued jobs into rows (first fit, smallest-remaining
+// row first to reduce fragmentation), then rebalances rates.
+func (g *Gang) schedule(ctx Context) {
+	total := ctx.TotalProcs()
+	kept := g.queue[:0]
+	for _, j := range g.queue {
+		if j.Size > total {
+			kept = append(kept, j) // cannot fit at all right now
+			continue
+		}
+		row := g.pickRow(j.Size, total)
+		if row == nil {
+			kept = append(kept, j)
+			continue
+		}
+		row.jobs = append(row.jobs, j)
+		row.used += j.Size
+		ctx.StartShared(j, 0) // rate set by rebalance below
+	}
+	g.queue = kept
+	g.rebalance(ctx)
+}
+
+// pickRow returns the fullest row with room for size procs, or a new
+// row if allowed.
+func (g *Gang) pickRow(size, total int) *gangRow {
+	var best *gangRow
+	for _, r := range g.rows {
+		if total-r.used >= size {
+			if best == nil || r.used > best.used {
+				best = r
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	if len(g.rows) < g.Slots {
+		r := &gangRow{}
+		g.rows = append(g.rows, r)
+		return r
+	}
+	return nil
+}
+
+// rebalance sets every running job's rate to 1/rows.
+func (g *Gang) rebalance(ctx Context) {
+	k := len(g.rows)
+	if k == 0 {
+		return
+	}
+	rate := 1 / float64(k)
+	// Deterministic order: by job ID.
+	var all []*core.Job
+	for _, r := range g.rows {
+		all = append(all, r.jobs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	for _, j := range all {
+		ctx.SetRate(j, rate)
+	}
+}
+
+// Rows reports the current multiprogramming level (for tests).
+func (g *Gang) Rows() int { return len(g.rows) }

@@ -1,0 +1,99 @@
+package sched
+
+import "parsched/internal/core"
+
+// MoldableEASY is EASY backfilling with moldable-job adaptation: when a
+// moldable job reaches the head of the queue and cannot start at its
+// requested size, the scheduler considers smaller power-of-two sizes
+// (down to MinSize) and starts the job immediately at the largest size
+// that fits, provided the resulting runtime still beats waiting for the
+// requested size. This is the machine-side half of the "machine
+// schedulers and application schedulers may cooperate" convergence the
+// paper anticipates (Section 1.2), with the speedup model standing in
+// for the application scheduler's knowledge.
+type MoldableEASY struct {
+	inner *EASY
+}
+
+// NewMoldableEASY returns the adapter.
+func NewMoldableEASY() *MoldableEASY { return &MoldableEASY{inner: NewEASY()} }
+
+// Name implements Scheduler.
+func (m *MoldableEASY) Name() string { return "easy+mold" }
+
+// Queued implements QueueReporter.
+func (m *MoldableEASY) Queued() []*core.Job { return m.inner.Queued() }
+
+// OnSubmit implements Scheduler.
+func (m *MoldableEASY) OnSubmit(ctx Context, j *core.Job) {
+	if j.Class == core.Moldable && j.Speedup != nil {
+		if size, ok := m.adaptSize(ctx, j); ok && size != j.Size {
+			// Molding happens once, at start: fix the size and scale
+			// the runtime before the job enters the queue; the job is
+			// rigid from here on (the definition of moldable).
+			j.Runtime = j.RuntimeOn(size)
+			if j.Estimate > 0 {
+				// Scale the estimate by the same factor, conservatively
+				// rounded up.
+				j.Estimate = scaleEstimate(j, size)
+			}
+			j.Size = size
+		}
+	}
+	m.inner.OnSubmit(ctx, j)
+}
+
+// OnFinish implements Scheduler.
+func (m *MoldableEASY) OnFinish(ctx Context, j *core.Job) { m.inner.OnFinish(ctx, j) }
+
+// OnChange implements Scheduler.
+func (m *MoldableEASY) OnChange(ctx Context) { m.inner.OnChange(ctx) }
+
+// adaptSize picks the size to start j at: if the requested size is free
+// right now, keep it. Otherwise try successively smaller powers of two
+// (>= MinSize): pick the largest that can start immediately and whose
+// runtime inflation is tolerable (runtime at the smaller size no more
+// than 4x the requested-size runtime).
+func (m *MoldableEASY) adaptSize(ctx Context, j *core.Job) (int, bool) {
+	if ctx.CanStart(j, j.Size) {
+		return j.Size, true
+	}
+	minSize := j.MinSize
+	if minSize < 1 {
+		minSize = 1
+	}
+	baseRT := j.RuntimeOn(j.Size)
+	for size := prevPow2(j.Size); size >= minSize; size /= 2 {
+		if !ctx.CanStart(j, size) {
+			continue
+		}
+		if j.RuntimeOn(size) <= 4*baseRT {
+			return size, true
+		}
+		break // even smaller sizes only get slower
+	}
+	return j.Size, false
+}
+
+// scaleEstimate scales the user estimate proportionally to the runtime
+// change caused by molding, never below the new runtime.
+func scaleEstimate(j *core.Job, newSize int) int64 {
+	newRT := j.RuntimeOn(newSize)
+	if j.Runtime <= 0 {
+		return newRT
+	}
+	est := j.Estimate * newRT / j.Runtime
+	if est < newRT {
+		est = newRT
+	}
+	return est
+}
+
+// prevPow2 returns the largest power of two strictly less than n (or 1).
+func prevPow2(n int) int {
+	p := 1
+	for p*2 < n {
+		p *= 2
+	}
+	return p
+}

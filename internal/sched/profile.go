@@ -1,0 +1,190 @@
+package sched
+
+import "sort"
+
+// Profile is a piecewise-constant availability profile: free processor
+// count as a function of future time. Backfilling schedulers build one
+// from the running jobs' expected completions (plus outage and
+// reservation windows) and query it for the earliest hole that fits a
+// job. This is the core data structure of conservative backfilling.
+type Profile struct {
+	// times[i] is the start of segment i; frees[i] is the free
+	// processor count on [times[i], times[i+1]). The last segment
+	// extends to infinity.
+	times []int64
+	frees []int
+}
+
+// NewProfile creates a profile that is flat at free processors from
+// time start onward.
+func NewProfile(start int64, free int) *Profile {
+	return &Profile{times: []int64{start}, frees: []int{free}}
+}
+
+// clone is used by tests.
+func (p *Profile) clone() *Profile {
+	return &Profile{
+		times: append([]int64(nil), p.times...),
+		frees: append([]int(nil), p.frees...),
+	}
+}
+
+// segmentAt returns the index of the segment containing t (t must be >=
+// p.times[0]).
+func (p *Profile) segmentAt(t int64) int {
+	// Find the last i with times[i] <= t.
+	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// split ensures a breakpoint exists at t and returns its index.
+func (p *Profile) split(t int64) int {
+	i := p.segmentAt(t)
+	if p.times[i] == t {
+		return i
+	}
+	// Insert after i.
+	p.times = append(p.times, 0)
+	p.frees = append(p.frees, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.frees[i+2:], p.frees[i+1:])
+	p.times[i+1] = t
+	p.frees[i+1] = p.frees[i]
+	return i + 1
+}
+
+// Take subtracts procs free processors over [start, end). Negative free
+// values are allowed transiently (they simply mean "no hole here").
+func (p *Profile) Take(start, end int64, procs int) {
+	if end <= start || procs == 0 {
+		return
+	}
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	if end <= p.times[0] {
+		return
+	}
+	si := p.split(start)
+	ei := p.split(end)
+	for i := si; i < ei; i++ {
+		p.frees[i] -= procs
+	}
+}
+
+// Release adds procs free processors from time `from` onward (a running
+// job's expected completion, or nodes returning after an outage).
+func (p *Profile) Release(from int64, procs int) {
+	if from < p.times[0] {
+		from = p.times[0]
+	}
+	i := p.split(from)
+	for k := i; k < len(p.frees); k++ {
+		p.frees[k] += procs
+	}
+}
+
+// FreeAt returns the free processor count at time t.
+func (p *Profile) FreeAt(t int64) int {
+	if t < p.times[0] {
+		t = p.times[0]
+	}
+	return p.frees[p.segmentAt(t)]
+}
+
+// EarliestFit returns the earliest time >= after at which procs
+// processors are continuously free for dur seconds.
+func (p *Profile) EarliestFit(after int64, dur int64, procs int) int64 {
+	if after < p.times[0] {
+		after = p.times[0]
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	// Candidate starts: `after` and every breakpoint beyond it.
+	cand := []int64{after}
+	for _, t := range p.times {
+		if t > after {
+			cand = append(cand, t)
+		}
+	}
+	for _, s := range cand {
+		if p.fits(s, s+dur, procs) {
+			return s
+		}
+	}
+	// The profile is flat after the last breakpoint; the last candidate
+	// always fits if capacity does at all. Guard against pathological
+	// negative tail capacity:
+	last := p.times[len(p.times)-1]
+	if p.frees[len(p.frees)-1] >= procs {
+		if last < after {
+			last = after
+		}
+		return last
+	}
+	return -1 // cannot ever fit (procs > machine)
+}
+
+// fits reports whether procs are free over the whole window [s, e).
+func (p *Profile) fits(s, e int64, procs int) bool {
+	si := p.segmentAt(s)
+	for i := si; i < len(p.times); i++ {
+		segStart := p.times[i]
+		if segStart >= e {
+			break
+		}
+		var segEnd int64
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		} else {
+			segEnd = e // last segment extends forever
+		}
+		if segEnd <= s {
+			continue
+		}
+		if p.frees[i] < procs {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildProfile constructs the availability profile seen by a backfiller:
+// current free capacity, plus the future releases of running jobs, minus
+// known outage and reservation windows. Overdue running jobs (ExpEnd in
+// the past) are treated as ending one second from now.
+func BuildProfile(ctx Context) *Profile {
+	now := ctx.Now()
+	p := NewProfile(now, ctx.FreeProcs())
+	for _, r := range ctx.Running() {
+		// The base profile (FreeProcs) already excludes the job's
+		// processors; they come back at the expected end.
+		p.Release(overdueClamp(now, r.ExpEnd), r.Size)
+	}
+	for _, w := range ctx.Outages() {
+		applyWindow(p, now, w)
+	}
+	for _, w := range ctx.Reservations() {
+		applyWindow(p, now, w)
+	}
+	return p
+}
+
+// applyWindow folds a capacity-reduction window into the profile. An
+// ongoing window's processors are already unavailable (excluded from
+// FreeProcs or held by the reservation's allocation) and simply return
+// at End; a future window subtracts capacity over its span.
+func applyWindow(p *Profile, now int64, w Window) {
+	if w.End <= now {
+		return
+	}
+	if w.Start <= now {
+		p.Release(w.End, w.Procs)
+		return
+	}
+	p.Take(w.Start, w.End, w.Procs)
+}

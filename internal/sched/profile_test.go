@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parsched/internal/stats"
+)
+
+func TestProfileFlat(t *testing.T) {
+	p := NewProfile(0, 16)
+	if p.FreeAt(0) != 16 || p.FreeAt(1000000) != 16 {
+		t.Fatal("flat profile wrong")
+	}
+	if s := p.EarliestFit(0, 100, 16); s != 0 {
+		t.Fatalf("fit = %d, want 0", s)
+	}
+	if s := p.EarliestFit(0, 100, 17); s != -1 {
+		t.Fatalf("oversized fit = %d, want -1", s)
+	}
+}
+
+func TestProfileTake(t *testing.T) {
+	p := NewProfile(0, 16)
+	p.Take(10, 20, 8)
+	if p.FreeAt(5) != 16 || p.FreeAt(10) != 8 || p.FreeAt(19) != 8 || p.FreeAt(20) != 16 {
+		t.Fatalf("take wrong: %v %v %v %v", p.FreeAt(5), p.FreeAt(10), p.FreeAt(19), p.FreeAt(20))
+	}
+}
+
+func TestProfileRelease(t *testing.T) {
+	p := NewProfile(0, 8)
+	p.Release(100, 8)
+	if p.FreeAt(50) != 8 || p.FreeAt(100) != 16 || p.FreeAt(1e9) != 16 {
+		t.Fatal("release wrong")
+	}
+}
+
+func TestProfileEarliestFitAroundHole(t *testing.T) {
+	p := NewProfile(0, 16)
+	p.Take(100, 200, 12) // only 4 free during [100,200)
+	// An 8-proc 50s job fits now.
+	if s := p.EarliestFit(0, 50, 8); s != 0 {
+		t.Fatalf("fit = %d", s)
+	}
+	// An 8-proc job needing 150s starting at 0 would overlap the hole.
+	if s := p.EarliestFit(0, 150, 8); s != 200 {
+		t.Fatalf("fit = %d, want 200", s)
+	}
+	// A 4-proc job fits right through the hole.
+	if s := p.EarliestFit(0, 500, 4); s != 0 {
+		t.Fatalf("small fit = %d, want 0", s)
+	}
+	// After = 120: a 50s 8-proc job must wait for 200.
+	if s := p.EarliestFit(120, 50, 8); s != 200 {
+		t.Fatalf("fit after 120 = %d, want 200", s)
+	}
+}
+
+func TestProfileAdjacentHoles(t *testing.T) {
+	p := NewProfile(0, 16)
+	p.Take(0, 100, 16)
+	p.Take(100, 200, 8)
+	if s := p.EarliestFit(0, 10, 8); s != 100 {
+		t.Fatalf("fit = %d, want 100", s)
+	}
+	if s := p.EarliestFit(0, 10, 9); s != 200 {
+		t.Fatalf("fit = %d, want 200", s)
+	}
+}
+
+func TestProfileNegativeTransient(t *testing.T) {
+	p := NewProfile(0, 4)
+	p.Take(10, 20, 8) // more than capacity: fine, just no hole
+	if p.FreeAt(15) != -4 {
+		t.Fatalf("free = %d, want -4", p.FreeAt(15))
+	}
+	if s := p.EarliestFit(0, 100, 1); s != 20 {
+		t.Fatalf("fit = %d, want 20", s)
+	}
+}
+
+func TestProfileFitProperty(t *testing.T) {
+	// Property: the returned start really is feasible, and no earlier
+	// breakpoint start is.
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		p := NewProfile(0, 64)
+		for i := 0; i < 10; i++ {
+			s := int64(rng.Intn(1000))
+			e := s + 1 + int64(rng.Intn(500))
+			p.Take(s, e, 1+rng.Intn(40))
+		}
+		dur := int64(1 + rng.Intn(300))
+		procs := 1 + rng.Intn(64)
+		start := p.EarliestFit(0, dur, procs)
+		if start < 0 {
+			return procs > 64
+		}
+		// Feasibility at the returned start.
+		if !p.fits(start, start+dur, procs) {
+			return false
+		}
+		// No earlier feasible candidate (check a grid).
+		for s := int64(0); s < start; s += 7 {
+			if p.fits(s, s+dur, procs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildProfileFromContext(t *testing.T) {
+	m := newMock(16)
+	// A running job: 8 procs until t=100.
+	m.free = 8
+	m.running = []RunningJob{{Job: job(1, 0, 8, 100), Size: 8, Start: 0, ExpEnd: 100}}
+	// A future outage takes 4 procs over [50, 150).
+	m.windows = []Window{{Start: 50, End: 150, Procs: 4}}
+	p := BuildProfile(m)
+	if p.FreeAt(0) != 8 {
+		t.Fatalf("free now = %d", p.FreeAt(0))
+	}
+	if p.FreeAt(60) != 4 {
+		t.Fatalf("free at 60 = %d", p.FreeAt(60))
+	}
+	if p.FreeAt(120) != 12 { // job back (+8), outage still on (-4)
+		t.Fatalf("free at 120 = %d", p.FreeAt(120))
+	}
+	if p.FreeAt(200) != 16 {
+		t.Fatalf("free at 200 = %d", p.FreeAt(200))
+	}
+}
+
+func TestBuildProfileOngoingOutage(t *testing.T) {
+	m := newMock(16)
+	m.now = 100
+	m.free = 12 // 4 nodes already down
+	m.windows = []Window{{Start: 50, End: 200, Procs: 4}}
+	p := BuildProfile(m)
+	if p.FreeAt(100) != 12 {
+		t.Fatalf("free now = %d (must not double-count ongoing outage)", p.FreeAt(100))
+	}
+	if p.FreeAt(200) != 16 {
+		t.Fatalf("free after outage = %d", p.FreeAt(200))
+	}
+}
+
+func TestBuildProfileOverdueJob(t *testing.T) {
+	m := newMock(8)
+	m.now = 500
+	m.free = 0
+	m.running = []RunningJob{{Job: job(1, 0, 8, 100), Size: 8, Start: 0, ExpEnd: 100}}
+	p := BuildProfile(m)
+	// Overdue job treated as releasing at now+1.
+	if p.FreeAt(500) != 0 || p.FreeAt(501) != 8 {
+		t.Fatalf("overdue handling wrong: %d %d", p.FreeAt(500), p.FreeAt(501))
+	}
+}

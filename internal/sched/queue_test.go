@@ -1,0 +1,159 @@
+package sched
+
+import "testing"
+
+func TestFCFSStartsInOrder(t *testing.T) {
+	m := newMock(16)
+	s := NewFCFS()
+	s.OnSubmit(m, job(1, 0, 8, 100))
+	s.OnSubmit(m, job(2, 0, 8, 100))
+	s.OnSubmit(m, job(3, 0, 8, 100)) // blocked: only 0 free
+	if len(m.started) != 2 || m.started[0] != 1 || m.started[1] != 2 {
+		t.Fatalf("started = %v", m.started)
+	}
+	m.advance(100)
+	m.finish(s, 1)
+	if len(m.started) != 3 || m.started[2] != 3 {
+		t.Fatalf("job 3 should start after a finish: %v", m.started)
+	}
+}
+
+func TestFCFSHeadBlocksSmallerJobs(t *testing.T) {
+	m := newMock(16)
+	s := NewFCFS()
+	s.OnSubmit(m, job(1, 0, 16, 1000))
+	s.OnSubmit(m, job(2, 0, 16, 10)) // head of queue, machine busy
+	s.OnSubmit(m, job(3, 0, 1, 10))  // would fit but FCFS blocks it
+	if len(m.started) != 1 {
+		t.Fatalf("FCFS let a job bypass the head: %v", m.started)
+	}
+	if got := len(s.Queued()); got != 2 {
+		t.Fatalf("queue length = %d", got)
+	}
+}
+
+func TestFirstFitBypasses(t *testing.T) {
+	m := newMock(16)
+	s := NewFirstFit()
+	s.OnSubmit(m, job(1, 0, 12, 1000))
+	s.OnSubmit(m, job(2, 0, 8, 10)) // blocked (only 4 free)
+	s.OnSubmit(m, job(3, 0, 4, 10)) // fits: bypass
+	if !m.startedSet()[3] {
+		t.Fatalf("first-fit should start job 3: %v", m.started)
+	}
+	if m.startedSet()[2] {
+		t.Fatal("job 2 cannot fit yet")
+	}
+}
+
+func TestSJFOrdersByEstimate(t *testing.T) {
+	m := newMock(8)
+	s := NewSJF()
+	s.OnSubmit(m, job(1, 0, 8, 1000)) // running
+	s.OnSubmit(m, jobEst(2, 0, 8, 500, 500))
+	s.OnSubmit(m, jobEst(3, 0, 8, 10, 10))
+	m.advance(1000)
+	m.finish(s, 1)
+	// Job 3 (shorter) should start before job 2.
+	if !m.startedSet()[3] || m.startedSet()[2] {
+		t.Fatalf("SJF order wrong: %v", m.started)
+	}
+}
+
+func TestLJFOrdersByEstimateDesc(t *testing.T) {
+	m := newMock(8)
+	s := NewLJF()
+	s.OnSubmit(m, job(1, 0, 8, 1000))
+	s.OnSubmit(m, jobEst(2, 0, 8, 500, 500))
+	s.OnSubmit(m, jobEst(3, 0, 8, 10, 10))
+	m.advance(1000)
+	m.finish(s, 1)
+	if !m.startedSet()[2] || m.startedSet()[3] {
+		t.Fatalf("LJF order wrong: %v", m.started)
+	}
+}
+
+func TestSmallestFirst(t *testing.T) {
+	m := newMock(8)
+	s := NewSmallestFirst()
+	s.OnSubmit(m, job(1, 0, 8, 1000))
+	s.OnSubmit(m, job(2, 0, 6, 10))
+	s.OnSubmit(m, job(3, 0, 2, 10))
+	m.advance(1000)
+	m.finish(s, 1)
+	// Smallest (job 3) first, then 6-proc job 2 fits alongside.
+	if m.started[1] != 3 {
+		t.Fatalf("smallest-first order wrong: %v", m.started)
+	}
+	if !m.startedSet()[2] {
+		t.Fatal("job 2 should also start (6+2=8)")
+	}
+}
+
+func TestLXFPrefersLongWaiters(t *testing.T) {
+	m := newMock(8)
+	s := NewLXF()
+	s.OnSubmit(m, job(1, 0, 8, 1000))
+	// Job 2: short, submitted early -> huge expansion factor by t=1000.
+	s.OnSubmit(m, jobEst(2, 0, 8, 10, 10))
+	m.advance(990)
+	// Job 3: long, just submitted -> low expansion factor.
+	s.OnSubmit(m, jobEst(3, 990, 8, 1000, 1000))
+	m.advance(1000)
+	m.finish(s, 1)
+	if m.started[1] != 2 {
+		t.Fatalf("LXF should prefer the starved short job: %v", m.started)
+	}
+}
+
+func TestQueueDrainAware(t *testing.T) {
+	m := newMock(16)
+	// Full-machine outage at t=100 for 50 s, announced immediately.
+	m.windows = []Window{{Start: 100, End: 150, Procs: 16}}
+	s := NewFCFS()
+	s.DrainAware = true
+	s.OnSubmit(m, jobEst(1, 0, 4, 500, 500)) // would cross the outage
+	if len(m.started) != 0 {
+		t.Fatal("drain-aware FCFS must hold the long job")
+	}
+	s.OnSubmit(m, jobEst(2, 0, 4, 50, 50)) // ends before the outage
+	// Job 2 is behind job 1 in FCFS order and job 1 is held; plain FCFS
+	// would block, but the drain check applies per-job at the head only.
+	// Job 1 stays head; nothing else starts.
+	if len(m.started) != 0 {
+		t.Fatalf("FCFS order must hold even when draining: %v", m.started)
+	}
+	// After the outage the held jobs go.
+	m.advance(150)
+	m.windows = nil
+	s.OnChange(m)
+	if len(m.started) != 2 {
+		t.Fatalf("jobs should start after outage: %v", m.started)
+	}
+}
+
+func TestQueueSchedulerNamesAndQueued(t *testing.T) {
+	for _, s := range []*QueueScheduler{NewFCFS(), NewFirstFit(), NewSJF(), NewLJF(), NewSmallestFirst(), NewLXF()} {
+		if s.Name() == "" {
+			t.Fatal("empty name")
+		}
+		if len(s.Queued()) != 0 {
+			t.Fatal("fresh scheduler has queue")
+		}
+	}
+}
+
+func TestRegistryNew(t *testing.T) {
+	for _, n := range Names() {
+		s, err := New(n)
+		if err != nil || s == nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if s, _ := New("gang5"); s.(*Gang).Slots != 5 {
+		t.Fatal("gang5 suffix ignored")
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// New constructs a scheduler by name. Recognized names:
+//
+//	fcfs, firstfit, sjf, ljf, smallest, lxf,
+//	easy, easy+win, easy+mold, cons, cons+win, gang
+//
+// gang accepts an optional multiprogramming level suffix, e.g. "gang3".
+func New(name string) (Scheduler, error) {
+	switch name {
+	case "fcfs":
+		return NewFCFS(), nil
+	case "firstfit":
+		return NewFirstFit(), nil
+	case "sjf":
+		return NewSJF(), nil
+	case "ljf":
+		return NewLJF(), nil
+	case "smallest":
+		return NewSmallestFirst(), nil
+	case "lxf":
+		return NewLXF(), nil
+	case "easy":
+		return NewEASY(), nil
+	case "easy+win":
+		return NewEASYWindows(), nil
+	case "easy+mold":
+		return NewMoldableEASY(), nil
+	case "cons":
+		return NewConservative(), nil
+	case "cons+win":
+		return NewConservativeWindows(), nil
+	case "gang":
+		return NewGang(3), nil
+	case "gang2":
+		return NewGang(2), nil
+	case "gang3":
+		return NewGang(3), nil
+	case "gang5":
+		return NewGang(5), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the canonical scheduler names.
+func Names() []string {
+	names := []string{
+		"fcfs", "firstfit", "sjf", "ljf", "smallest", "lxf",
+		"easy", "easy+win", "easy+mold", "cons", "cons+win", "gang",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,505 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"parsched/internal/cluster"
+	"parsched/internal/core"
+	"parsched/internal/des"
+	"parsched/internal/metrics"
+	"parsched/internal/sched"
+)
+
+// Instance is one machine + machine scheduler living on a shared event
+// engine. The single-machine entry point Run wraps one Instance; the
+// metacomputing layer (internal/meta) places several Instances on one
+// engine and routes jobs between them — the Figure 1 architecture.
+type Instance struct {
+	// Name labels the machine (site name in grids).
+	Name string
+
+	engine   *des.Engine
+	machine  *cluster.Machine
+	schedule sched.Scheduler
+	opts     Options
+
+	running  map[int64]*runState
+	outcomes map[int64]*metrics.Outcome
+	// dependents maps predecessor ID -> dependent jobs awaiting it.
+	dependents map[int64][]*core.Job
+
+	outageWins []timedWindow
+	resvWins   []timedWindow
+
+	resvResults []ReservationOutcome
+	nextResvID  int64
+
+	// FinishHook, when set, observes every final job termination
+	// (completion or permanent drop). Used by meta-schedulers.
+	FinishHook func(j *core.Job, o metrics.Outcome)
+	// StartHook observes every job start (final or not). Used by
+	// wait-time predictors, which learn from observed waits.
+	StartHook func(j *core.Job, submit, start int64)
+}
+
+type timedWindow struct {
+	win       sched.Window
+	announced int64
+}
+
+// NewInstance creates a machine of maxNodes nodes (heterogeneous if
+// opts.NodeMem is set) scheduled by s, attached to engine.
+func NewInstance(engine *des.Engine, name string, maxNodes int, s sched.Scheduler, opts Options) (*Instance, error) {
+	var machine *cluster.Machine
+	if opts.NodeMem != nil {
+		if len(opts.NodeMem) != maxNodes {
+			return nil, fmt.Errorf("sim: NodeMem has %d entries for %d nodes", len(opts.NodeMem), maxNodes)
+		}
+		machine = cluster.NewHeterogeneous(opts.NodeMem)
+	} else {
+		machine = cluster.New(maxNodes, 1<<50)
+	}
+	return &Instance{
+		Name:       name,
+		engine:     engine,
+		machine:    machine,
+		schedule:   s,
+		opts:       opts,
+		running:    map[int64]*runState{},
+		outcomes:   map[int64]*metrics.Outcome{},
+		dependents: map[int64][]*core.Job{},
+	}, nil
+}
+
+// Scheduler returns the attached scheduler.
+func (sm *Instance) Scheduler() sched.Scheduler { return sm.schedule }
+
+// Machine exposes the cluster (read-mostly; used by tests and meta).
+func (sm *Instance) Machine() *cluster.Machine { return sm.machine }
+
+// SubmitAt schedules job j to arrive at time t.
+func (sm *Instance) SubmitAt(j *core.Job, t int64) {
+	sm.engine.At(t, des.PriorityArrival, func() { sm.submit(j, t) })
+}
+
+// SubmitNow delivers job j immediately (valid during event callbacks;
+// used by meta-schedulers dispatching at decision time).
+func (sm *Instance) SubmitNow(j *core.Job) {
+	sm.submit(j, sm.engine.Now())
+}
+
+// AwaitPredecessor registers j to be submitted ThinkTime seconds after
+// its predecessor (by workload job ID) terminates on this instance.
+func (sm *Instance) AwaitPredecessor(j *core.Job) {
+	sm.dependents[j.PrecedingJob] = append(sm.dependents[j.PrecedingJob], j)
+}
+
+// QueueLen reports the scheduler's backlog if it exposes one.
+func (sm *Instance) QueueLen() int {
+	if qr, ok := sm.schedule.(sched.QueueReporter); ok {
+		return len(qr.Queued())
+	}
+	return 0
+}
+
+// QueuedWork reports the processor-seconds of estimated work waiting in
+// the queue — the load signal simple meta-schedulers use.
+func (sm *Instance) QueuedWork() int64 {
+	var total int64
+	if qr, ok := sm.schedule.(sched.QueueReporter); ok {
+		for _, j := range qr.Queued() {
+			total += int64(j.Size) * sm.Estimate(j)
+		}
+	}
+	for _, rs := range sm.running {
+		rem := rs.expEnd - sm.engine.Now()
+		if rem > 0 {
+			total += int64(rs.size) * rem
+		}
+	}
+	return total
+}
+
+// Outcome returns the outcome recorded for job id, if any.
+func (sm *Instance) Outcome(id int64) (metrics.Outcome, bool) {
+	o, ok := sm.outcomes[id]
+	if !ok {
+		return metrics.Outcome{}, false
+	}
+	return *o, true
+}
+
+// Outcomes returns copies of all outcomes recorded so far, in job-ID
+// order for determinism.
+func (sm *Instance) Outcomes() []metrics.Outcome {
+	ids := make([]int64, 0, len(sm.outcomes))
+	for id := range sm.outcomes {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	out := make([]metrics.Outcome, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *sm.outcomes[id])
+	}
+	return out
+}
+
+// RunningStart returns the start time of a currently running job
+// (second return false if not running).
+func (sm *Instance) RunningStart(id int64) (int64, bool) {
+	rs, ok := sm.running[id]
+	if !ok {
+		return 0, false
+	}
+	return rs.start, true
+}
+
+// ReservationOutcomes returns the reservation grant results so far.
+func (sm *Instance) ReservationOutcomes() []ReservationOutcome {
+	return append([]ReservationOutcome(nil), sm.resvResults...)
+}
+
+// AnnounceOutage makes an outage window visible to the scheduler from
+// the current instant (the sim.Run wrapper schedules these from the
+// outage log).
+func (sm *Instance) announceOutage(win sched.Window, announced int64) {
+	sm.outageWins = append(sm.outageWins, timedWindow{win: win, announced: announced})
+	sm.notifyChange()
+}
+
+// CanReserve reports whether an advance reservation request is feasible
+// against the current availability profile (running jobs' estimated
+// completions plus already-accepted windows). Meta-schedulers call this
+// before Reserve.
+func (sm *Instance) CanReserve(r sched.Reservation) bool {
+	if r.Procs > sm.machine.Total() {
+		return false
+	}
+	p := sched.BuildProfile(sm)
+	start := p.EarliestFit(r.Start, r.End-r.Start, r.Procs)
+	return start == r.Start
+}
+
+// Reserve accepts an advance reservation: it becomes visible to the
+// scheduler immediately, claims its processors at Start (recording
+// whether the claim succeeded), and releases them at End. The returned
+// ID identifies the reservation in outcomes.
+func (sm *Instance) Reserve(r sched.Reservation) int64 {
+	if r.ID == 0 {
+		sm.nextResvID++
+		r.ID = sm.nextResvID
+	}
+	now := sm.engine.Now()
+	sm.resvWins = append(sm.resvWins, timedWindow{
+		win:       sched.Window{Start: r.Start, End: r.End, Procs: r.Procs},
+		announced: now,
+	})
+	sm.engine.At(r.Start, des.PriorityOutage, func() { sm.claimReservation(r) })
+	sm.notifyChange()
+	return r.ID
+}
+
+// ---------------------------------------------------------------------
+// internals (shared with sim.Run)
+
+// submit delivers a job to the scheduler, recording its effective
+// submittal time (feedback shifts it relative to the workload file).
+func (sm *Instance) submit(j *core.Job, effective int64) {
+	sm.outcomes[j.ID] = &metrics.Outcome{
+		JobID: j.ID, User: j.User, Submit: effective,
+		Start: -1, End: -1, Size: j.Size, Runtime: j.Runtime,
+	}
+	sm.callback(func() { sm.schedule.OnSubmit(sm, j) })
+}
+
+// callback wraps scheduler invocations (a single funnel point so that
+// tracing or invariant checks can be attached in one place).
+func (sm *Instance) callback(f func()) { f() }
+
+func (sm *Instance) notifyChange() {
+	sm.callback(func() { sm.schedule.OnChange(sm) })
+}
+
+// applyNodeEvents processes a batch of same-instant node transitions,
+// killing victims after all transitions are applied and notifying the
+// scheduler once.
+func (sm *Instance) applyNodeEvents(downs, ups []int) {
+	victims := map[int64]bool{}
+	for _, n := range downs {
+		victim := sm.machine.SetDown(n)
+		if victim != cluster.NoOwner && victim < reservationOwner {
+			victims[victim] = true
+		}
+	}
+	for _, n := range ups {
+		sm.machine.SetUp(n)
+	}
+	ids := make([]int64, 0, len(victims))
+	for id := range victims {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		sm.killJob(id)
+	}
+	sm.notifyChange()
+}
+
+func sortIDs(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k-1] > ids[k]; k-- {
+			ids[k-1], ids[k] = ids[k], ids[k-1]
+		}
+	}
+}
+
+// killJob handles a job whose node failed: release its allocation,
+// cancel its completion, account the lost work, and resubmit it (the
+// paper: "Any job running on that node would have to be restarted").
+func (sm *Instance) killJob(id int64) {
+	rs, ok := sm.running[id]
+	if !ok {
+		return
+	}
+	now := sm.engine.Now()
+	sm.machine.Release(id)
+	sm.engine.Cancel(rs.finish)
+	delete(sm.running, id)
+
+	o := sm.outcomes[id]
+	o.Restarts++
+	o.LostWork += int64(rs.size) * (now - rs.start)
+
+	if sm.opts.DropKilled || o.Restarts > MaxRestarts {
+		o.Dropped = true
+		o.Start, o.End = -1, -1
+		sm.releaseDependents(rs.job)
+		if sm.FinishHook != nil {
+			sm.FinishHook(rs.job, *o)
+		}
+		sm.callback(func() { sm.schedule.OnFinish(sm, rs.job) })
+		return
+	}
+	// Restart from scratch: hand the job back to the scheduler.
+	sm.callback(func() { sm.schedule.OnSubmit(sm, rs.job) })
+}
+
+// claimReservation allocates the reserved processors at start time.
+func (sm *Instance) claimReservation(r sched.Reservation) {
+	owner := reservationOwner + r.ID
+	_, ok := sm.machine.Allocate(owner, r.Procs, 0)
+	sm.resvResults = append(sm.resvResults, ReservationOutcome{Reservation: r, Granted: ok})
+	if ok {
+		sm.engine.At(r.End, des.PriorityOutage, func() {
+			sm.machine.Release(owner)
+			sm.notifyChange()
+		})
+	}
+	sm.notifyChange()
+}
+
+// ---------------------------------------------------------------------
+// sched.Context implementation
+
+// Now implements sched.Context.
+func (sm *Instance) Now() int64 { return sm.engine.Now() }
+
+// TotalProcs implements sched.Context.
+func (sm *Instance) TotalProcs() int { return sm.machine.Up() }
+
+// FreeProcs implements sched.Context.
+func (sm *Instance) FreeProcs() int { return sm.machine.Free() }
+
+// CanStart implements sched.Context.
+func (sm *Instance) CanStart(j *core.Job, size int) bool {
+	if size < 1 {
+		return false
+	}
+	return sm.machine.CanAllocate(size, sm.memNeed(j))
+}
+
+func (sm *Instance) memNeed(j *core.Job) int64 {
+	if !sm.opts.MemAware || j.ReqMemPerProc <= 0 {
+		return 0
+	}
+	return j.ReqMemPerProc
+}
+
+// Start implements sched.Context.
+func (sm *Instance) Start(j *core.Job, size int) {
+	if _, dup := sm.running[j.ID]; dup {
+		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
+	}
+	if _, ok := sm.machine.Allocate(j.ID, size, sm.memNeed(j)); !ok {
+		panic(fmt.Sprintf("sim: scheduler started job %d (size %d) without capacity", j.ID, size))
+	}
+	now := sm.engine.Now()
+	actual := j.RuntimeOn(size)
+	rs := &runState{
+		job: j, size: size, start: now,
+		expEnd:     now + sm.Estimate(j),
+		remaining:  float64(actual),
+		rate:       1,
+		lastUpdate: now,
+	}
+	rs.finish = sm.engine.At(now+actual, des.PriorityFinish, func() { sm.finishJob(j.ID) })
+	sm.running[j.ID] = rs
+	if sm.StartHook != nil {
+		sm.StartHook(j, sm.outcomes[j.ID].Submit, now)
+	}
+}
+
+// StartShared implements sched.Context.
+func (sm *Instance) StartShared(j *core.Job, rate float64) {
+	if _, dup := sm.running[j.ID]; dup {
+		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
+	}
+	now := sm.engine.Now()
+	rs := &runState{
+		job: j, size: j.Size, start: now,
+		expEnd:     now + sm.Estimate(j),
+		shared:     true,
+		remaining:  float64(j.Runtime),
+		rate:       0,
+		lastUpdate: now,
+	}
+	sm.running[j.ID] = rs
+	if sm.StartHook != nil {
+		sm.StartHook(j, sm.outcomes[j.ID].Submit, now)
+	}
+	if rate > 0 {
+		sm.setRate(rs, rate)
+	}
+}
+
+// SetRate implements sched.Context.
+func (sm *Instance) SetRate(j *core.Job, rate float64) {
+	rs, ok := sm.running[j.ID]
+	if !ok || !rs.shared {
+		panic(fmt.Sprintf("sim: SetRate on non-shared or unknown job %d", j.ID))
+	}
+	sm.setRate(rs, rate)
+}
+
+func (sm *Instance) setRate(rs *runState, rate float64) {
+	now := sm.engine.Now()
+	// Account progress at the old rate.
+	rs.remaining -= float64(now-rs.lastUpdate) * rs.rate
+	if rs.remaining < 0 {
+		rs.remaining = 0
+	}
+	rs.lastUpdate = now
+	rs.rate = rate
+	sm.engine.Cancel(rs.finish)
+	if rate <= 0 {
+		return
+	}
+	dur := int64(math.Ceil(rs.remaining / rate))
+	if dur < 0 {
+		dur = 0
+	}
+	id := rs.job.ID
+	rs.finish = sm.engine.At(now+dur, des.PriorityFinish, func() { sm.finishJob(id) })
+}
+
+// Running implements sched.Context.
+func (sm *Instance) Running() []sched.RunningJob {
+	out := make([]sched.RunningJob, 0, len(sm.running))
+	for _, rs := range sm.running {
+		out = append(out, sched.RunningJob{Job: rs.job, Size: rs.size, Start: rs.start, ExpEnd: rs.expEnd})
+	}
+	sortRunning(out)
+	return out
+}
+
+// Estimate implements sched.Context.
+func (sm *Instance) Estimate(j *core.Job) int64 {
+	if sm.opts.PerfectEstimates {
+		return j.Runtime
+	}
+	return j.EstimateOrRuntime()
+}
+
+// Outages implements sched.Context.
+func (sm *Instance) Outages() []sched.Window {
+	return sm.visibleWindows(sm.outageWins)
+}
+
+// Reservations implements sched.Context.
+func (sm *Instance) Reservations() []sched.Window {
+	return sm.visibleWindows(sm.resvWins)
+}
+
+// PlanningHorizon bounds how far ahead capacity windows are exposed to
+// schedulers. Windows starting beyond it cannot affect any job that
+// could start now (estimates are capped far below it), and pruning them
+// keeps profile building linear in the relevant future rather than in
+// the whole reservation calendar.
+const PlanningHorizon = 14 * 86400
+
+func (sm *Instance) visibleWindows(wins []timedWindow) []sched.Window {
+	now := sm.engine.Now()
+	var out []sched.Window
+	for _, tw := range wins {
+		if tw.announced <= now && tw.win.End > now && tw.win.Start <= now+PlanningHorizon {
+			out = append(out, tw.win)
+		}
+	}
+	return out
+}
+
+// finishJob completes a running job.
+func (sm *Instance) finishJob(id int64) {
+	rs, ok := sm.running[id]
+	if !ok {
+		return
+	}
+	now := sm.engine.Now()
+	if !rs.shared {
+		sm.machine.Release(id)
+	}
+	delete(sm.running, id)
+
+	o := sm.outcomes[id]
+	o.Start = rs.start
+	o.End = now
+	o.Size = rs.size
+	o.Runtime = now - rs.start
+	if rs.shared {
+		// For time-shared jobs the dedicated-equivalent runtime is the
+		// job's nominal work, not the stretched wall-clock.
+		o.Runtime = rs.job.Runtime
+	}
+	sm.releaseDependents(rs.job)
+	if sm.FinishHook != nil {
+		sm.FinishHook(rs.job, *o)
+	}
+	sm.callback(func() { sm.schedule.OnFinish(sm, rs.job) })
+}
+
+// releaseDependents schedules the submittal of feedback jobs waiting on
+// j's termination, ThinkTime seconds from now.
+func (sm *Instance) releaseDependents(j *core.Job) {
+	now := sm.engine.Now()
+	for _, dep := range sm.dependents[j.ID] {
+		dep := dep
+		at := now + dep.ThinkTime
+		sm.engine.At(at, des.PriorityArrival, func() { sm.submit(dep, at) })
+	}
+	delete(sm.dependents, j.ID)
+}
+
+func sortRunning(rs []sched.RunningJob) {
+	// Insertion sort keeps this allocation-free for the common small
+	// running sets; determinism comes from the (ExpEnd, ID) key.
+	for i := 1; i < len(rs); i++ {
+		for k := i; k > 0; k-- {
+			a, b := &rs[k-1], &rs[k]
+			if a.ExpEnd < b.ExpEnd || (a.ExpEnd == b.ExpEnd && a.Job.ID <= b.Job.ID) {
+				break
+			}
+			rs[k-1], rs[k] = rs[k], rs[k-1]
+		}
+	}
+}

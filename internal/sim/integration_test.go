@@ -1,0 +1,205 @@
+package sim
+
+// Integration tests crossing module boundaries: scheduler dominance
+// relations on realistic workloads, the gang-versus-space-slicing
+// question of Section 2.2 (synchronization granularity via the
+// internal-structure strawman), and cross-subsystem determinism.
+
+import (
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/model/downey"
+	"parsched/internal/model/lublin"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/stats"
+)
+
+// TestBackfillDominanceAcrossSeeds asserts the headline community
+// result on several independent workloads: EASY's mean wait never loses
+// badly to FCFS, and usually wins by a wide margin.
+func TestBackfillDominanceAcrossSeeds(t *testing.T) {
+	wins := 0
+	const trials = 5
+	for seed := int64(1); seed <= trials; seed++ {
+		w := lublin.Default().Generate(model.Config{
+			MaxNodes: 64, Jobs: 800, Seed: seed, Load: 0.85, EstimateFactor: 2,
+		})
+		fc, err := Run(w, sched.NewFCFS(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ez, err := Run(w, sched.NewEASY(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := fc.Report(64).Wait.Mean
+		ew := ez.Report(64).Wait.Mean
+		if ew <= fw {
+			wins++
+		}
+		if ew > 1.2*fw {
+			t.Errorf("seed %d: EASY wait %v far worse than FCFS %v", seed, ew, fw)
+		}
+	}
+	if wins < trials-1 {
+		t.Errorf("EASY won only %d/%d trials against FCFS", wins, trials)
+	}
+}
+
+// TestGangHelpsFineGrainSync reproduces the Section 2.2 discussion
+// (Feitelson & Rudolph [22]): applications with frequent barriers
+// suffer under uncoordinated time slicing but not under gang
+// scheduling. The strawman structure model supplies the runtimes: the
+// same job set is realized twice — once with gang-coscheduled phase
+// costs, once with a per-barrier penalty for uncoordinated slicing —
+// and both are run under the gang scheduler.
+func TestGangHelpsFineGrainSync(t *testing.T) {
+	rng := stats.NewRNG(5)
+	// Expected wait for a descheduled peer at each barrier under
+	// uncoordinated slicing — a fixed cost per barrier, independent of
+	// how much computation sits between barriers.
+	const perBarrierPenalty = 0.5 // seconds
+
+	build := func(barriers int, granularity float64, coordinated bool) *core.Workload {
+		w := &core.Workload{Name: "sync", MaxNodes: 32}
+		for i := 0; i < 40; i++ {
+			s := &core.Structure{
+				Processes: 8, Barriers: barriers,
+				Granularity: granularity, Variance: 0.1,
+			}
+			var rt float64
+			if coordinated {
+				rt = s.GangRuntime(rng)
+			} else {
+				rt = s.UncoordinatedRuntime(rng, perBarrierPenalty)
+			}
+			if rt < 1 {
+				rt = 1
+			}
+			w.Jobs = append(w.Jobs, &core.Job{
+				ID: int64(i + 1), Submit: int64(i * 10), Size: 8,
+				Runtime: int64(rt), User: 1, Structure: s,
+			})
+		}
+		return w
+	}
+
+	run := func(w *core.Workload) float64 {
+		res, err := Run(w, sched.NewGang(3), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report(32).Response.Mean
+	}
+
+	// Fine grain: many barriers, short phases. Coarse: few barriers.
+	fineGang := run(build(10000, 0.05, true))
+	fineUnco := run(build(10000, 0.05, false))
+	coarseGang := run(build(10, 50, true))
+	coarseUnco := run(build(10, 50, false))
+
+	finePenalty := fineUnco / fineGang
+	coarsePenalty := coarseUnco / coarseGang
+	if finePenalty < 1.2 {
+		t.Errorf("fine-grain uncoordinated penalty %v, want substantial", finePenalty)
+	}
+	if coarsePenalty > 1.1 {
+		t.Errorf("coarse-grain penalty %v should be negligible", coarsePenalty)
+	}
+	if finePenalty <= coarsePenalty {
+		t.Errorf("penalty must grow with sync frequency: fine %v vs coarse %v", finePenalty, coarsePenalty)
+	}
+}
+
+// TestMoldableAdapterHelpsOnDowneyWorkload checks the convergence story
+// of Section 1.2: on a moldable workload at high load the adaptive
+// scheduler (shrinking jobs to start them earlier) beats plain EASY on
+// mean wait.
+func TestMoldableAdapterHelpsOnDowneyWorkload(t *testing.T) {
+	w := downey.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 600, Seed: 9, Load: 1.0, EstimateFactor: 1,
+	})
+	plain, err := Run(w, sched.NewEASY(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mold, err := Run(w, sched.NewMoldableEASY(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := plain.Report(64).Wait.Mean
+	mw := mold.Report(64).Wait.Mean
+	if mw >= pw {
+		t.Errorf("moldable adapter wait %v should beat rigid EASY %v", mw, pw)
+	}
+}
+
+// TestOutagePlusReservationsPlusFeedback exercises every simulator
+// feature at once and checks global invariants survive the interaction.
+func TestOutagePlusReservationsPlusFeedback(t *testing.T) {
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 600, Seed: 13, Load: 0.8, EstimateFactor: 2,
+	})
+	core.InferFeedback(w, 3600)
+	horizon := w.Span() + 14*86400
+	olog := outage.Generate(outage.GeneratorConfig{
+		Nodes: 64, Horizon: horizon,
+		MTBF:              stats.Exponential{Lambda: 1.0 / (24 * 3600)},
+		Repair:            stats.Constant{C: 1800},
+		MaintenanceEvery:  7 * 86400,
+		MaintenanceLength: 4 * 3600,
+		MaintenanceLead:   86400,
+	}, 17)
+	resvs := []sched.Reservation{
+		{ID: 1, Procs: 16, Start: 50000, End: 60000},
+		{ID: 2, Procs: 32, Start: 200000, End: 220000},
+	}
+	res, err := Run(w, sched.NewEASYWindows(), Options{
+		Feedback: true, Outages: olog, Reservations: resvs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report(64)
+	if r.Finished+r.Unfinished+res.NeverSubmitted != 600 {
+		t.Fatalf("job accounting broken: %d + %d + %d != 600",
+			r.Finished, r.Unfinished, res.NeverSubmitted)
+	}
+	if r.Finished < 500 {
+		t.Fatalf("only %d/600 finished", r.Finished)
+	}
+	for _, o := range res.Outcomes {
+		if o.Start >= 0 && o.Start < o.Submit {
+			t.Fatal("job started before its effective submit")
+		}
+	}
+	// Determinism across the full feature set.
+	res2, err := Run(w, sched.NewEASYWindows(), Options{
+		Feedback: true, Outages: olog, Reservations: resvs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Outcomes {
+		if res.Outcomes[i] != res2.Outcomes[i] {
+			t.Fatalf("nondeterminism at outcome %d", i)
+		}
+	}
+}
+
+// TestSJFvsFCFSSlowdownShape locks the metric-conflict precondition E2
+// relies on: SJF beats FCFS on mean slowdown at high load.
+func TestSJFvsFCFSSlowdownShape(t *testing.T) {
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 800, Seed: 21, Load: 0.9, EstimateFactor: 2,
+	})
+	fc, _ := Run(w, sched.NewFCFS(), Options{})
+	sj, _ := Run(w, sched.NewSJF(), Options{})
+	if sj.Report(64).BSLD.Mean >= fc.Report(64).BSLD.Mean {
+		t.Errorf("SJF slowdown %v should beat FCFS %v",
+			sj.Report(64).BSLD.Mean, fc.Report(64).BSLD.Mean)
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/swf"
+)
+
+func TestRecordSWFBasic(t *testing.T) {
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 400, Seed: 31, Load: 0.8, EstimateFactor: 2,
+	})
+	res, err := Run(w, sched.NewEASY(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := RecordSWF(w, res)
+	if vs := swf.Errors(swf.Validate(log)); len(vs) != 0 {
+		t.Fatalf("recorded log violates the standard: %v (of %d)", vs[0], len(vs))
+	}
+	if len(log.Summaries()) != 400 {
+		t.Fatalf("summaries = %d", len(log.Summaries()))
+	}
+	// Wait times are now real (scheduler outputs), unlike workload SWF.
+	withWait := 0
+	for _, r := range log.Summaries() {
+		if r.Wait > 0 {
+			withWait++
+		}
+	}
+	if withWait == 0 {
+		t.Fatal("no recorded waits at load 0.8; recording lost schedule information")
+	}
+}
+
+func TestRecordSWFRoundTripsThroughAnalysis(t *testing.T) {
+	// The §3.3 chain: simulate → record → clean → re-analyze with the
+	// standard tooling.
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 300, Seed: 37, Load: 0.7,
+	})
+	res, err := Run(w, sched.NewFCFS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := RecordSWF(w, res)
+	clean, _ := swf.Clean(log)
+	back, err := core.FromSWF(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != 300 {
+		t.Fatalf("re-analysis sees %d jobs", len(back.Jobs))
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordSWFKilledJobsBecomePartials(t *testing.T) {
+	// A job killed once by an outage must appear as: summary line with
+	// the summed runtime, one code-2 partial, one code-3 final.
+	w := wl(8, [3]int64{0, 4, 1000})
+	olog := &outage.Log{Records: []outage.Record{
+		{ID: 1, Announced: 500, Start: 500, End: 600, Kind: outage.CPUFailure, Nodes: []int64{0}},
+	}}
+	res, err := Run(w, sched.NewFCFS(), Options{Outages: olog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := RecordSWF(w, res)
+	if vs := swf.Errors(swf.Validate(log)); len(vs) != 0 {
+		t.Fatalf("multi-line record invalid: %v", vs)
+	}
+	if len(log.Records) != 3 {
+		t.Fatalf("records = %d, want summary + 2 partials", len(log.Records))
+	}
+	sum, p1, p2 := log.Records[0], log.Records[1], log.Records[2]
+	if sum.Status != swf.StatusCompleted {
+		t.Fatalf("summary status %v", sum.Status)
+	}
+	if p1.Status != swf.StatusPartial || p2.Status != swf.StatusPartialLastOK {
+		t.Fatalf("partial codes %v %v", p1.Status, p2.Status)
+	}
+	if sum.RunTime != p1.RunTime+p2.RunTime {
+		t.Fatalf("summary runtime %d != partials %d+%d", sum.RunTime, p1.RunTime, p2.RunTime)
+	}
+	// The killed attempt ran 500 s before the failure.
+	if p1.RunTime != 500 {
+		t.Fatalf("killed attempt runtime %d, want 500", p1.RunTime)
+	}
+}
+
+func TestRecordSWFFeedbackReordering(t *testing.T) {
+	// Closed-loop runs reorder effective submits; the recorded log must
+	// still be submit-sorted and valid.
+	w := wl(8, [3]int64{0, 8, 100}, [3]int64{5, 8, 50}, [3]int64{10, 8, 30})
+	w.Jobs[1].PrecedingJob = 1 // job 2 now submits at 100+think
+	w.Jobs[1].ThinkTime = 500
+	res, err := Run(w, sched.NewFCFS(), Options{Feedback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := RecordSWF(w, res)
+	if vs := swf.Errors(swf.Validate(log)); len(vs) != 0 {
+		t.Fatalf("feedback-recorded log invalid: %v", vs)
+	}
+	var prev int64
+	for _, r := range log.Records {
+		if r.Submit >= 0 && r.Submit < prev {
+			t.Fatal("records not submit-sorted")
+		}
+		if r.Submit >= 0 {
+			prev = r.Submit
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package sim drives machine-scheduler simulations: it replays a
+// workload (open loop, or closed loop honouring the standard format's
+// preceding-job/think-time feedback fields) against a scheduler on a
+// simulated machine, optionally injecting the outage log of Section 2.2
+// (killing jobs on failed nodes and restarting them, exactly the IBM SP
+// behaviour the paper describes) and advance-reservation streams for
+// the metacomputing experiments.
+//
+// The simulator owns time (internal/des), resources
+// (internal/cluster), and job lifecycles; the scheduler plugs in via
+// the internal/sched interfaces. All runs are deterministic. The
+// single-machine entry point is Run; multi-machine grids assemble
+// Instances directly (see internal/meta).
+package sim
+
+import (
+	"fmt"
+
+	"parsched/internal/core"
+	"parsched/internal/des"
+	"parsched/internal/metrics"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+)
+
+// MaxRestarts caps outage-driven restarts per job before the simulator
+// drops the job as permanently killed.
+const MaxRestarts = 100
+
+// reservationOwner offsets reservation IDs into their own owner space
+// so they never collide with job IDs on the cluster.
+const reservationOwner int64 = 1 << 40
+
+// Options configure a run.
+type Options struct {
+	// Feedback replays preceding-job dependencies as a closed loop: a
+	// dependent job is submitted ThinkTime seconds after its
+	// predecessor terminates, rather than at its recorded submit time.
+	Feedback bool
+	// Outages injects the outage log (same time base as the workload).
+	Outages *outage.Log
+	// Reservations injects advance-reservation requests.
+	Reservations []sched.Reservation
+	// NodeMem configures per-node memory (KB); nil means uniform
+	// effectively-infinite memory. Length must equal the workload's
+	// MaxNodes when set.
+	NodeMem []int64
+	// MemAware makes allocation honour job ReqMemPerProc.
+	MemAware bool
+	// PerfectEstimates makes the scheduler see actual runtimes instead
+	// of user estimates.
+	PerfectEstimates bool
+	// DropKilled abandons jobs killed by outages instead of restarting
+	// them.
+	DropKilled bool
+	// Horizon stops the simulation at this time (0 = run to drain).
+	Horizon int64
+}
+
+// ReservationOutcome records how an advance reservation fared.
+type ReservationOutcome struct {
+	Reservation sched.Reservation
+	// Granted reports whether the full processor count was allocated
+	// at the reserved start time.
+	Granted bool
+}
+
+// Result is the output of a run.
+type Result struct {
+	Scheduler string
+	Workload  string
+	Outcomes  []metrics.Outcome
+	// NeverSubmitted counts feedback jobs whose predecessor never
+	// terminated inside the horizon.
+	NeverSubmitted int
+	Reservations   []ReservationOutcome
+	// Events is the DES event count (a cost indicator for benchmarks).
+	Events uint64
+}
+
+// Report computes the aggregate metrics for the run.
+func (r *Result) Report(procs int) metrics.Report {
+	return metrics.Compute(r.Scheduler, r.Workload, r.Outcomes, procs)
+}
+
+// state of one running job.
+type runState struct {
+	job    *core.Job
+	size   int
+	start  int64
+	expEnd int64
+	shared bool
+	// remaining is work left in dedicated-seconds; meaningful for
+	// shared jobs whose rate varies.
+	remaining  float64
+	rate       float64
+	lastUpdate int64
+	finish     des.Handle
+}
+
+// Run simulates workload w under scheduler s. The workload is cloned;
+// the caller's copy is never mutated (schedulers may mold jobs).
+func Run(w *core.Workload, s sched.Scheduler, opts Options) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid workload: %w", err)
+	}
+	w = w.Clone()
+
+	engine := &des.Engine{}
+	sm, err := NewInstance(engine, w.Name, w.MaxNodes, s, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Arrival events. Feedback jobs wait for their predecessor instead.
+	for _, j := range w.Jobs {
+		if opts.Feedback && j.PrecedingJob > 0 {
+			sm.AwaitPredecessor(j)
+			continue
+		}
+		sm.SubmitAt(j, j.Submit)
+	}
+
+	// Outage events: announcements make windows visible; node
+	// transitions batched by timestamp change the machine.
+	if opts.Outages != nil {
+		scheduleOutages(engine, sm, opts.Outages)
+	}
+
+	// Reservation events: become visible at announcement, claim
+	// processors at start, release at end.
+	for _, r := range opts.Reservations {
+		r := r
+		announce := r.Announced
+		if announce < 0 {
+			announce = 0
+		}
+		if announce > r.Start {
+			announce = r.Start
+		}
+		engine.At(announce, des.PriorityOutage, func() { sm.Reserve(r) })
+	}
+
+	if opts.Horizon > 0 {
+		engine.RunUntil(opts.Horizon)
+	} else {
+		engine.Run()
+	}
+
+	return collect(sm, w, engine), nil
+}
+
+// scheduleOutages wires an outage log into an instance: announcement
+// events (scheduler visibility) plus batched node up/down transitions.
+func scheduleOutages(engine *des.Engine, sm *Instance, log *outage.Log) {
+	for _, rec := range log.Records {
+		rec := rec
+		announced := rec.Announced
+		if announced < 0 {
+			announced = 0
+		}
+		engine.At(announced, des.PriorityOutage, func() {
+			sm.announceOutage(sched.Window{
+				Start: rec.Start, End: rec.End, Procs: len(rec.Nodes),
+			}, rec.Announced)
+		})
+	}
+	evs := outage.Events(log)
+	for i := 0; i < len(evs); {
+		k := i
+		for k < len(evs) && evs[k].Time == evs[i].Time {
+			k++
+		}
+		var downs, ups []int
+		for _, ev := range evs[i:k] {
+			if ev.Down {
+				downs = append(downs, int(ev.Node))
+			} else {
+				ups = append(ups, int(ev.Node))
+			}
+		}
+		if t := evs[i].Time; t >= 0 {
+			engine.At(t, des.PriorityOutage, func() { sm.applyNodeEvents(downs, ups) })
+		}
+		i = k
+	}
+}
+
+// collect assembles the result after the event loop drains.
+func collect(sm *Instance, w *core.Workload, engine *des.Engine) *Result {
+	res := &Result{Scheduler: sm.schedule.Name(), Workload: w.Name, Events: engine.Processed}
+	for _, j := range w.Jobs {
+		o, ok := sm.outcomes[j.ID]
+		if !ok {
+			// Feedback job whose predecessor never terminated.
+			res.NeverSubmitted++
+			continue
+		}
+		oo := *o
+		if oo.End < 0 {
+			// Still queued or running when the simulation ended.
+			if rs, running := sm.running[j.ID]; running {
+				oo.Start = rs.start
+			}
+		}
+		res.Outcomes = append(res.Outcomes, oo)
+	}
+	res.Reservations = sm.resvResults
+	return res
+}

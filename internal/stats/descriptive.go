@@ -1,0 +1,283 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Std, CV  float64
+	Min, Max       float64
+	Median         float64
+	P10, P90, P99  float64
+	Sum            float64
+	SecondMomentum float64 // E[X^2], used by slowdown-style ratios
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample
+// returns a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[s.N-1]
+	for _, v := range sorted {
+		s.Sum += v
+		s.SecondMomentum += v * v
+	}
+	s.Mean = s.Sum / float64(s.N)
+	s.SecondMomentum /= float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range sorted {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.Mean != 0 {
+		s.CV = s.Std / s.Mean
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.10)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of an ascending-sorted sample
+// using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs; non-positive entries are
+// clamped to tiny to keep the result finite (the convention used for
+// geometric-mean slowdown).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Correlation returns the Pearson correlation coefficient of (xs, ys).
+// It returns 0 when either sample is degenerate.
+func Correlation(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic
+// D = sup |F1(x) - F2(x)|. It is the distance used by experiment E9 to
+// rank model fidelity (the paper cites the co-plot comparison of logs
+// and models [58]; K-S distance is the scalar analogue).
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		// Advance past all observations equal to the smaller current value
+		// in both samples, so ties do not inflate the statistic.
+		v := as[i]
+		if bs[j] < v {
+			v = bs[j]
+		}
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KendallTau computes Kendall's rank correlation between two orderings
+// expressed as score slices (higher = better). It is used by E3 to
+// quantify how much scheduler rankings shift as the objective weight
+// changes.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			p := da * db
+			switch {
+			case p > 0:
+				concordant++
+			case p < 0:
+				discordant++
+			}
+		}
+	}
+	total := float64(n*(n-1)) / 2
+	if total == 0 {
+		return 1
+	}
+	return float64(concordant-discordant) / total
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins on [lo,hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		idx := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations added (including out-of-range).
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations that fell into bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BatchMeansCI returns the mean and half-width of an approximate 95%
+// confidence interval computed with the batch-means method over k batches.
+// Simulation outputs are autocorrelated; batch means is the standard
+// output-analysis technique for steady-state measures.
+func BatchMeansCI(xs []float64, k int) (mean, halfWidth float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	batch := n / k
+	if batch == 0 {
+		batch = 1
+		k = n
+	}
+	means := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * batch
+		hi := lo + batch
+		if i == k-1 {
+			hi = n
+		}
+		means = append(means, Mean(xs[lo:hi]))
+	}
+	m := Mean(means)
+	if len(means) < 2 {
+		return m, 0
+	}
+	ss := 0.0
+	for _, v := range means {
+		d := v - m
+		ss += d * d
+	}
+	se := math.Sqrt(ss/float64(len(means)-1)) / math.Sqrt(float64(len(means)))
+	// t-quantile approximated by 1.96 + small-sample correction.
+	t := 1.96 + 2.4/float64(len(means))
+	return m, t * se
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P99 != 7 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 100}, {0.5, 50}, {0.25, 25}, {0.9, 90},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRNG(1)
+	f := func(seed int64) bool {
+		rr := NewRNG(seed)
+		n := rr.Intn(100) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("GeoMean(1,100) = %v, want 10", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation = %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation = %v", c)
+	}
+	if c := Correlation(xs, []float64{3, 3, 3, 3, 3}); c != 0 {
+		t.Fatalf("degenerate correlation = %v, want 0", c)
+	}
+	if c := Correlation(xs, []float64{1}); c != 0 {
+		t.Fatalf("mismatched lengths should give 0, got %v", c)
+	}
+}
+
+func TestKSIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Fatalf("K-S of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if d := KSStatistic(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("K-S of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if d := KSStatistic(nil, []float64{1}); d != 1 {
+		t.Fatalf("K-S with empty sample = %v, want 1", d)
+	}
+}
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	r1 := NewRNG(1)
+	r2 := NewRNG(2)
+	d := Exponential{Lambda: 1}
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = d.Sample(r1)
+		b[i] = d.Sample(r2)
+	}
+	if ks := KSStatistic(a, b); ks > 0.05 {
+		t.Fatalf("K-S between same-dist samples = %v, want < 0.05", ks)
+	}
+}
+
+func TestKSDifferentDistributionLarge(t *testing.T) {
+	r := NewRNG(3)
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = Exponential{Lambda: 1}.Sample(r)
+		b[i] = Exponential{Lambda: 0.1}.Sample(r)
+	}
+	if ks := KSStatistic(a, b); ks < 0.3 {
+		t.Fatalf("K-S between very different dists = %v, want > 0.3", ks)
+	}
+}
+
+func TestKSSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		a := make([]float64, 50+r.Intn(100))
+		b := make([]float64, 50+r.Intn(100))
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64() * 2
+		}
+		d1 := KSStatistic(a, b)
+		d2 := KSStatistic(b, a)
+		return math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if tau := KendallTau(a, a); tau != 1 {
+		t.Fatalf("tau(identical) = %v, want 1", tau)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if tau := KendallTau(a, rev); tau != -1 {
+		t.Fatalf("tau(reversed) = %v, want -1", tau)
+	}
+}
+
+func TestKendallTauPartial(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 3, 2}
+	// one discordant pair out of three -> (2-1)/3
+	if tau := KendallTau(a, b); math.Abs(tau-1.0/3) > 1e-12 {
+		t.Fatalf("tau = %v, want 1/3", tau)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(11) // over
+	if h.Total() != 12 {
+		t.Fatalf("total = %d, want 12", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, h.Counts[i])
+		}
+		if math.Abs(h.Fraction(i)-1.0/12) > 1e-12 {
+			t.Fatalf("fraction of bin %d = %v", i, h.Fraction(i))
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	r := NewRNG(9)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 5 + r.NormFloat64()
+	}
+	mean, hw := BatchMeansCI(xs, 20)
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("batch mean = %v, want ~5", mean)
+	}
+	if hw <= 0 || hw > 0.5 {
+		t.Fatalf("half width = %v, want small positive", hw)
+	}
+}
+
+func TestBatchMeansCIEdge(t *testing.T) {
+	if m, hw := BatchMeansCI(nil, 10); m != 0 || hw != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+	m, _ := BatchMeansCI([]float64{3}, 10)
+	if m != 3 {
+		t.Fatalf("singleton mean = %v", m)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+}

@@ -1,0 +1,405 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a continuous or discrete distribution that can be sampled.
+// All workload model components (interarrival times, runtimes, sizes,
+// think times, memory demands) are expressed as Dists so models can be
+// composed and swapped.
+type Dist interface {
+	// Sample draws one variate using rng.
+	Sample(rng *RNG) float64
+	// Mean returns the analytic mean of the distribution, or NaN if it
+	// has no finite mean.
+	Mean() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Constant
+
+// Constant is a degenerate distribution that always returns C.
+type Constant struct{ C float64 }
+
+func (c Constant) Sample(*RNG) float64 { return c.C }
+func (c Constant) Mean() float64       { return c.C }
+func (c Constant) String() string      { return fmt.Sprintf("Constant(%g)", c.C) }
+
+// ---------------------------------------------------------------------------
+// Uniform
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+func (u Uniform) Sample(rng *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*rng.Float64() }
+func (u Uniform) Mean() float64           { return (u.Lo + u.Hi) / 2 }
+func (u Uniform) String() string          { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// ---------------------------------------------------------------------------
+// Exponential
+
+// Exponential has rate Lambda (mean 1/Lambda). It is the canonical
+// interarrival model for Poisson job streams.
+type Exponential struct{ Lambda float64 }
+
+func (e Exponential) Sample(rng *RNG) float64 { return rng.ExpFloat64() / e.Lambda }
+func (e Exponential) Mean() float64           { return 1 / e.Lambda }
+func (e Exponential) String() string          { return fmt.Sprintf("Exp(lambda=%g)", e.Lambda) }
+
+// ---------------------------------------------------------------------------
+// Hyper-exponential
+
+// HyperExp is a two-branch hyper-exponential: with probability P the
+// variate is Exp(L1), otherwise Exp(L2). Used for bursty interarrivals
+// and highly variable service demands (CV > 1).
+type HyperExp struct {
+	P      float64 // probability of branch 1
+	L1, L2 float64 // rates of the two branches
+}
+
+func (h HyperExp) Sample(rng *RNG) float64 {
+	if rng.Bool(h.P) {
+		return rng.ExpFloat64() / h.L1
+	}
+	return rng.ExpFloat64() / h.L2
+}
+
+func (h HyperExp) Mean() float64 { return h.P/h.L1 + (1-h.P)/h.L2 }
+func (h HyperExp) String() string {
+	return fmt.Sprintf("HyperExp(p=%g,l1=%g,l2=%g)", h.P, h.L1, h.L2)
+}
+
+// ---------------------------------------------------------------------------
+// Erlang and hyper-Erlang
+
+// Erlang is the Erlang-K distribution: the sum of K exponentials of rate
+// Lambda. CV = 1/sqrt(K) < 1, so it models low-variability stages.
+type Erlang struct {
+	K      int
+	Lambda float64
+}
+
+func (e Erlang) Sample(rng *RNG) float64 {
+	sum := 0.0
+	for i := 0; i < e.K; i++ {
+		sum += rng.ExpFloat64()
+	}
+	return sum / e.Lambda
+}
+
+func (e Erlang) Mean() float64  { return float64(e.K) / e.Lambda }
+func (e Erlang) String() string { return fmt.Sprintf("Erlang(k=%d,lambda=%g)", e.K, e.Lambda) }
+
+// HyperErlang is a probabilistic mixture of Erlang branches. Jann et al.
+// (1997) model interarrival times and service demands of the Cornell SP2
+// workload with hyper-Erlangs of common order; this type is the substrate
+// for internal/model/jann.
+type HyperErlang struct {
+	Branches []Erlang
+	Probs    []float64 // must sum to 1 and match len(Branches)
+}
+
+func (h HyperErlang) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range h.Probs {
+		acc += p
+		if u < acc {
+			return h.Branches[i].Sample(rng)
+		}
+	}
+	return h.Branches[len(h.Branches)-1].Sample(rng)
+}
+
+func (h HyperErlang) Mean() float64 {
+	m := 0.0
+	for i, p := range h.Probs {
+		m += p * h.Branches[i].Mean()
+	}
+	return m
+}
+
+func (h HyperErlang) String() string {
+	return fmt.Sprintf("HyperErlang(%d branches)", len(h.Branches))
+}
+
+// ---------------------------------------------------------------------------
+// Gamma and hyper-gamma
+
+// Gamma is the gamma distribution with shape Alpha and scale Beta
+// (mean Alpha*Beta). Lublin & Feitelson (2003; MS thesis 1999) model
+// runtimes and per-process demands with hyper-gamma mixtures.
+type Gamma struct {
+	Alpha, Beta float64
+}
+
+func (g Gamma) Sample(rng *RNG) float64 {
+	return g.Beta * sampleGammaShape(rng, g.Alpha)
+}
+
+func (g Gamma) Mean() float64  { return g.Alpha * g.Beta }
+func (g Gamma) String() string { return fmt.Sprintf("Gamma(a=%g,b=%g)", g.Alpha, g.Beta) }
+
+// sampleGammaShape draws Gamma(alpha, 1) via Marsaglia-Tsang, with the
+// standard boost for alpha < 1.
+func sampleGammaShape(rng *RNG, alpha float64) float64 {
+	if alpha <= 0 {
+		panic("stats: Gamma with non-positive shape")
+	}
+	if alpha < 1 {
+		// Boost: G(a) = G(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGammaShape(rng, alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// HyperGamma is a two-branch gamma mixture: with probability P the
+// variate comes from G1, otherwise from G2.
+type HyperGamma struct {
+	P      float64
+	G1, G2 Gamma
+}
+
+func (h HyperGamma) Sample(rng *RNG) float64 {
+	if rng.Bool(h.P) {
+		return h.G1.Sample(rng)
+	}
+	return h.G2.Sample(rng)
+}
+
+func (h HyperGamma) Mean() float64 { return h.P*h.G1.Mean() + (1-h.P)*h.G2.Mean() }
+func (h HyperGamma) String() string {
+	return fmt.Sprintf("HyperGamma(p=%g,%v,%v)", h.P, h.G1, h.G2)
+}
+
+// ---------------------------------------------------------------------------
+// Log-normal
+
+// LogNormal has location Mu and scale Sigma of the underlying normal.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+func (l LogNormal) Sample(rng *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", l.Mu, l.Sigma)
+}
+
+// ---------------------------------------------------------------------------
+// Weibull
+
+// Weibull has shape K and scale Lambda. Used for time-between-failure in
+// the outage generator.
+type Weibull struct {
+	K, Lambda float64
+}
+
+func (w Weibull) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+func (w Weibull) Mean() float64 {
+	return w.Lambda * math.Gamma(1+1/w.K)
+}
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%g,lambda=%g)", w.K, w.Lambda) }
+
+// ---------------------------------------------------------------------------
+// Log-uniform (Downey)
+
+// LogUniform is uniform in log space on [Lo, Hi], Lo > 0. Downey (1997)
+// observed that cumulative runtime distributions of several workloads are
+// approximately linear in log(t), i.e. runtimes are log-uniform.
+type LogUniform struct {
+	Lo, Hi float64
+}
+
+func (l LogUniform) Sample(rng *RNG) float64 {
+	a, b := math.Log(l.Lo), math.Log(l.Hi)
+	return math.Exp(a + (b-a)*rng.Float64())
+}
+
+func (l LogUniform) Mean() float64 {
+	a, b := math.Log(l.Lo), math.Log(l.Hi)
+	if b == a {
+		return l.Lo
+	}
+	return (l.Hi - l.Lo) / (b - a)
+}
+
+func (l LogUniform) String() string { return fmt.Sprintf("LogUniform[%g,%g]", l.Lo, l.Hi) }
+
+// ---------------------------------------------------------------------------
+// Two-stage uniform (Lublin size model)
+
+// TwoStageUniform is the two-stage log-uniform used by the Lublin model
+// for job sizes: with probability Prob the value is uniform on [Med, Hi],
+// otherwise uniform on [Lo, Med]. All in log2 space when used for sizes.
+type TwoStageUniform struct {
+	Lo, Med, Hi float64
+	Prob        float64 // probability of the upper stage
+}
+
+func (t TwoStageUniform) Sample(rng *RNG) float64 {
+	if rng.Bool(t.Prob) {
+		return t.Med + (t.Hi-t.Med)*rng.Float64()
+	}
+	return t.Lo + (t.Med-t.Lo)*rng.Float64()
+}
+
+func (t TwoStageUniform) Mean() float64 {
+	return t.Prob*(t.Med+t.Hi)/2 + (1-t.Prob)*(t.Lo+t.Med)/2
+}
+
+func (t TwoStageUniform) String() string {
+	return fmt.Sprintf("TwoStageUniform[%g,%g,%g;p=%g]", t.Lo, t.Med, t.Hi, t.Prob)
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+
+// Zipf is a discrete Zipf distribution over {1..N} with exponent S >= 0.
+// Used for user/application popularity (a few users dominate the log).
+type Zipf struct {
+	N int
+	S float64
+
+	cdf []float64 // lazily built cumulative weights
+}
+
+// NewZipf precomputes the CDF for sampling.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with n <= 0")
+	}
+	z := &Zipf{N: n, S: s}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		z.cdf[i-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func (z *Zipf) Sample(rng *RNG) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.N {
+		i = z.N - 1
+	}
+	return float64(i + 1)
+}
+
+func (z *Zipf) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for i, c := range z.cdf {
+		m += float64(i+1) * (c - prev)
+		prev = c
+	}
+	return m
+}
+
+func (z *Zipf) String() string { return fmt.Sprintf("Zipf(n=%d,s=%g)", z.N, z.S) }
+
+// ---------------------------------------------------------------------------
+// Empirical
+
+// Empirical samples uniformly from a fixed set of observations. It is the
+// bridge from a recorded log back into a generator ("resampling").
+type Empirical struct {
+	Values []float64
+}
+
+func (e Empirical) Sample(rng *RNG) float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	return e.Values[rng.Intn(len(e.Values))]
+}
+
+func (e Empirical) Mean() float64 {
+	if len(e.Values) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range e.Values {
+		s += v
+	}
+	return s / float64(len(e.Values))
+}
+
+func (e Empirical) String() string { return fmt.Sprintf("Empirical(n=%d)", len(e.Values)) }
+
+// ---------------------------------------------------------------------------
+// Transforms
+
+// Truncated clamps samples of Base into [Lo, Hi] by resampling (up to 64
+// attempts, then clamping). Workload fields are bounded (runtime limits,
+// machine size), so every model distribution gets wrapped in one of these.
+type Truncated struct {
+	Base   Dist
+	Lo, Hi float64
+}
+
+func (t Truncated) Sample(rng *RNG) float64 {
+	for i := 0; i < 64; i++ {
+		v := t.Base.Sample(rng)
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+	v := t.Base.Sample(rng)
+	return math.Min(math.Max(v, t.Lo), t.Hi)
+}
+
+func (t Truncated) Mean() float64  { return t.Base.Mean() } // approximation
+func (t Truncated) String() string { return fmt.Sprintf("Truncated(%v,[%g,%g])", t.Base, t.Lo, t.Hi) }
+
+// Scaled multiplies samples of Base by Factor. Used for load scaling:
+// multiplying interarrival times by 1/f raises offered load by f.
+type Scaled struct {
+	Base   Dist
+	Factor float64
+}
+
+func (s Scaled) Sample(rng *RNG) float64 { return s.Factor * s.Base.Sample(rng) }
+func (s Scaled) Mean() float64           { return s.Factor * s.Base.Mean() }
+func (s Scaled) String() string          { return fmt.Sprintf("Scaled(%v,%g)", s.Base, s.Factor) }

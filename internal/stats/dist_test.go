@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleMean draws n variates and returns their mean.
+func sampleMean(d Dist, seed int64, n int) float64 {
+	r := NewRNG(seed)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+// checkMean asserts that the empirical mean approaches the analytic mean
+// within tol (relative).
+func checkMean(t *testing.T, d Dist, tol float64) {
+	t.Helper()
+	want := d.Mean()
+	got := sampleMean(d, 99, 200000)
+	if want == 0 {
+		if math.Abs(got) > tol {
+			t.Errorf("%v: empirical mean %v, want ~0", d, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Errorf("%v: empirical mean %v, analytic %v", d, got, want)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{C: 42}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 42 {
+			t.Fatal("constant distribution not constant")
+		}
+	}
+	checkMean(t, d, 1e-12)
+}
+
+func TestUniformMean(t *testing.T)     { checkMean(t, Uniform{Lo: 2, Hi: 10}, 0.01) }
+func TestExponentialMean(t *testing.T) { checkMean(t, Exponential{Lambda: 0.25}, 0.02) }
+func TestHyperExpMean(t *testing.T) {
+	checkMean(t, HyperExp{P: 0.3, L1: 0.1, L2: 2}, 0.03)
+}
+func TestErlangMean(t *testing.T) { checkMean(t, Erlang{K: 4, Lambda: 2}, 0.02) }
+func TestGammaMeanShapeAbove1(t *testing.T) {
+	checkMean(t, Gamma{Alpha: 3.5, Beta: 2}, 0.02)
+}
+func TestGammaMeanShapeBelow1(t *testing.T) {
+	checkMean(t, Gamma{Alpha: 0.45, Beta: 10}, 0.03)
+}
+func TestLogNormalMean(t *testing.T)  { checkMean(t, LogNormal{Mu: 1, Sigma: 0.5}, 0.02) }
+func TestWeibullMean(t *testing.T)    { checkMean(t, Weibull{K: 1.5, Lambda: 100}, 0.02) }
+func TestLogUniformMean(t *testing.T) { checkMean(t, LogUniform{Lo: 1, Hi: 10000}, 0.03) }
+func TestTwoStageUniformMean(t *testing.T) {
+	checkMean(t, TwoStageUniform{Lo: 0, Med: 4, Hi: 8, Prob: 0.7}, 0.02)
+}
+
+func TestHyperGammaMean(t *testing.T) {
+	d := HyperGamma{P: 0.4, G1: Gamma{Alpha: 2, Beta: 3}, G2: Gamma{Alpha: 5, Beta: 10}}
+	checkMean(t, d, 0.03)
+}
+
+func TestHyperErlangMean(t *testing.T) {
+	d := HyperErlang{
+		Branches: []Erlang{{K: 2, Lambda: 1}, {K: 3, Lambda: 0.1}},
+		Probs:    []float64{0.6, 0.4},
+	}
+	checkMean(t, d, 0.03)
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	r := NewRNG(3)
+	counts := make([]int, 101)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[int(z.Sample(r))]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[5] {
+		t.Fatalf("Zipf not skewed: c1=%d c2=%d c5=%d", counts[1], counts[2], counts[5])
+	}
+	checkMean(t, z, 0.05)
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(10, 0.8)
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(r)
+		if v < 1 || v > 10 {
+			t.Fatalf("Zipf sample %v out of range", v)
+		}
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	d := Empirical{Values: []float64{1, 2, 3, 4}}
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < 1 || v > 4 {
+			t.Fatalf("empirical sample %v outside observed set", v)
+		}
+	}
+	if d.Mean() != 2.5 {
+		t.Fatalf("empirical mean = %v, want 2.5", d.Mean())
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	d := Empirical{}
+	if got := d.Sample(NewRNG(1)); got != 0 {
+		t.Fatalf("empty empirical sample = %v, want 0", got)
+	}
+	if !math.IsNaN(d.Mean()) {
+		t.Fatal("empty empirical mean should be NaN")
+	}
+}
+
+func TestTruncatedBounds(t *testing.T) {
+	d := Truncated{Base: Exponential{Lambda: 0.001}, Lo: 10, Hi: 100}
+	r := NewRNG(6)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 10 || v > 100 {
+			t.Fatalf("truncated sample %v outside [10,100]", v)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := Scaled{Base: Constant{C: 3}, Factor: 2.5}
+	if got := d.Sample(NewRNG(1)); got != 7.5 {
+		t.Fatalf("scaled sample = %v, want 7.5", got)
+	}
+	if d.Mean() != 7.5 {
+		t.Fatalf("scaled mean = %v, want 7.5", d.Mean())
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive gamma shape")
+		}
+	}()
+	Gamma{Alpha: 0, Beta: 1}.Sample(NewRNG(1))
+}
+
+func TestExponentialCV(t *testing.T) {
+	// CV of an exponential is 1; of Erlang-4 is 0.5; of a hyper-exp > 1.
+	r := NewRNG(8)
+	cv := func(d Dist) float64 {
+		xs := make([]float64, 50000)
+		for i := range xs {
+			xs[i] = d.Sample(r)
+		}
+		s := Summarize(xs)
+		return s.CV
+	}
+	if v := cv(Exponential{Lambda: 1}); math.Abs(v-1) > 0.05 {
+		t.Errorf("exp CV = %v, want ~1", v)
+	}
+	if v := cv(Erlang{K: 4, Lambda: 1}); math.Abs(v-0.5) > 0.05 {
+		t.Errorf("erlang-4 CV = %v, want ~0.5", v)
+	}
+	if v := cv(HyperExp{P: 0.1, L1: 0.01, L2: 1}); v < 1.2 {
+		t.Errorf("hyper-exp CV = %v, want > 1.2", v)
+	}
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedIndependence(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGZeroSeedValid(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seed stream is degenerate: only %d distinct values", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64MeanNearHalf(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n < 64; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams collide: %d/1000", same)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if math.Abs(sum/n-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", sum/n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(29)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}

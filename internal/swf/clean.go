@@ -1,0 +1,109 @@
+package swf
+
+import "sort"
+
+// CleanReport describes what Clean did to a log.
+type CleanReport struct {
+	Input            int // records in
+	Output           int // records out
+	DroppedPartials  int // partial-execution lines removed
+	DroppedNoRuntime int // summary lines without a usable runtime
+	DroppedNoProcs   int // summary lines without a processor count
+	ClampedCPU       int // AvgCPU clamped down to RunTime
+	Renumbered       int // job IDs rewritten
+	ShiftedBy        int64
+	ResortedRecords  bool
+	RepairedPrec     int // preceding-job references dropped or remapped
+}
+
+// Clean reduces a log to the canonical workload-study view, mirroring
+// the archive practice of shipping ".cln.swf" files next to raw logs:
+//
+//   - keep only whole-job summary lines (status -1/0/1);
+//   - drop jobs with unknown runtime or processor count (they cannot be
+//     replayed through a scheduler);
+//   - clamp average CPU time to the wall-clock runtime;
+//   - re-sort by submit time and shift so the first submittal is 0;
+//   - renumber jobs sequentially from 1, remapping preceding-job
+//     references and dropping those that point at removed jobs.
+//
+// The input log is not modified.
+func Clean(in *Log) (*Log, CleanReport) {
+	var rep CleanReport
+	rep.Input = len(in.Records)
+
+	kept := make([]Record, 0, len(in.Records))
+	for _, r := range in.Records {
+		if !r.Status.IsSummary() {
+			rep.DroppedPartials++
+			continue
+		}
+		if r.RunTime < 0 {
+			rep.DroppedNoRuntime++
+			continue
+		}
+		if r.Procs <= 0 {
+			if r.ReqProcs > 0 {
+				// Fall back on the request when the allocation was not
+				// recorded; this keeps the job replayable.
+				r.Procs = r.ReqProcs
+			} else {
+				rep.DroppedNoProcs++
+				continue
+			}
+		}
+		if r.AvgCPU > r.RunTime && r.RunTime >= 0 {
+			r.AvgCPU = r.RunTime
+			rep.ClampedCPU++
+		}
+		kept = append(kept, r)
+	}
+
+	// Stable sort by submit time; records with unknown submit sink to
+	// the position they held (stability keeps ties in file order).
+	sorted := sort.SliceIsSorted(kept, func(i, j int) bool {
+		return kept[i].Submit < kept[j].Submit
+	})
+	if !sorted {
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Submit < kept[j].Submit })
+		rep.ResortedRecords = true
+	}
+
+	// Shift so the earliest submittal is zero.
+	if len(kept) > 0 && kept[0].Submit > 0 {
+		rep.ShiftedBy = kept[0].Submit
+		for i := range kept {
+			if kept[i].Submit >= 0 {
+				kept[i].Submit -= rep.ShiftedBy
+			}
+		}
+	}
+
+	// Renumber sequentially, remapping feedback references.
+	idMap := make(map[int64]int64, len(kept))
+	for i := range kept {
+		newID := int64(i + 1)
+		if kept[i].JobID != newID {
+			rep.Renumbered++
+		}
+		idMap[kept[i].JobID] = newID
+	}
+	for i := range kept {
+		kept[i].JobID = int64(i + 1)
+		if kept[i].PrecedingJob > 0 {
+			if mapped, ok := idMap[kept[i].PrecedingJob]; ok && mapped < kept[i].JobID {
+				kept[i].PrecedingJob = mapped
+			} else {
+				kept[i].PrecedingJob = Missing
+				kept[i].ThinkTime = Missing
+				rep.RepairedPrec++
+			}
+		}
+	}
+
+	out := &Log{Header: in.Header, Records: kept}
+	out.Header.Notes = append(append([]string(nil), in.Header.Notes...),
+		"Cleaned: summary lines only, sorted, renumbered (parsched swf.Clean)")
+	rep.Output = len(kept)
+	return out, rep
+}

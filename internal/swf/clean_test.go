@@ -1,0 +1,182 @@
+package swf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanDropsPartials(t *testing.T) {
+	log := cleanFixture()
+	log.Records = append(log.Records, Record{
+		JobID: 3, Submit: -1, Wait: 10, RunTime: 100, Procs: 64,
+		Status: StatusPartialLastOK, User: 1, Group: 1, App: 1, Queue: 1,
+		Partition: 1, PrecedingJob: -1, ThinkTime: -1,
+	})
+	out, rep := Clean(log)
+	if rep.DroppedPartials != 1 {
+		t.Fatalf("DroppedPartials = %d", rep.DroppedPartials)
+	}
+	for _, r := range out.Records {
+		if !r.Status.IsSummary() {
+			t.Fatal("partial survived cleaning")
+		}
+	}
+}
+
+func TestCleanDropsUnusableJobs(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].RunTime = Missing
+	out, rep := Clean(log)
+	if rep.DroppedNoRuntime != 1 {
+		t.Fatalf("DroppedNoRuntime = %d", rep.DroppedNoRuntime)
+	}
+	if len(out.Records) != 2 {
+		t.Fatalf("kept %d records", len(out.Records))
+	}
+}
+
+func TestCleanFallsBackToReqProcs(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].Procs = Missing // ReqProcs is 8
+	out, rep := Clean(log)
+	if rep.DroppedNoProcs != 0 {
+		t.Fatal("job with known request should be kept")
+	}
+	if out.Records[0].Procs != 8 {
+		t.Fatalf("Procs = %d, want fallback 8", out.Records[0].Procs)
+	}
+}
+
+func TestCleanDropsNoProcsAtAll(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].Procs = Missing
+	log.Records[0].ReqProcs = Missing
+	_, rep := Clean(log)
+	if rep.DroppedNoProcs != 1 {
+		t.Fatalf("DroppedNoProcs = %d", rep.DroppedNoProcs)
+	}
+}
+
+func TestCleanClampsCPU(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].AvgCPU = 10000 // runtime 100
+	out, rep := Clean(log)
+	if rep.ClampedCPU != 1 {
+		t.Fatalf("ClampedCPU = %d", rep.ClampedCPU)
+	}
+	if out.Records[0].AvgCPU != out.Records[0].RunTime {
+		t.Fatal("CPU not clamped to runtime")
+	}
+}
+
+func TestCleanResortsAndRebases(t *testing.T) {
+	log := cleanFixture()
+	// Scramble submit order and offset the base.
+	log.Records[0].Submit = 1000
+	log.Records[1].Submit = 500
+	log.Records[2].Submit = 700
+	out, rep := Clean(log)
+	if !rep.ResortedRecords {
+		t.Fatal("expected resort")
+	}
+	if out.Records[0].Submit != 0 {
+		t.Fatalf("first submit = %d, want 0 after rebase", out.Records[0].Submit)
+	}
+	prev := int64(-1)
+	for _, r := range out.Records {
+		if r.Submit < prev {
+			t.Fatal("records not sorted after clean")
+		}
+		prev = r.Submit
+	}
+	if rep.ShiftedBy != 500 {
+		t.Fatalf("ShiftedBy = %d, want 500", rep.ShiftedBy)
+	}
+}
+
+func TestCleanRenumbersAndRemapsFeedback(t *testing.T) {
+	log := cleanFixture()
+	// Drop job 1 (unknown runtime); job 3 depends on job 1 and must lose
+	// its reference; job IDs must be renumbered 1..2.
+	log.Records[0].RunTime = Missing
+	out, rep := Clean(log)
+	if len(out.Records) != 2 {
+		t.Fatalf("kept %d", len(out.Records))
+	}
+	if out.Records[0].JobID != 1 || out.Records[1].JobID != 2 {
+		t.Fatalf("renumbering wrong: %d, %d", out.Records[0].JobID, out.Records[1].JobID)
+	}
+	if out.Records[1].PrecedingJob != Missing {
+		t.Fatalf("dangling preceding job kept: %d", out.Records[1].PrecedingJob)
+	}
+	if rep.RepairedPrec != 1 {
+		t.Fatalf("RepairedPrec = %d", rep.RepairedPrec)
+	}
+}
+
+func TestCleanKeepsValidFeedback(t *testing.T) {
+	log := cleanFixture()
+	out, _ := Clean(log)
+	if out.Records[2].PrecedingJob != 1 {
+		t.Fatalf("valid preceding-job link lost: %d", out.Records[2].PrecedingJob)
+	}
+}
+
+func TestCleanOutputIsValid(t *testing.T) {
+	// Property: cleaning any syntactically parseable log yields a log
+	// with no hard validation errors.
+	f := func(seed int64) bool {
+		log := cleanFixture()
+		// Inject representative dirt deterministically from the seed.
+		switch seed % 5 {
+		case 0:
+			log.Records[0].RunTime = Missing
+		case 1:
+			log.Records[1].AvgCPU = 99999
+		case 2:
+			log.Records[0].Submit = 777
+		case 3:
+			log.Records[2].PrecedingJob = Missing
+		case 4:
+			log.Records[1].Procs = Missing
+		}
+		out, _ := Clean(log)
+		return len(Errors(Validate(out))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanDoesNotMutateInput(t *testing.T) {
+	log := cleanFixture()
+	before := append([]Record(nil), log.Records...)
+	log.Records[0].AvgCPU = 10000
+	before[0].AvgCPU = 10000
+	Clean(log)
+	for i := range before {
+		if log.Records[i] != before[i] {
+			t.Fatalf("Clean mutated input record %d", i)
+		}
+	}
+}
+
+func TestCleanAddsNote(t *testing.T) {
+	out, _ := Clean(cleanFixture())
+	found := false
+	for _, n := range out.Header.Notes {
+		if n != "" && len(n) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("clean log should carry a provenance note")
+	}
+}
+
+func TestCleanEmptyLog(t *testing.T) {
+	out, rep := Clean(&Log{})
+	if rep.Input != 0 || rep.Output != 0 || len(out.Records) != 0 {
+		t.Fatal("cleaning an empty log should be a no-op")
+	}
+}

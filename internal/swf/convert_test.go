@@ -1,0 +1,173 @@
+package swf
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleRaw() []RawJob {
+	return []RawJob{
+		{ID: "88.a", User: "alice", Group: "physics", App: "/bin/lsdyna",
+			Queue: "batch", Partition: "main", Submit: 1000, Start: 1010,
+			End: 1110, Procs: 8, AvgCPU: 95, UsedMem: 512, ReqProcs: 8,
+			ReqTime: 200, ReqMem: 1024, Completed: true},
+		{ID: "89.a", User: "bob", Group: "chem", App: "gauss",
+			Queue: "interactive", Partition: "main", Submit: 900, Start: 905,
+			End: 955, Procs: 2, AvgCPU: 40, UsedMem: 128, ReqProcs: 2,
+			ReqTime: 100, ReqMem: 256, Completed: false},
+		{ID: "90.a", User: "alice", Group: "physics", App: "gauss",
+			Queue: "batch", Partition: "aux", Submit: 1200, Start: -1,
+			End: -1, Procs: 4, AvgCPU: -1, UsedMem: -1, ReqProcs: 4,
+			ReqTime: 300, ReqMem: -1, Completed: false},
+	}
+}
+
+func TestConvertAnonymizesAndSorts(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	log := c.Convert(Header{Computer: "TestBox", MaxNodes: 64})
+
+	if len(log.Records) != 3 {
+		t.Fatalf("got %d records", len(log.Records))
+	}
+	// Sorted by submit: bob(900), alice(1000), alice(1200); rebased to 0.
+	if log.Records[0].Submit != 0 || log.Records[1].Submit != 100 || log.Records[2].Submit != 300 {
+		t.Fatalf("submit times wrong: %d %d %d",
+			log.Records[0].Submit, log.Records[1].Submit, log.Records[2].Submit)
+	}
+	// Job IDs sequential.
+	for i, r := range log.Records {
+		if r.JobID != int64(i+1) {
+			t.Fatalf("job %d has ID %d", i, r.JobID)
+		}
+	}
+	// bob interned as user 1 (first by submit), alice as 2.
+	if log.Records[0].User != 1 || log.Records[1].User != 2 || log.Records[2].User != 2 {
+		t.Fatalf("user interning wrong: %d %d %d",
+			log.Records[0].User, log.Records[1].User, log.Records[2].User)
+	}
+	// No string leaks anywhere: the log serializes to integers only.
+	text := log.String()
+	for _, leak := range []string{"alice", "bob", "physics", "gauss", "lsdyna"} {
+		if strings.Contains(text, leak) {
+			t.Fatalf("sensitive string %q leaked into the standard log", leak)
+		}
+	}
+}
+
+func TestConvertQueueConvention(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	log := c.Convert(Header{})
+	if log.Records[0].Queue != 0 {
+		t.Fatalf("interactive queue = %d, want 0", log.Records[0].Queue)
+	}
+	if log.Records[1].Queue == 0 {
+		t.Fatal("batch queue must not be 0")
+	}
+}
+
+func TestConvertDerivedTimes(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	log := c.Convert(Header{})
+	// bob: wait 5, runtime 50.
+	if log.Records[0].Wait != 5 || log.Records[0].RunTime != 50 {
+		t.Fatalf("derived times wrong: %+v", log.Records[0])
+	}
+	// Unknown start/end -> missing wait/runtime.
+	if log.Records[2].Wait != Missing || log.Records[2].RunTime != Missing {
+		t.Fatalf("unknown start should yield missing: %+v", log.Records[2])
+	}
+}
+
+func TestConvertStatus(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	log := c.Convert(Header{})
+	if log.Records[1].Status != StatusCompleted {
+		t.Fatal("completed job should map to status 1")
+	}
+	if log.Records[0].Status != StatusKilled {
+		t.Fatal("killed job should map to status 0")
+	}
+}
+
+func TestConvertCounts(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	c.Convert(Header{})
+	users, groups, apps, queues, _ := c.Counts()
+	if users != 2 || groups != 2 || apps != 2 {
+		t.Fatalf("counts = %d users %d groups %d apps", users, groups, apps)
+	}
+	if queues != 1 { // "batch" only; "interactive" is the 0 convention
+		t.Fatalf("queues = %d, want 1", queues)
+	}
+}
+
+func TestConvertRoundTripValid(t *testing.T) {
+	c := NewConverter()
+	for _, j := range sampleRaw() {
+		c.Add(j)
+	}
+	log := c.Convert(Header{Computer: "X", MaxNodes: 64})
+	// The raw conversion keeps jobs with unknown runtimes; cleaning must
+	// produce a fully valid log.
+	clean, _ := Clean(log)
+	if vs := Errors(Validate(clean)); len(vs) != 0 {
+		t.Fatalf("converted+cleaned log invalid: %v", vs)
+	}
+}
+
+const rawFixture = `# synthetic accounting log
+88.a:alice:physics:lsdyna:batch:main:1000:1010:1110:8:95:512:8:200:1024:ok
+89.a:bob:chem:gauss:interactive:main:900:905:955:2:40:128:2:100:256:killed
+90.a:alice:physics:gauss:batch:aux:1200:-:-:4:-:-:4:300:-:killed
+`
+
+func TestParseRawLog(t *testing.T) {
+	jobs, err := ParseRawLog(strings.NewReader(rawFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	if jobs[0].User != "alice" || !jobs[0].Completed {
+		t.Fatalf("job 0 wrong: %+v", jobs[0])
+	}
+	if jobs[2].Start != -1 || jobs[2].AvgCPU != -1 {
+		t.Fatalf("missing values wrong: %+v", jobs[2])
+	}
+}
+
+func TestParseRawLogErrors(t *testing.T) {
+	if _, err := ParseRawLog(strings.NewReader("a:b:c\n")); err == nil {
+		t.Fatal("expected field-count error")
+	}
+	bad := "88.a:alice:g:a:q:p:xxx:1010:1110:8:95:512:8:200:1024:ok\n"
+	if _, err := ParseRawLog(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected integer parse error")
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	log := NewConverter().Convert(Header{})
+	if len(log.Records) != 0 {
+		t.Fatal("empty converter should yield empty log")
+	}
+	if log.Header.Version != Version {
+		t.Fatal("version should default")
+	}
+}

@@ -1,0 +1,209 @@
+package swf
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleLog = `;Computer: iPSC/860
+;Installation: NASA Ames Research Center
+;Acknowledge: Bill Nitzberg
+;Information: http://www.cs.huji.ac.il/labs/parallel/workload/
+;Conversion: parsched test fixture
+;Version: 2
+;StartTime: Tuesday, 1 Dec 1998, 22:00:00
+;EndTime: Friday, 1 Jan 1999, 22:00:00
+;MaxNodes: 128
+;MaxRuntime: 86400
+;MaxMemory: 32768
+;AllowOveruse: No
+;ReqTime: wallclock runtime
+;Queues: queue 0 is interactive, 1-3 are batch
+;Partitions: single partition
+;Note: test fixture, not real data
+; free-form comment that is not a header
+1 0 5 100 8 90 512 8 200 1024 1 1 1 1 1 1 -1 -1
+2 30 0 50 16 45 256 16 100 512 1 2 1 2 0 1 -1 -1
+3 60 120 400 32 390 -1 32 500 -1 0 1 1 1 2 1 1 10
+`
+
+func TestReadSample(t *testing.T) {
+	log, err := Read(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(log.Records))
+	}
+	h := log.Header
+	if h.Computer != "iPSC/860" {
+		t.Errorf("Computer = %q", h.Computer)
+	}
+	if h.MaxNodes != 128 || h.MaxRuntime != 86400 || h.MaxMemory != 32768 {
+		t.Errorf("limits wrong: %+v", h)
+	}
+	if h.Version != 2 {
+		t.Errorf("Version = %d", h.Version)
+	}
+	if h.AllowOveruse || !h.HasOveruse() {
+		t.Error("AllowOveruse should be stated and false")
+	}
+	if h.StartTime.IsZero() || h.StartTime.Weekday() != time.Tuesday {
+		t.Errorf("StartTime = %v", h.StartTime)
+	}
+	if len(h.Notes) != 1 {
+		t.Errorf("Notes = %v", h.Notes)
+	}
+	if len(h.Extra) != 1 || !strings.Contains(h.Extra[0], "free-form") {
+		t.Errorf("Extra = %v", h.Extra)
+	}
+	if log.Records[2].PrecedingJob != 1 || log.Records[2].ThinkTime != 10 {
+		t.Errorf("feedback fields wrong: %+v", log.Records[2])
+	}
+}
+
+func TestReadBadLine(t *testing.T) {
+	_, err := Read(strings.NewReader("1 2 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	log1, err := Read(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := log1.String()
+	log2, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, text)
+	}
+	if len(log2.Records) != len(log1.Records) {
+		t.Fatalf("record count changed: %d -> %d", len(log1.Records), len(log2.Records))
+	}
+	for i := range log1.Records {
+		if log1.Records[i] != log2.Records[i] {
+			t.Fatalf("record %d changed: %+v -> %+v", i, log1.Records[i], log2.Records[i])
+		}
+	}
+	if log2.Header.Computer != log1.Header.Computer ||
+		log2.Header.MaxNodes != log1.Header.MaxNodes ||
+		!log2.Header.StartTime.Equal(log1.Header.StartTime) {
+		t.Fatal("header changed across round trip")
+	}
+}
+
+func TestLogRoundTripLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	log1 := &Log{Header: Header{Computer: "synthetic", Version: 2, MaxNodes: 512}}
+	submit := int64(0)
+	for i := 1; i <= 2000; i++ {
+		r := genRecord(rng, int64(i))
+		submit += rng.Int63n(100)
+		r.Submit = submit
+		log1.Records = append(log1.Records, r)
+	}
+	log2, err := Read(strings.NewReader(log1.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log2.Records) != 2000 {
+		t.Fatalf("got %d records", len(log2.Records))
+	}
+	for i := range log1.Records {
+		if log1.Records[i] != log2.Records[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.swf")
+	log1, _ := Read(strings.NewReader(sampleLog))
+	if err := WriteFile(path, log1); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log2.Records) != len(log1.Records) {
+		t.Fatal("file round trip lost records")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/file.swf"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSummariesAndPartials(t *testing.T) {
+	log := &Log{Records: []Record{
+		{JobID: 1, Status: StatusCompleted},
+		{JobID: 1, Status: StatusPartial},
+		{JobID: 1, Status: StatusPartialLastOK},
+		{JobID: 2, Status: StatusKilled},
+	}}
+	if n := len(log.Summaries()); n != 2 {
+		t.Errorf("Summaries = %d, want 2", n)
+	}
+	if n := len(log.Partials()); n != 2 {
+		t.Errorf("Partials = %d, want 2", n)
+	}
+}
+
+func TestMaxJobID(t *testing.T) {
+	log := &Log{Records: []Record{{JobID: 5}, {JobID: 3}}}
+	if log.MaxJobID() != 5 {
+		t.Fatalf("MaxJobID = %d", log.MaxJobID())
+	}
+	if (&Log{}).MaxJobID() != 0 {
+		t.Fatal("empty log MaxJobID should be 0")
+	}
+}
+
+func TestEmptyLinesSkipped(t *testing.T) {
+	log, err := Read(strings.NewReader("\n\n;Version: 2\n\n1 0 0 1 1 -1 -1 1 1 -1 1 1 1 1 1 1 -1 -1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(log.Records))
+	}
+}
+
+func TestHeaderMaxNodesWithPartitionSizes(t *testing.T) {
+	log, err := Read(strings.NewReader(";MaxNodes: 430 (416 batch, 14 interactive)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.MaxNodes != 430 {
+		t.Fatalf("MaxNodes = %d, want 430", log.Header.MaxNodes)
+	}
+}
+
+func TestHeaderUnparsableBecomesExtra(t *testing.T) {
+	log, err := Read(strings.NewReader(";MaxNodes: lots\n;StartTime: yesterday\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Header.Extra) != 2 {
+		t.Fatalf("Extra = %v", log.Header.Extra)
+	}
+}
+
+func TestReqTimeKindHeader(t *testing.T) {
+	log, err := Read(strings.NewReader(";ReqTime: average CPU time per processor\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.ReqTimeKind != ReqTimeAvgCPU {
+		t.Fatal("ReqTime kind should be CPU")
+	}
+}

@@ -1,0 +1,235 @@
+package swf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity classifies a validation finding. Errors violate the letter of
+// the standard; warnings flag data that is legal but suspicious (the
+// kind of local anomaly the paper warns about when replaying raw logs).
+type Severity int
+
+const (
+	// Warning marks suspicious but legal data.
+	Warning Severity = iota
+	// Error marks a violation of the standard's consistency rules.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Violation is one finding of the validator.
+type Violation struct {
+	Severity Severity
+	Line     int    // 1-based record index (not counting comments); 0 = whole file
+	JobID    int64  // offending job, 0 if not applicable
+	Rule     string // stable rule identifier, e.g. "submit-order"
+	Message  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s] record %d job %d: %s", v.Severity, v.Rule, v.Line, v.JobID, v.Message)
+}
+
+// Validate checks the log against the consistency rules of the standard
+// and returns all findings, errors first, each group in record order.
+// A clean log returns an empty slice.
+func Validate(log *Log) []Violation {
+	var vs []Violation
+	add := func(sev Severity, line int, job int64, rule, format string, args ...interface{}) {
+		vs = append(vs, Violation{
+			Severity: sev, Line: line, JobID: job, Rule: rule,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	h := &log.Header
+	if h.Version != 0 && h.Version != Version {
+		add(Warning, 0, 0, "version", "file declares version %d; this package implements version %d", h.Version, Version)
+	}
+
+	// Per-record field rules.
+	var prevSubmit int64
+	summaryCount := int64(0)
+	summarySeen := map[int64]int{} // job id -> record index of summary line
+	partialSeen := map[int64][]int{}
+	for i := range log.Records {
+		r := &log.Records[i]
+		line := i + 1
+
+		// Rule: all values are -1 (missing) or non-negative.
+		for fi, val := range r.fields() {
+			if val < -1 {
+				add(Error, line, r.JobID, "negative-field", "field %d is %d; only -1 and non-negative values are allowed", fi+1, val)
+			}
+		}
+
+		if !r.Status.Valid() {
+			add(Error, line, r.JobID, "status-range", "completion code %d is not one of -1,0,1,2,3,4", int64(r.Status))
+		}
+
+		if r.JobID <= 0 {
+			add(Error, line, r.JobID, "jobid-positive", "job number must be a counter starting from 1")
+		}
+
+		// Rule: sorted by ascending submit time (only lines that carry a
+		// submit time participate; continuation lines may omit it).
+		if r.Submit >= 0 {
+			if r.Submit < prevSubmit {
+				add(Error, line, r.JobID, "submit-order", "submit time %d precedes earlier record's %d; lines must be sorted by ascending submittal", r.Submit, prevSubmit)
+			} else {
+				prevSubmit = r.Submit
+			}
+		}
+
+		if r.Status.IsSummary() {
+			summaryCount++
+			if r.JobID != summaryCount {
+				add(Error, line, r.JobID, "jobid-sequential", "summary job numbers must be sequential from 1; want %d", summaryCount)
+			}
+			if prev, dup := summarySeen[r.JobID]; dup {
+				add(Error, line, r.JobID, "jobid-duplicate", "job already has a summary line at record %d", prev)
+			}
+			summarySeen[r.JobID] = line
+			// A summary line must carry a submit time.
+			if r.Submit < 0 {
+				add(Error, line, r.JobID, "summary-submit", "summary line lacks a submit time")
+			}
+		} else {
+			partialSeen[r.JobID] = append(partialSeen[r.JobID], line)
+		}
+
+		if r.Procs == 0 {
+			add(Error, line, r.JobID, "procs-positive", "allocated processors must be at least 1 when known")
+		}
+		if h.MaxNodes > 0 && r.Procs > h.MaxNodes {
+			add(Error, line, r.JobID, "procs-maxnodes", "allocated processors %d exceed MaxNodes %d", r.Procs, h.MaxNodes)
+		}
+		if h.MaxNodes > 0 && r.ReqProcs > h.MaxNodes {
+			add(Error, line, r.JobID, "reqprocs-maxnodes", "requested processors %d exceed MaxNodes %d", r.ReqProcs, h.MaxNodes)
+		}
+		if h.MaxRuntime > 0 && r.RunTime > h.MaxRuntime && !(h.hasOveruse && h.AllowOveruse) {
+			add(Error, line, r.JobID, "runtime-max", "runtime %d exceeds MaxRuntime %d and overuse is not allowed", r.RunTime, h.MaxRuntime)
+		}
+		if h.MaxMemory > 0 && r.UsedMem > h.MaxMemory && !(h.hasOveruse && h.AllowOveruse) {
+			add(Error, line, r.JobID, "memory-max", "used memory %d exceeds MaxMemory %d and overuse is not allowed", r.UsedMem, h.MaxMemory)
+		}
+
+		// Rule: average CPU time per processor cannot exceed wall-clock
+		// runtime (it is an average over the allocated processors).
+		if r.AvgCPU >= 0 && r.RunTime >= 0 && r.AvgCPU > r.RunTime {
+			add(Warning, line, r.JobID, "cpu-gt-runtime", "average CPU time %d exceeds wall-clock runtime %d", r.AvgCPU, r.RunTime)
+		}
+
+		// Identity fields are natural numbers (queue may be 0 for
+		// interactive jobs by convention).
+		if r.User == 0 {
+			add(Error, line, r.JobID, "user-natural", "user ID must be between 1 and the number of users")
+		}
+		if r.Group == 0 {
+			add(Error, line, r.JobID, "group-natural", "group ID must be between 1 and the number of groups")
+		}
+		if r.App == 0 {
+			add(Error, line, r.JobID, "app-natural", "executable number must be between 1 and the number of applications")
+		}
+		if r.Partition == 0 {
+			add(Error, line, r.JobID, "partition-natural", "partition number must be between 1 and the number of partitions")
+		}
+
+		// Feedback fields: the preceding job must be an earlier job, and
+		// think time is only meaningful with a preceding job.
+		if r.PrecedingJob >= 0 {
+			if r.PrecedingJob == 0 || r.PrecedingJob >= r.JobID {
+				add(Error, line, r.JobID, "preceding-earlier", "preceding job %d must be an earlier job number", r.PrecedingJob)
+			}
+		}
+		if r.ThinkTime >= 0 && r.PrecedingJob < 0 {
+			add(Warning, line, r.JobID, "thinktime-orphan", "think time %d given without a preceding job", r.ThinkTime)
+		}
+
+		// Suspicious-but-legal conditions.
+		if r.RunTime == 0 && r.Status == StatusCompleted {
+			add(Warning, line, r.JobID, "zero-runtime", "job completed with zero runtime")
+		}
+		if r.ReqProcs >= 0 && r.Procs >= 0 && r.Procs > r.ReqProcs && !(h.hasOveruse && h.AllowOveruse) {
+			add(Warning, line, r.JobID, "alloc-gt-request", "allocated %d processors but requested only %d", r.Procs, r.ReqProcs)
+		}
+	}
+
+	// Multi-line (checkpointed) jobs: summary runtime equals the sum of
+	// partial runtimes; the last partial carries code 3 or 4, earlier
+	// ones code 2; partials must follow a summary with a matching job.
+	for jobID, lines := range partialSeen {
+		sumLine, ok := summarySeen[jobID]
+		if !ok {
+			add(Error, lines[0], jobID, "partial-no-summary", "partial-execution lines without a whole-job summary line")
+			continue
+		}
+		var sum int64
+		known := true
+		for idx, ln := range lines {
+			r := &log.Records[ln-1]
+			last := idx == len(lines)-1
+			if last {
+				if r.Status != StatusPartialLastOK && r.Status != StatusPartialLastKilled {
+					add(Error, ln, jobID, "partial-last-code", "last partial execution must have code 3 or 4, got %d", int64(r.Status))
+				}
+			} else if r.Status != StatusPartial {
+				add(Error, ln, jobID, "partial-mid-code", "non-final partial execution must have code 2, got %d", int64(r.Status))
+			}
+			if r.RunTime < 0 {
+				known = false
+			} else {
+				sum += r.RunTime
+			}
+			if idx == 0 && r.Submit < 0 {
+				add(Warning, ln, jobID, "partial-first-submit", "first partial execution lacks a submit time")
+			}
+			if idx > 0 && r.Submit >= 0 {
+				add(Warning, ln, jobID, "partial-later-submit", "later partial executions carry only a wait time since the previous burst")
+			}
+		}
+		summary := &log.Records[sumLine-1]
+		if known && summary.RunTime >= 0 && summary.RunTime != sum {
+			add(Error, sumLine, jobID, "partial-runtime-sum", "summary runtime %d != sum of partial runtimes %d", summary.RunTime, sum)
+		}
+		// The summary code must agree with the final partial code.
+		last := &log.Records[lines[len(lines)-1]-1]
+		if last.Status == StatusPartialLastOK && summary.Status != StatusCompleted {
+			add(Error, sumLine, jobID, "partial-summary-agree", "final partial completed but summary code is %d", int64(summary.Status))
+		}
+		if last.Status == StatusPartialLastKilled && summary.Status != StatusKilled {
+			add(Error, sumLine, jobID, "partial-summary-agree", "final partial killed but summary code is %d", int64(summary.Status))
+		}
+	}
+
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].Severity != vs[j].Severity {
+			return vs[i].Severity > vs[j].Severity // errors first
+		}
+		return vs[i].Line < vs[j].Line
+	})
+	return vs
+}
+
+// Errors filters a finding list down to hard errors.
+func Errors(vs []Violation) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if v.Severity == Error {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Valid reports whether the log has no hard errors.
+func Valid(log *Log) bool {
+	return len(Errors(Validate(log))) == 0
+}

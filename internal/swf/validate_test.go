@@ -1,0 +1,238 @@
+package swf
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanFixture returns a log that passes validation.
+func cleanFixture() *Log {
+	h := Header{Version: 2, MaxNodes: 128, MaxRuntime: 100000, MaxMemory: 1 << 20}
+	h.SetAllowOveruse(false)
+	return &Log{
+		Header: h,
+		Records: []Record{
+			{JobID: 1, Submit: 0, Wait: 5, RunTime: 100, Procs: 8, AvgCPU: 90,
+				UsedMem: 512, ReqProcs: 8, ReqTime: 200, ReqMem: 1024,
+				Status: StatusCompleted, User: 1, Group: 1, App: 1, Queue: 1,
+				Partition: 1, PrecedingJob: Missing, ThinkTime: Missing},
+			{JobID: 2, Submit: 50, Wait: 0, RunTime: 30, Procs: 4, AvgCPU: 20,
+				UsedMem: 128, ReqProcs: 4, ReqTime: 60, ReqMem: 256,
+				Status: StatusKilled, User: 2, Group: 1, App: 2, Queue: 0,
+				Partition: 1, PrecedingJob: Missing, ThinkTime: Missing},
+			{JobID: 3, Submit: 200, Wait: 10, RunTime: 500, Procs: 64, AvgCPU: 450,
+				UsedMem: 2048, ReqProcs: 64, ReqTime: 1000, ReqMem: 4096,
+				Status: StatusCompleted, User: 1, Group: 1, App: 1, Queue: 2,
+				Partition: 1, PrecedingJob: 1, ThinkTime: 95},
+		},
+	}
+}
+
+func TestValidateCleanLog(t *testing.T) {
+	vs := Validate(cleanFixture())
+	if len(vs) != 0 {
+		t.Fatalf("clean log should have no findings, got %v", vs)
+	}
+	if !Valid(cleanFixture()) {
+		t.Fatal("Valid() should be true")
+	}
+}
+
+// expectRule asserts that validating log yields a finding with the rule.
+func expectRule(t *testing.T, log *Log, rule string, sev Severity) {
+	t.Helper()
+	for _, v := range Validate(log) {
+		if v.Rule == rule && v.Severity == sev {
+			return
+		}
+	}
+	t.Fatalf("expected %v finding %q, got %v", sev, rule, Validate(log))
+}
+
+func TestValidateSubmitOrder(t *testing.T) {
+	log := cleanFixture()
+	log.Records[2].Submit = 10 // before record 2's submit of 50
+	expectRule(t, log, "submit-order", Error)
+}
+
+func TestValidateNegativeField(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].UsedMem = -5
+	expectRule(t, log, "negative-field", Error)
+}
+
+func TestValidateStatusRange(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].Status = 7
+	expectRule(t, log, "status-range", Error)
+}
+
+func TestValidateJobIDSequence(t *testing.T) {
+	log := cleanFixture()
+	log.Records[1].JobID = 9
+	expectRule(t, log, "jobid-sequential", Error)
+}
+
+func TestValidateProcsExceedMaxNodes(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].Procs = 500
+	expectRule(t, log, "procs-maxnodes", Error)
+}
+
+func TestValidateReqProcsExceedMaxNodes(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].ReqProcs = 500
+	expectRule(t, log, "reqprocs-maxnodes", Error)
+}
+
+func TestValidateRuntimeExceedsMax(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].RunTime = 200000
+	expectRule(t, log, "runtime-max", Error)
+
+	// With overuse allowed it is legal.
+	log.Header.SetAllowOveruse(true)
+	for _, v := range Validate(log) {
+		if v.Rule == "runtime-max" {
+			t.Fatal("runtime-max should not fire when overuse is allowed")
+		}
+	}
+}
+
+func TestValidateCPUVsRuntime(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].AvgCPU = 5000 // runtime is 100
+	expectRule(t, log, "cpu-gt-runtime", Warning)
+}
+
+func TestValidateNaturalIDs(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].User = 0
+	expectRule(t, log, "user-natural", Error)
+
+	log = cleanFixture()
+	log.Records[0].Group = 0
+	expectRule(t, log, "group-natural", Error)
+
+	log = cleanFixture()
+	log.Records[0].App = 0
+	expectRule(t, log, "app-natural", Error)
+
+	log = cleanFixture()
+	log.Records[0].Partition = 0
+	expectRule(t, log, "partition-natural", Error)
+}
+
+func TestValidateQueueZeroIsLegal(t *testing.T) {
+	// Queue 0 is the interactive convention, not an error.
+	log := cleanFixture()
+	for _, v := range Validate(log) {
+		if strings.Contains(v.Rule, "queue") {
+			t.Fatalf("unexpected queue finding: %v", v)
+		}
+	}
+}
+
+func TestValidatePrecedingJob(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].PrecedingJob = 5 // points forward
+	expectRule(t, log, "preceding-earlier", Error)
+
+	log = cleanFixture()
+	log.Records[2].ThinkTime = 5
+	log.Records[2].PrecedingJob = Missing
+	expectRule(t, log, "thinktime-orphan", Warning)
+}
+
+func TestValidateMultiLineJob(t *testing.T) {
+	// A checkpointed job: summary + two partials.
+	h := Header{Version: 2, MaxNodes: 128}
+	log := &Log{
+		Header: h,
+		Records: []Record{
+			{JobID: 1, Submit: 0, Wait: 5, RunTime: 300, Procs: 8, AvgCPU: -1,
+				UsedMem: -1, ReqProcs: 8, ReqTime: 500, ReqMem: -1,
+				Status: StatusCompleted, User: 1, Group: 1, App: 1, Queue: 1,
+				Partition: 1, PrecedingJob: -1, ThinkTime: -1},
+			{JobID: 1, Submit: 0, Wait: 5, RunTime: 100, Procs: 8, AvgCPU: -1,
+				UsedMem: -1, ReqProcs: 8, ReqTime: 500, ReqMem: -1,
+				Status: StatusPartial, User: 1, Group: 1, App: 1, Queue: 1,
+				Partition: 1, PrecedingJob: -1, ThinkTime: -1},
+			{JobID: 1, Submit: -1, Wait: 50, RunTime: 200, Procs: 8, AvgCPU: -1,
+				UsedMem: -1, ReqProcs: 8, ReqTime: 500, ReqMem: -1,
+				Status: StatusPartialLastOK, User: 1, Group: 1, App: 1, Queue: 1,
+				Partition: 1, PrecedingJob: -1, ThinkTime: -1},
+		},
+	}
+	if vs := Errors(Validate(log)); len(vs) != 0 {
+		t.Fatalf("legal multi-line job flagged: %v", vs)
+	}
+
+	// Wrong sum of partial runtimes.
+	log.Records[0].RunTime = 999
+	expectRule(t, log, "partial-runtime-sum", Error)
+	log.Records[0].RunTime = 300
+
+	// Wrong last code.
+	log.Records[2].Status = StatusPartial
+	expectRule(t, log, "partial-last-code", Error)
+	log.Records[2].Status = StatusPartialLastOK
+
+	// Summary/last disagreement.
+	log.Records[2].Status = StatusPartialLastKilled
+	expectRule(t, log, "partial-summary-agree", Error)
+	log.Records[2].Status = StatusPartialLastOK
+
+	// Partial without a summary.
+	log2 := &Log{Header: h, Records: []Record{
+		{JobID: 1, Submit: 0, Wait: 0, RunTime: 10, Procs: 1, AvgCPU: -1,
+			UsedMem: -1, ReqProcs: 1, ReqTime: 10, ReqMem: -1,
+			Status: StatusPartialLastOK, User: 1, Group: 1, App: 1,
+			Queue: 1, Partition: 1, PrecedingJob: -1, ThinkTime: -1},
+	}}
+	expectRule(t, log2, "partial-no-summary", Error)
+}
+
+func TestValidateWarningsDoNotFailValid(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].RunTime = 0 // zero-runtime warning only
+	if !Valid(log) {
+		t.Fatal("warnings must not make the log invalid")
+	}
+	expectRule(t, log, "zero-runtime", Warning)
+}
+
+func TestValidateAllocGtRequest(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].Procs = 16
+	log.Records[0].ReqProcs = 8
+	expectRule(t, log, "alloc-gt-request", Warning)
+}
+
+func TestErrorsFilter(t *testing.T) {
+	vs := []Violation{{Severity: Warning}, {Severity: Error}, {Severity: Warning}}
+	if got := len(Errors(vs)); got != 1 {
+		t.Fatalf("Errors filtered %d, want 1", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Severity: Error, Line: 3, JobID: 3, Rule: "submit-order", Message: "m"}
+	s := v.String()
+	if !strings.Contains(s, "submit-order") || !strings.Contains(s, "error") {
+		t.Fatalf("violation string %q", s)
+	}
+}
+
+func TestValidateErrorsSortedFirst(t *testing.T) {
+	log := cleanFixture()
+	log.Records[0].RunTime = 0 // warning
+	log.Records[1].Status = 7  // error
+	vs := Validate(log)
+	if len(vs) < 2 {
+		t.Fatalf("want >= 2 findings, got %v", vs)
+	}
+	if vs[0].Severity != Error {
+		t.Fatal("errors must sort before warnings")
+	}
+}

@@ -1,0 +1,451 @@
+// Package warmstones implements the WARMstones evaluation environment
+// proposed in Section 4.3 of the paper (WARM = Wide-Area Resource
+// Management): a benchmark suite of annotated program graphs, a
+// canonical representation of metasystems, an implementation toolkit
+// for mapping policies ("schedulers"), and a simulation engine with
+// multiple levels of detail — an analytic estimate and an event-driven
+// interpreter, matching "depending on how much precision is required
+// ... we could simulate every packet ... or we can simply assume a
+// simple model and estimate the communication time".
+package warmstones
+
+import (
+	"fmt"
+	"sort"
+
+	"parsched/internal/des"
+	"parsched/internal/graph"
+)
+
+// Machine is one computer in the canonical metasystem representation:
+// "the representation will encapsulate both the local infrastructure
+// (workstations, clusters, supercomputers) and the overall structure of
+// the metasystem".
+type Machine struct {
+	Name string
+	// Procs is the number of processors (module slots).
+	Procs int
+	// Speed is the relative processor speed (1.0 = reference).
+	Speed float64
+	// Devices lists special resources present at this machine.
+	Devices []string
+}
+
+// HasDevice reports whether the machine advertises the device.
+func (m *Machine) HasDevice(d string) bool {
+	if d == "" {
+		return true
+	}
+	for _, x := range m.Devices {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// System is the canonical metasystem: machines plus a uniform wide-area
+// interconnect model (bandwidth in bytes/second and latency in seconds
+// between distinct machines; intra-machine communication is free).
+type System struct {
+	Name      string
+	Machines  []Machine
+	Bandwidth float64
+	Latency   float64
+}
+
+// MachineIndex returns the index of a named machine, or -1.
+func (s *System) MachineIndex(name string) int {
+	for i := range s.Machines {
+		if s.Machines[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalProcs sums processors across machines.
+func (s *System) TotalProcs() int {
+	n := 0
+	for i := range s.Machines {
+		n += s.Machines[i].Procs
+	}
+	return n
+}
+
+// CommTime returns the transfer time for b bytes between machines a
+// and bIdx (0 when they are the same machine).
+func (s *System) CommTime(a, bIdx int, bytes float64) float64 {
+	if a == bIdx || bytes <= 0 {
+		return 0
+	}
+	if s.Bandwidth <= 0 {
+		return s.Latency
+	}
+	return s.Latency + bytes/s.Bandwidth
+}
+
+// Mapping assigns each module (by ID) to a machine index.
+type Mapping []int
+
+// Mapper is the scheduler-implementation-toolkit interface: a mapping
+// policy turns (graph, system) into a Mapping. "The implementation
+// toolkit will allow users to implement particular scheduling
+// algorithms for simulation and evaluation."
+type Mapper interface {
+	Name() string
+	Map(g *graph.Graph, sys *System) (Mapping, error)
+}
+
+// Validate checks a mapping: every module placed on an existing machine
+// that satisfies its device requirement.
+func Validate(g *graph.Graph, sys *System, m Mapping) error {
+	if len(m) != len(g.Modules) {
+		return fmt.Errorf("warmstones: mapping covers %d of %d modules", len(m), len(g.Modules))
+	}
+	for id, mi := range m {
+		if mi < 0 || mi >= len(sys.Machines) {
+			return fmt.Errorf("warmstones: module %d mapped to machine %d of %d", id, mi, len(sys.Machines))
+		}
+		if d := g.Modules[id].Device; !sys.Machines[mi].HasDevice(d) {
+			return fmt.Errorf("warmstones: module %d needs device %q, machine %s lacks it",
+				id, d, sys.Machines[mi].Name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Mapping policies
+
+// RoundRobin cycles modules over device-feasible machines.
+type RoundRobin struct{}
+
+// Name implements Mapper.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Map implements Mapper.
+func (RoundRobin) Map(g *graph.Graph, sys *System) (Mapping, error) {
+	m := make(Mapping, len(g.Modules))
+	next := 0
+	for id := range g.Modules {
+		placed := false
+		for try := 0; try < len(sys.Machines); try++ {
+			mi := (next + try) % len(sys.Machines)
+			if sys.Machines[mi].HasDevice(g.Modules[id].Device) {
+				m[id] = mi
+				next = mi + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("warmstones: no machine offers device %q", g.Modules[id].Device)
+		}
+	}
+	return m, nil
+}
+
+// LoadBalance places each module (heaviest first) on the feasible
+// machine with the least accumulated work per unit of aggregate speed.
+type LoadBalance struct{}
+
+// Name implements Mapper.
+func (LoadBalance) Name() string { return "load-balance" }
+
+// Map implements Mapper.
+func (LoadBalance) Map(g *graph.Graph, sys *System) (Mapping, error) {
+	m := make(Mapping, len(g.Modules))
+	order := make([]int, len(g.Modules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Modules[order[a]].Work > g.Modules[order[b]].Work
+	})
+	load := make([]float64, len(sys.Machines))
+	for _, id := range order {
+		best := -1
+		var bestScore float64
+		for mi := range sys.Machines {
+			mach := &sys.Machines[mi]
+			if !mach.HasDevice(g.Modules[id].Device) {
+				continue
+			}
+			capacity := float64(mach.Procs) * mach.Speed
+			score := (load[mi] + g.Modules[id].Work) / capacity
+			if best < 0 || score < bestScore {
+				best, bestScore = mi, score
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("warmstones: no machine offers device %q", g.Modules[id].Device)
+		}
+		m[id] = best
+		load[best] += g.Modules[id].Work
+	}
+	return m, nil
+}
+
+// CommAware clusters communicating modules: it starts from LoadBalance
+// and then greedily co-locates each module with the predecessor it
+// exchanges the most bytes with, when the move does not overload the
+// target machine by more than Slack (fraction of mean load).
+type CommAware struct {
+	// Slack bounds load imbalance introduced by co-location (default 0.5).
+	Slack float64
+}
+
+// Name implements Mapper.
+func (CommAware) Name() string { return "comm-aware" }
+
+// Map implements Mapper.
+func (c CommAware) Map(g *graph.Graph, sys *System) (Mapping, error) {
+	slack := c.Slack
+	if slack <= 0 {
+		slack = 0.5
+	}
+	m, err := LoadBalance{}.Map(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	load := make([]float64, len(sys.Machines))
+	for id, mi := range m {
+		load[mi] += g.Modules[id].Work
+	}
+	mean := g.TotalWork() / float64(len(sys.Machines))
+	limit := mean * (1 + slack)
+
+	// Heaviest edge first: co-locate endpoints when feasible.
+	edges := append([]graph.Edge(nil), g.Edges...)
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a].Bytes > edges[b].Bytes })
+	for _, e := range edges {
+		src, dst := m[e.From], m[e.To]
+		if src == dst {
+			continue
+		}
+		mod := g.Modules[e.To]
+		if !sys.Machines[src].HasDevice(mod.Device) {
+			continue
+		}
+		if load[src]+mod.Work > limit {
+			continue
+		}
+		load[dst] -= mod.Work
+		load[src] += mod.Work
+		m[e.To] = src
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------
+// Simulation engine: two fidelities
+
+// Estimate is the low-fidelity analytic model: makespan ≈ max of
+// (per-machine work / effective speed) plus total inter-machine
+// communication time serialized over the interconnect. Coarse, but
+// instant — the "simple model" end of the fidelity spectrum.
+func Estimate(g *graph.Graph, sys *System, m Mapping) float64 {
+	if err := Validate(g, sys, m); err != nil {
+		return -1
+	}
+	load := make([]float64, len(sys.Machines))
+	for id, mi := range m {
+		load[mi] += g.Modules[id].Work
+	}
+	var makespan float64
+	for mi := range sys.Machines {
+		mach := &sys.Machines[mi]
+		t := load[mi] / (float64(mach.Procs) * mach.Speed)
+		if t > makespan {
+			makespan = t
+		}
+	}
+	var comm float64
+	for _, e := range g.Edges {
+		comm += sys.CommTime(m[e.From], m[e.To], e.Bytes)
+	}
+	return makespan + comm
+}
+
+// Simulate is the high-fidelity event-driven interpreter: modules
+// execute on their machine's processor slots when all predecessors
+// have completed and their inbound transfers have arrived; transfers
+// pay latency + bytes/bandwidth between distinct machines. Returns the
+// makespan in seconds.
+func Simulate(g *graph.Graph, sys *System, m Mapping) (float64, error) {
+	if err := Validate(g, sys, m); err != nil {
+		return 0, err
+	}
+	// Time quantization: milliseconds keep integer DES time while
+	// resolving sub-second module work.
+	const tick = 1000.0
+
+	engine := &des.Engine{}
+	preds := g.Preds()
+	n := len(g.Modules)
+
+	waiting := make([]int, n) // unmet dependency count
+	ready := make([][]int, len(sys.Machines))
+	freeSlots := make([]int, len(sys.Machines))
+	for mi := range sys.Machines {
+		freeSlots[mi] = sys.Machines[mi].Procs
+	}
+	var makespan int64
+
+	var tryStart func(mi int)
+	var moduleDone func(id int)
+
+	start := func(id int) {
+		mi := m[id]
+		freeSlots[mi]--
+		dur := int64(g.Modules[id].Work / sys.Machines[mi].Speed * tick)
+		if dur < 1 {
+			dur = 1
+		}
+		engine.After(dur, des.PriorityFinish, func() { moduleDone(id) })
+	}
+
+	tryStart = func(mi int) {
+		for freeSlots[mi] > 0 && len(ready[mi]) > 0 {
+			id := ready[mi][0]
+			ready[mi] = ready[mi][1:]
+			start(id)
+		}
+	}
+
+	deliver := func(id int) {
+		// One more dependency satisfied.
+		waiting[id]--
+		if waiting[id] == 0 {
+			mi := m[id]
+			ready[mi] = append(ready[mi], id)
+			tryStart(mi)
+		}
+	}
+
+	moduleDone = func(id int) {
+		mi := m[id]
+		freeSlots[mi]++
+		if engine.Now() > makespan {
+			makespan = engine.Now()
+		}
+		// Send outputs to successors.
+		for _, e := range g.Edges {
+			if e.From != id {
+				continue
+			}
+			e := e
+			ct := int64(sys.CommTime(m[e.From], m[e.To], e.Bytes) * tick)
+			if ct < 0 {
+				ct = 0
+			}
+			engine.After(ct, des.PriorityArrival, func() { deliver(e.To) })
+		}
+		tryStart(mi)
+	}
+
+	// Seed: count dependencies; modules with none are ready at t=0.
+	for id := 0; id < n; id++ {
+		waiting[id] = len(preds[id])
+	}
+	for id := 0; id < n; id++ {
+		if waiting[id] == 0 {
+			mi := m[id]
+			ready[mi] = append(ready[mi], id)
+		}
+	}
+	for mi := range sys.Machines {
+		tryStart(mi)
+	}
+	engine.Run()
+
+	return float64(makespan) / tick, nil
+}
+
+// Score is one scoreboard entry of the evaluation environment.
+type Score struct {
+	Graph    string
+	System   string
+	Mapper   string
+	Makespan float64 // event-driven result, seconds
+	Estimate float64 // analytic result, seconds
+}
+
+// Evaluate runs every (graph, mapper) pair on a system and returns the
+// scoreboard, sorted by graph then mapper — the "apples-to-apples
+// comparisons" table the paper wants.
+func Evaluate(graphs []*graph.Graph, sys *System, mappers []Mapper) ([]Score, error) {
+	var scores []Score
+	for _, g := range graphs {
+		for _, mp := range mappers {
+			mapping, err := mp.Map(g, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", mp.Name(), g.Name, err)
+			}
+			ms, err := Simulate(g, sys, mapping)
+			if err != nil {
+				return nil, err
+			}
+			scores = append(scores, Score{
+				Graph: g.Name, System: sys.Name, Mapper: mp.Name(),
+				Makespan: ms, Estimate: Estimate(g, sys, mapping),
+			})
+		}
+	}
+	sort.SliceStable(scores, func(a, b int) bool {
+		if scores[a].Graph != scores[b].Graph {
+			return scores[a].Graph < scores[b].Graph
+		}
+		return scores[a].Mapper < scores[b].Mapper
+	})
+	return scores, nil
+}
+
+// StandardSystems returns the three canonical metasystem configurations
+// used by experiment E10: a homogeneous cluster-of-clusters, a
+// heterogeneous wide-area grid with slow links, and a
+// supercomputer-plus-workstations federation with devices.
+func StandardSystems() []*System {
+	return []*System{
+		{
+			Name: "cluster-federation",
+			Machines: []Machine{
+				{Name: "c1", Procs: 16, Speed: 1},
+				{Name: "c2", Procs: 16, Speed: 1},
+				{Name: "c3", Procs: 16, Speed: 1},
+				{Name: "c4", Procs: 16, Speed: 1},
+			},
+			Bandwidth: 100e6, Latency: 0.005,
+		},
+		{
+			Name: "wide-area-grid",
+			Machines: []Machine{
+				{Name: "east", Procs: 32, Speed: 1.2},
+				{Name: "west", Procs: 24, Speed: 0.8},
+				{Name: "south", Procs: 8, Speed: 1.5},
+			},
+			Bandwidth: 5e6, Latency: 0.08,
+		},
+		{
+			Name: "super+workstations",
+			Machines: []Machine{
+				{Name: "super", Procs: 64, Speed: 2, Devices: []string{"tape", "viz"}},
+				{Name: "lab1", Procs: 8, Speed: 0.5, Devices: []string{"microscope"}},
+				{Name: "lab2", Procs: 8, Speed: 0.5},
+			},
+			Bandwidth: 20e6, Latency: 0.02,
+		},
+	}
+}
+
+// StandardSuite returns the micro-benchmark suite of Section 3.2 plus
+// the master-workers application.
+func StandardSuite(seed int64) []*graph.Graph {
+	return []*graph.Graph{
+		graph.ComputeIntensive(96, 120, seed),
+		graph.CommunicationIntensive(24, 30, 200e6, seed+1),
+		graph.DeviceBound([]string{"tape", "microscope", "viz"}, 60, 50e6),
+		graph.MasterWorkers(32, 20, 90, 10e6, 20e6),
+	}
+}

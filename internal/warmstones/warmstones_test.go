@@ -1,0 +1,210 @@
+package warmstones
+
+import (
+	"math"
+	"testing"
+
+	"parsched/internal/graph"
+)
+
+func flatSystem(machines, procs int) *System {
+	s := &System{Name: "flat", Bandwidth: 1e9, Latency: 0.001}
+	for i := 0; i < machines; i++ {
+		s.Machines = append(s.Machines, Machine{
+			Name: string(rune('a' + i)), Procs: procs, Speed: 1,
+		})
+	}
+	return s
+}
+
+func TestMappersProduceValidMappings(t *testing.T) {
+	sys := StandardSystems()[2] // has devices
+	suite := StandardSuite(1)
+	for _, mp := range []Mapper{RoundRobin{}, LoadBalance{}, CommAware{}} {
+		for _, g := range suite {
+			m, err := mp.Map(g, sys)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", mp.Name(), g.Name, err)
+			}
+			if err := Validate(g, sys, m); err != nil {
+				t.Fatalf("%s on %s: %v", mp.Name(), g.Name, err)
+			}
+		}
+	}
+}
+
+func TestDeviceConstraintsRespected(t *testing.T) {
+	sys := &System{Name: "dev", Bandwidth: 1e8, Latency: 0.01, Machines: []Machine{
+		{Name: "plain", Procs: 8, Speed: 1},
+		{Name: "lab", Procs: 2, Speed: 1, Devices: []string{"microscope"}},
+	}}
+	g := graph.DeviceBound([]string{"microscope"}, 10, 1e6)
+	for _, mp := range []Mapper{RoundRobin{}, LoadBalance{}, CommAware{}} {
+		m, err := mp.Map(g, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", mp.Name(), err)
+		}
+		if sys.Machines[m[0]].Name != "lab" {
+			t.Fatalf("%s placed device module on %s", mp.Name(), sys.Machines[m[0]].Name)
+		}
+	}
+}
+
+func TestDeviceInfeasibleErrors(t *testing.T) {
+	sys := flatSystem(2, 4)
+	g := graph.DeviceBound([]string{"hubble"}, 10, 1e6)
+	for _, mp := range []Mapper{RoundRobin{}, LoadBalance{}, CommAware{}} {
+		if _, err := mp.Map(g, sys); err == nil {
+			t.Fatalf("%s: missing device not reported", mp.Name())
+		}
+	}
+}
+
+func TestSimulateSingleModule(t *testing.T) {
+	sys := flatSystem(1, 1)
+	g := &graph.Graph{Name: "one", Modules: []graph.Module{{ID: 0, Work: 42}}}
+	ms, err := Simulate(g, sys, Mapping{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ms-42) > 0.01 {
+		t.Fatalf("makespan = %v, want 42", ms)
+	}
+}
+
+func TestSimulateRespectsSpeed(t *testing.T) {
+	sys := &System{Name: "fast", Bandwidth: 1e9, Machines: []Machine{
+		{Name: "m", Procs: 1, Speed: 2},
+	}}
+	g := &graph.Graph{Name: "one", Modules: []graph.Module{{ID: 0, Work: 42}}}
+	ms, _ := Simulate(g, sys, Mapping{0})
+	if math.Abs(ms-21) > 0.01 {
+		t.Fatalf("makespan = %v, want 21 at speed 2", ms)
+	}
+}
+
+func TestSimulateSlotContention(t *testing.T) {
+	// 4 independent 10s modules on 2 procs: makespan 20.
+	sys := flatSystem(1, 2)
+	g := &graph.Graph{Name: "par"}
+	for i := 0; i < 4; i++ {
+		g.Modules = append(g.Modules, graph.Module{ID: i, Work: 10})
+	}
+	ms, _ := Simulate(g, sys, Mapping{0, 0, 0, 0})
+	if math.Abs(ms-20) > 0.01 {
+		t.Fatalf("makespan = %v, want 20", ms)
+	}
+}
+
+func TestSimulateDependencyAndComm(t *testing.T) {
+	// Two modules in sequence on different machines: 10 + comm + 10.
+	sys := &System{Name: "two", Bandwidth: 1e6, Latency: 0.5, Machines: []Machine{
+		{Name: "a", Procs: 1, Speed: 1}, {Name: "b", Procs: 1, Speed: 1},
+	}}
+	g := &graph.Graph{Name: "seq",
+		Modules: []graph.Module{{ID: 0, Work: 10}, {ID: 1, Work: 10}},
+		Edges:   []graph.Edge{{From: 0, To: 1, Bytes: 1e6}},
+	}
+	ms, _ := Simulate(g, sys, Mapping{0, 1})
+	want := 10 + 0.5 + 1.0 + 10 // work + latency + transfer + work
+	if math.Abs(ms-want) > 0.01 {
+		t.Fatalf("makespan = %v, want %v", ms, want)
+	}
+	// Same machine: no comm cost.
+	ms2, _ := Simulate(g, sys, Mapping{0, 0})
+	if math.Abs(ms2-20) > 0.01 {
+		t.Fatalf("co-located makespan = %v, want 20", ms2)
+	}
+}
+
+func TestCommAwareBeatsRoundRobinOnCommGraph(t *testing.T) {
+	sys := StandardSystems()[1] // wide-area: slow links
+	g := graph.CommunicationIntensive(24, 30, 200e6, 7)
+	rr, err := RoundRobin{}.Map(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := CommAware{}.Map(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msRR, _ := Simulate(g, sys, rr)
+	msCA, _ := Simulate(g, sys, ca)
+	if msCA >= msRR {
+		t.Fatalf("comm-aware (%v) should beat round-robin (%v) on a pipeline over slow links", msCA, msRR)
+	}
+}
+
+func TestLoadBalanceBeatsRoundRobinOnComputeGraph(t *testing.T) {
+	// Heterogeneous speeds: load balancing by capacity wins on
+	// independent compute.
+	sys := StandardSystems()[1]
+	g := graph.ComputeIntensive(96, 120, 8)
+	rr, _ := RoundRobin{}.Map(g, sys)
+	lb, _ := LoadBalance{}.Map(g, sys)
+	msRR, _ := Simulate(g, sys, rr)
+	msLB, _ := Simulate(g, sys, lb)
+	if msLB >= msRR {
+		t.Fatalf("load-balance (%v) should beat round-robin (%v)", msLB, msRR)
+	}
+}
+
+func TestEstimateCorrelatesWithSimulation(t *testing.T) {
+	// Multi-fidelity agreement: the analytic estimate must rank
+	// mappings in the same order as the event-driven engine for the
+	// compute-intensive case (its home turf).
+	sys := StandardSystems()[0]
+	g := graph.ComputeIntensive(64, 100, 9)
+	rr, _ := RoundRobin{}.Map(g, sys)
+	lb, _ := LoadBalance{}.Map(g, sys)
+	simRR, _ := Simulate(g, sys, rr)
+	simLB, _ := Simulate(g, sys, lb)
+	estRR := Estimate(g, sys, rr)
+	estLB := Estimate(g, sys, lb)
+	if (simLB <= simRR) != (estLB <= estRR) {
+		t.Fatalf("fidelity disagreement: sim %v/%v est %v/%v", simLB, simRR, estLB, estRR)
+	}
+}
+
+func TestEvaluateScoreboard(t *testing.T) {
+	sys := StandardSystems()[2]
+	scores, err := Evaluate(StandardSuite(1), sys, []Mapper{RoundRobin{}, LoadBalance{}, CommAware{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4*3 {
+		t.Fatalf("scores = %d, want 12", len(scores))
+	}
+	for _, s := range scores {
+		if s.Makespan <= 0 || s.Estimate <= 0 {
+			t.Fatalf("non-positive score: %+v", s)
+		}
+	}
+}
+
+func TestValidateMapping(t *testing.T) {
+	sys := flatSystem(2, 4)
+	g := graph.ComputeIntensive(3, 10, 1)
+	if err := Validate(g, sys, Mapping{0, 1}); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if err := Validate(g, sys, Mapping{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+}
+
+func TestSystemHelpers(t *testing.T) {
+	sys := StandardSystems()[0]
+	if sys.MachineIndex("c3") != 2 || sys.MachineIndex("nope") != -1 {
+		t.Fatal("MachineIndex wrong")
+	}
+	if sys.TotalProcs() != 64 {
+		t.Fatalf("total procs = %d", sys.TotalProcs())
+	}
+	if sys.CommTime(0, 0, 1e9) != 0 {
+		t.Fatal("intra-machine comm must be free")
+	}
+	if sys.CommTime(0, 1, 100e6) != 0.005+1 {
+		t.Fatalf("comm time = %v", sys.CommTime(0, 1, 100e6))
+	}
+}

@@ -1,0 +1,172 @@
+// Package parsched is a library for the evaluation of parallel job
+// schedulers, reproducing Chapin et al., "Benchmarks and Standards for
+// the Evaluation of Parallel Job Schedulers" (JSSPP/IPPS 1999).
+//
+// It provides:
+//
+//   - the Standard Workload Format v2 (read, write, validate, clean,
+//     convert, anonymize) — internal/swf;
+//   - the proposed standard outage-log format and generators —
+//     internal/outage;
+//   - the cited statistical workload models (Feitelson '96, Jann '97,
+//     Lublin '99, Downey '97) plus a naive baseline — internal/model;
+//   - a deterministic discrete-event machine-scheduler simulator with
+//     FCFS/SJF/LXF, EASY and conservative backfilling, gang scheduling,
+//     moldable jobs, outages, feedback (closed-loop think times), and
+//     advance reservations — internal/{des,cluster,sched,sim};
+//   - metacomputing: multi-site grids, meta-scheduler policies,
+//     queue-wait prediction, and co-allocation — internal/{predict,meta};
+//   - the WARMstones evaluation environment: annotated program graphs,
+//     canonical metasystems, mapping policies, two simulation
+//     fidelities — internal/{graph,warmstones};
+//   - the E1–E10 experiment battery regenerating the paper's
+//     evaluation programme — internal/experiments.
+//
+// This root package is a thin facade over those subsystems: the type
+// aliases below give external importers names for the core types, and
+// the functions cover the common workflows (generate → simulate →
+// report; load → validate → clean; run experiment battery).
+package parsched
+
+import (
+	"fmt"
+	"io"
+
+	"parsched/internal/core"
+	"parsched/internal/experiments"
+	"parsched/internal/metrics"
+	"parsched/internal/model"
+	"parsched/internal/model/registry"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/swf"
+)
+
+// Aliases for the domain types a library user manipulates.
+type (
+	// Workload is an ordered collection of jobs plus machine context.
+	Workload = core.Workload
+	// Job is one unit of work submitted to a machine scheduler.
+	Job = core.Job
+	// Report aggregates scheduling metrics for one run.
+	Report = metrics.Report
+	// Outcome is the scheduling result of one job.
+	Outcome = metrics.Outcome
+	// SimOptions configure a simulation run.
+	SimOptions = sim.Options
+	// SimResult is the output of a simulation run.
+	SimResult = sim.Result
+	// SWFLog is a parsed standard workload file.
+	SWFLog = swf.Log
+	// OutageLog is a parsed standard outage file.
+	OutageLog = outage.Log
+	// ModelConfig carries workload-model generation knobs.
+	ModelConfig = model.Config
+	// ExperimentTable is one table of experiment output.
+	ExperimentTable = experiments.Table
+)
+
+// Models lists the available workload model names.
+func Models() []string { return registry.Names() }
+
+// Schedulers lists the available scheduler names.
+func Schedulers() []string { return sched.Names() }
+
+// Experiments lists the experiment IDs with their titles.
+func Experiments() map[string]string {
+	out := map[string]string{}
+	for _, r := range experiments.All() {
+		out[r.ID] = r.Title
+	}
+	return out
+}
+
+// Generate produces a synthetic workload from a named model.
+func Generate(modelName string, cfg ModelConfig) (*Workload, error) {
+	m, err := registry.New(modelName)
+	if err != nil {
+		return nil, err
+	}
+	return m.Generate(cfg), nil
+}
+
+// Simulate runs a workload under a named scheduler and returns the raw
+// result; call Result.Report for aggregate metrics.
+func Simulate(w *Workload, scheduler string, opts SimOptions) (*SimResult, error) {
+	s, err := sched.New(scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(w, s, opts)
+}
+
+// ReadSWF parses a standard workload file from r.
+func ReadSWF(r io.Reader) (*SWFLog, error) { return swf.Read(r) }
+
+// WriteSWF serializes a standard workload file to w.
+func WriteSWF(w io.Writer, log *SWFLog) error { return swf.Write(w, log) }
+
+// ValidateSWF returns the standard's consistency findings as strings
+// (empty = clean).
+func ValidateSWF(log *SWFLog) []string {
+	var out []string
+	for _, v := range swf.Validate(log) {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// CleanSWF reduces a raw log to the canonical workload-study view and
+// reports what was changed.
+func CleanSWF(log *SWFLog) (*SWFLog, string) {
+	clean, rep := swf.Clean(log)
+	return clean, fmt.Sprintf("%d records in, %d out (%d partials, %d no-runtime, %d no-procs dropped; %d CPU clamps)",
+		rep.Input, rep.Output, rep.DroppedPartials, rep.DroppedNoRuntime, rep.DroppedNoProcs, rep.ClampedCPU)
+}
+
+// WorkloadFromSWF converts a clean standard log into a workload.
+func WorkloadFromSWF(log *SWFLog) (*Workload, error) { return core.FromSWF(log) }
+
+// WorkloadToSWF converts a workload into a standard log.
+func WorkloadToSWF(w *Workload) *SWFLog { return core.ToSWF(w) }
+
+// InferFeedback inserts preceding-job/think-time dependencies using the
+// paper's same-user rapid-succession heuristic; it returns how many
+// jobs were linked.
+func InferFeedback(w *Workload, windowSeconds int64) int {
+	return core.InferFeedback(w, windowSeconds).LinkedJobs
+}
+
+// RecordSWF converts a simulation result into the standard workload
+// file the simulated machine's accounting system would have written
+// (waits filled in, kills as partial-execution records), closing the
+// simulate → record → re-analyze loop of the paper's Section 3.3.
+func RecordSWF(w *Workload, res *SimResult) *SWFLog { return sim.RecordSWF(w, res) }
+
+// RunExperiment executes one experiment (E1..E10); quick shrinks the
+// configuration to seconds-scale.
+func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("parsched: unknown experiment %q", id)
+	}
+	cfg := experiments.Default()
+	if quick {
+		cfg = experiments.QuickConfig()
+	}
+	return r.Run(cfg), nil
+}
+
+// RunAllExperiments executes the whole battery in order.
+func RunAllExperiments(quick bool) []ExperimentTable {
+	cfg := experiments.Default()
+	if quick {
+		cfg = experiments.QuickConfig()
+	}
+	var tables []ExperimentTable
+	for _, r := range experiments.All() {
+		tables = append(tables, r.Run(cfg)...)
+	}
+	return tables
+}

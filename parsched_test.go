@@ -1,0 +1,99 @@
+package parsched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeGenerateSimulateReport(t *testing.T) {
+	w, err := Generate("lublin99", ModelConfig{MaxNodes: 64, Jobs: 300, Seed: 1, Load: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(w, "easy", SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report(64)
+	if r.Finished != 300 {
+		t.Fatalf("finished %d/300", r.Finished)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Fatalf("utilization %v", r.Utilization)
+	}
+}
+
+func TestFacadeUnknownNames(t *testing.T) {
+	if _, err := Generate("nope", ModelConfig{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	w, _ := Generate("naive", ModelConfig{MaxNodes: 8, Jobs: 10, Seed: 1})
+	if _, err := Simulate(w, "nope", SimOptions{}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := RunExperiment("E42", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeSWFPipeline(t *testing.T) {
+	w, _ := Generate("feitelson96", ModelConfig{MaxNodes: 32, Jobs: 100, Seed: 2, Load: 0.6})
+	log := WorkloadToSWF(w)
+	if findings := ValidateSWF(log); len(findings) != 0 {
+		t.Fatalf("generated log has findings: %v", findings[0])
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, summary := CleanSWF(back)
+	if !strings.Contains(summary, "100 records in") {
+		t.Fatalf("clean summary: %s", summary)
+	}
+	w2, err := WorkloadFromSWF(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Jobs) != 100 {
+		t.Fatalf("round trip lost jobs: %d", len(w2.Jobs))
+	}
+}
+
+func TestFacadeInferFeedback(t *testing.T) {
+	w, _ := Generate("lublin99", ModelConfig{MaxNodes: 64, Jobs: 500, Seed: 3, Load: 0.7})
+	linked := InferFeedback(w, 3600)
+	if linked <= 0 {
+		t.Fatal("no feedback chains inferred on a lublin workload")
+	}
+}
+
+func TestFacadeLists(t *testing.T) {
+	if len(Models()) != 5 {
+		t.Fatalf("models: %v", Models())
+	}
+	if len(Schedulers()) != 12 {
+		t.Fatalf("schedulers: %v", Schedulers())
+	}
+	exps := Experiments()
+	if len(exps) != 10 || exps["E1"] == "" {
+		t.Fatalf("experiments: %v", exps)
+	}
+}
+
+func TestFacadeRunExperimentQuick(t *testing.T) {
+	tables, err := RunExperiment("E3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatal("E3 produced no rows")
+	}
+	if !strings.Contains(tables[0].String(), "ranking") {
+		t.Fatal("table rendering broken")
+	}
+}
