@@ -35,7 +35,10 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables := r.Run(cfg)
+		tables, err := r.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tables) == 0 {
 			b.Fatal("no tables")
 		}

@@ -1,17 +1,34 @@
 // Command experiments regenerates the paper's evaluation programme:
 // every table of experiments E1–E10 (see DESIGN.md for the index and
-// EXPERIMENTS.md for recorded results).
+// EXPERIMENTS.md for recorded results), optionally sharded across a
+// worker pool and replicated over derived seeds.
 //
-//	experiments            # run everything at default scale
-//	experiments -run E5    # one experiment
-//	experiments -quick     # seconds-scale versions
+//	experiments                    # run everything at default scale, serially
+//	experiments -run E5            # one experiment
+//	experiments -quick             # seconds-scale versions
+//	experiments -parallel 8        # shard the battery over 8 workers
+//	experiments -reps 5            # 5 replications, mean ± 95% CI summaries
+//	experiments -json out.json     # machine-readable batch result
+//	experiments -csv results/      # long-form metric and summary CSVs
+//
+// With -parallel 1 -reps 1 the output is byte-identical to the classic
+// serial path. With -reps > 1 per-replication tables are summarised
+// into mean ± CI rows (use -tables to also print every replication).
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"parsched/internal/experiments"
 )
@@ -19,11 +36,20 @@ import (
 func main() {
 	runID := flag.String("run", "", "run a single experiment (E1..E10); empty = all")
 	quick := flag.Bool("quick", false, "seconds-scale configuration")
+	parallel := flag.Int("parallel", 1, "worker-pool size; 0 = NumCPU")
+	reps := flag.Int("reps", 1, "replications per experiment (deterministic derived seeds)")
+	seed := flag.Int64("seed", 0, "override the base seed (0 = configuration default)")
+	jsonOut := flag.String("json", "", "write the full batch result as JSON to this file")
+	csvOut := flag.String("csv", "", "write metrics.csv/cells.csv (and summary.csv) into this directory")
+	showTables := flag.Bool("tables", false, "print per-replication tables even when -reps > 1")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
 	}
 
 	runners := experiments.All()
@@ -36,13 +62,170 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
-	for _, r := range runners {
-		start := time.Now()
-		tables := r.Run(cfg)
-		elapsed := time.Since(start)
-		fmt.Printf("== %s: %s (%.1fs) ==\n\n", r.ID, r.Title, elapsed.Seconds())
-		for _, tb := range tables {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// Restore default signal handling after the first interrupt:
+		// in-flight cells drain gracefully, a second Ctrl-C kills.
+		<-ctx.Done()
+		stop()
+	}()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	effectiveReps := max(*reps, 1)
+	total := len(runners) * effectiveReps
+	progress := workers > 1 || *reps > 1
+
+	// Per-cell tables stream to stdout in deterministic cell order as
+	// soon as every earlier cell is done (immediately, for the serial
+	// path), keeping the classic format — and exact bytes — when
+	// -reps 1. Progress goes to stderr only for parallel/replicated
+	// runs so the classic stdout stays byte-identical.
+	printCell := func(c experiments.CellResult) {
+		if c.Err != "" {
+			return
+		}
+		if effectiveReps == 1 {
+			fmt.Printf("== %s: %s (%.1fs) ==\n\n", c.ID, c.Title, c.Elapsed.Seconds())
+		} else if *showTables {
+			// Reps are 0-based everywhere they appear — headers,
+			// progress, failures, CSV, JSON — so lines cross-reference.
+			fmt.Printf("== %s rep %d of 0..%d (seed %d): %s (%.1fs) ==\n\n",
+				c.ID, c.Rep, effectiveReps-1, c.Seed, c.Title, c.Elapsed.Seconds())
+		} else {
+			return
+		}
+		for _, tb := range c.Tables {
 			fmt.Println(tb.String())
 		}
 	}
+	var mu sync.Mutex
+	next := 0
+	pending := map[int]experiments.CellResult{}
+	var done atomic.Int64
+	opt := experiments.BatchOptions{
+		Parallel: workers,
+		Reps:     *reps,
+		OnCell: func(c experiments.CellResult) {
+			if progress {
+				n := done.Add(1)
+				status := "ok"
+				if c.Err != "" {
+					status = "FAIL: " + c.Err
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s rep %d seed %d (%.1fs) %s\n",
+					n, total, c.ID, c.Rep, c.Seed, c.Elapsed.Seconds(), status)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			pending[c.Index] = c
+			for {
+				ready, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				printCell(ready)
+			}
+		},
+	}
+	res := experiments.RunBatch(ctx, runners, cfg, opt)
+
+	for _, tb := range experiments.SummaryTables(res.Summaries) {
+		fmt.Println(tb.String())
+	}
+
+	// Report failed cells before attempting exports, so an unwritable
+	// -json/-csv target cannot hide which experiments failed.
+	failed := res.Failed()
+	for _, c := range failed {
+		fmt.Fprintf(os.Stderr, "experiments: %s rep %d failed: %s\n", c.ID, c.Rep, c.Err)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeCSVs(*csvOut, res); err != nil {
+			fatal(err)
+		}
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}
+
+func writeJSON(path string, res *experiments.BatchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeCSVs emits long-form metric rows (one per typed observation),
+// per-cell timing, and — for multi-rep runs — the aggregated summary.
+func writeCSVs(dir string, res *experiments.BatchResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	metrics := [][]string{{"experiment", "table", "rep", "seed", "labels", "metric", "value"}}
+	cells := [][]string{{"experiment", "rep", "seed", "elapsed_s", "error"}}
+	for _, c := range res.Cells {
+		cells = append(cells, []string{
+			c.ID, strconv.Itoa(c.Rep), strconv.FormatInt(c.Seed, 10),
+			strconv.FormatFloat(c.Elapsed.Seconds(), 'f', 3, 64), c.Err,
+		})
+		for _, tb := range c.Tables {
+			for _, m := range tb.Metrics {
+				metrics = append(metrics, []string{
+					c.ID, tb.ID, strconv.Itoa(c.Rep), strconv.FormatInt(c.Seed, 10),
+					m.LabelKey(), m.Name, strconv.FormatFloat(m.Value, 'g', -1, 64),
+				})
+			}
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, "metrics.csv"), metrics); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "cells.csv"), cells); err != nil {
+		return err
+	}
+	if len(res.Summaries) == 0 {
+		return nil
+	}
+	summary := [][]string{{"experiment", "table", "labels", "metric", "n", "mean", "std", "ci95"}}
+	for _, s := range res.Summaries {
+		summary = append(summary, []string{
+			s.Experiment, s.Table, experiments.Metric{Labels: s.Labels}.LabelKey(), s.Name,
+			strconv.Itoa(s.N),
+			strconv.FormatFloat(s.Mean, 'g', -1, 64),
+			strconv.FormatFloat(s.Std, 'g', -1, 64),
+			strconv.FormatFloat(s.CI95, 'g', -1, 64),
+		})
+	}
+	return writeCSV(filepath.Join(dir, "summary.csv"), summary)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module parsched
+
+go 1.24

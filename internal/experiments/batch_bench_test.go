@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchBattery runs the full quick E1–E10 battery per iteration at the
+// given pool size; compare parallel=1 against parallel=NumCPU to see
+// the orchestrator's scaling on the current machine.
+func benchBattery(b *testing.B, parallel, reps int) {
+	cfg := QuickConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunBatch(context.Background(), All(), cfg,
+			BatchOptions{Parallel: parallel, Reps: reps})
+		if n := len(res.Failed()); n > 0 {
+			b.Fatalf("%d cells failed", n)
+		}
+	}
+}
+
+func BenchmarkBatterySerial(b *testing.B)   { benchBattery(b, 1, 1) }
+func BenchmarkBatteryParallel(b *testing.B) { benchBattery(b, runtime.NumCPU(), 1) }
+
+func BenchmarkBatteryParallelReps(b *testing.B) {
+	for _, reps := range []int{2, 4} {
+		b.Run(fmt.Sprintf("reps=%d", reps), func(b *testing.B) {
+			benchBattery(b, runtime.NumCPU(), reps)
+		})
+	}
+}

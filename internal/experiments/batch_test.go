@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeRunner builds a runner that records the seed it was called with
+// into a one-row table with a typed metric.
+func fakeRunner(id string, fn func(cfg Config) ([]Table, error)) Runner {
+	return Runner{ID: id, Title: "fake " + id, Run: fn}
+}
+
+func seedEcho(id string) Runner {
+	return fakeRunner(id, func(cfg Config) ([]Table, error) {
+		t := Table{ID: id, Title: "seed echo", Header: []string{"seed"}}
+		t.AddRow(fmt.Sprintf("%d", cfg.Seed))
+		t.Observe(map[string]string{"runner": id}, map[string]float64{"seed": float64(cfg.Seed)})
+		return []Table{t}, nil
+	})
+}
+
+func TestRepSeedDerivation(t *testing.T) {
+	if RepSeed(1999, 0) != 1999 {
+		t.Fatalf("rep 0 must keep the base seed, got %d", RepSeed(1999, 0))
+	}
+	seen := map[int64]bool{}
+	for rep := 0; rep < 100; rep++ {
+		s := RepSeed(1999, rep)
+		if seen[s] {
+			t.Fatalf("seed collision at rep %d", rep)
+		}
+		seen[s] = true
+	}
+	// Intra-experiment offsets (cfg.Seed + small constants, site
+	// indices, +10007) must not cross into the next replication's
+	// seed space.
+	if SeedStride <= 20000 {
+		t.Fatalf("SeedStride %d too small to separate intra-experiment offsets", SeedStride)
+	}
+}
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	runners := []Runner{seedEcho("A"), seedEcho("B")}
+	cells := Cells(runners, Config{Seed: 7}, 3)
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	want := []struct {
+		id  string
+		rep int
+	}{{"A", 0}, {"A", 1}, {"A", 2}, {"B", 0}, {"B", 1}, {"B", 2}}
+	for i, w := range want {
+		if cells[i].Runner.ID != w.id || cells[i].Rep != w.rep {
+			t.Fatalf("cell %d = %s rep %d, want %s rep %d",
+				i, cells[i].Runner.ID, cells[i].Rep, w.id, w.rep)
+		}
+		if cells[i].Seed != RepSeed(7, w.rep) {
+			t.Fatalf("cell %d seed = %d", i, cells[i].Seed)
+		}
+	}
+}
+
+func TestBatchSeedPlumbing(t *testing.T) {
+	res := RunBatch(context.Background(), []Runner{seedEcho("A")},
+		Config{Seed: 42}, BatchOptions{Parallel: 3, Reps: 4})
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for rep, c := range res.Cells {
+		want := fmt.Sprintf("%d", RepSeed(42, rep))
+		if c.Tables[0].Rows[0][0] != want {
+			t.Errorf("rep %d ran with seed %s, want %s", rep, c.Tables[0].Rows[0][0], want)
+		}
+	}
+}
+
+// TestBatchErrorIsolation: a failing runner — by error or by panic —
+// is recorded on its own cell and does not stop the battery.
+func TestBatchErrorIsolation(t *testing.T) {
+	boom := fakeRunner("BOOM", func(cfg Config) ([]Table, error) {
+		return nil, errors.New("bad model name")
+	})
+	panics := fakeRunner("PANIC", func(cfg Config) ([]Table, error) {
+		panic("exploded")
+	})
+	res := RunBatch(context.Background(), []Runner{boom, seedEcho("OK"), panics},
+		Config{Seed: 1}, BatchOptions{Parallel: 2, Reps: 1})
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if !strings.Contains(res.Cells[0].Err, "bad model name") {
+		t.Errorf("error cell: %q", res.Cells[0].Err)
+	}
+	if res.Cells[1].Err != "" || len(res.Cells[1].Tables) != 1 {
+		t.Errorf("healthy cell damaged by neighbours: %+v", res.Cells[1])
+	}
+	if !strings.Contains(res.Cells[2].Err, "panic: exploded") {
+		t.Errorf("panic not recovered into cell error: %q", res.Cells[2].Err)
+	}
+	if got := len(res.Failed()); got != 2 {
+		t.Errorf("Failed() = %d, want 2", got)
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slow := fakeRunner("SLOW", func(cfg Config) ([]Table, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return []Table{{ID: "SLOW"}}, nil
+	})
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	// One worker: the first cell blocks until cancel, the rest must be
+	// skipped with the context error.
+	res := RunBatch(ctx, []Runner{slow, seedEcho("NEVER1"), seedEcho("NEVER2")},
+		Config{Seed: 1}, BatchOptions{Parallel: 1, Reps: 1})
+	if res.Cells[0].Err != "" {
+		t.Errorf("in-flight cell should finish normally, got %q", res.Cells[0].Err)
+	}
+	for _, c := range res.Cells[1:] {
+		if !strings.Contains(c.Err, context.Canceled.Error()) {
+			t.Errorf("cell %s: err %q, want context.Canceled", c.ID, c.Err)
+		}
+	}
+}
+
+func TestBatchBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	gate := make(chan struct{})
+	var runners []Runner
+	for i := 0; i < 12; i++ {
+		runners = append(runners, fakeRunner(fmt.Sprintf("R%d", i),
+			func(cfg Config) ([]Table, error) {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				<-gate
+				inFlight.Add(-1)
+				return []Table{{ID: "x"}}, nil
+			}))
+	}
+	go func() {
+		// Release everyone once the pool has had time to saturate.
+		for i := 0; i < 12; i++ {
+			gate <- struct{}{}
+		}
+	}()
+	RunBatch(context.Background(), runners, Config{Seed: 1}, BatchOptions{Parallel: limit, Reps: 1})
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds pool size %d", p, limit)
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	// The metric equals the replication index: rep r runs with seed
+	// base + r*SeedStride, so value = (seed-base)/SeedStride.
+	counter := fakeRunner("C", func(cfg Config) ([]Table, error) {
+		t := Table{ID: "C", Header: []string{"v"}}
+		rep := float64(cfg.Seed-100) / float64(SeedStride)
+		t.AddRow(f(rep))
+		t.Observe(map[string]string{"k": "x"}, map[string]float64{"v": rep})
+		return []Table{t}, nil
+	})
+	res := RunBatch(context.Background(), []Runner{counter},
+		Config{Seed: 100}, BatchOptions{Parallel: 2, Reps: 5})
+	if len(res.Summaries) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(res.Summaries))
+	}
+	s := res.Summaries[0]
+	if s.Experiment != "C" || s.Table != "C" || s.Name != "v" || s.Labels["k"] != "x" {
+		t.Fatalf("summary identity wrong: %+v", s)
+	}
+	if s.N != 5 || s.Mean != 2 { // mean of 0..4
+		t.Errorf("n=%d mean=%v, want n=5 mean=2", s.N, s.Mean)
+	}
+	if s.CI95 <= 0 || s.Std <= 0 {
+		t.Errorf("dispersion missing: std=%v ci95=%v", s.Std, s.CI95)
+	}
+	// Failed cells must be excluded from aggregation, not zero-filled.
+	flaky := fakeRunner("F", func(cfg Config) ([]Table, error) {
+		if cfg.Seed != 100 {
+			return nil, errors.New("down")
+		}
+		t := Table{ID: "F"}
+		t.Observe(nil, map[string]float64{"v": 7})
+		return []Table{t}, nil
+	})
+	res = RunBatch(context.Background(), []Runner{flaky},
+		Config{Seed: 100}, BatchOptions{Parallel: 1, Reps: 3})
+	if len(res.Summaries) != 1 || res.Summaries[0].N != 1 || res.Summaries[0].Mean != 7 {
+		t.Errorf("failed reps leaked into summary: %+v", res.Summaries)
+	}
+}
+
+func TestSummaryTablesRender(t *testing.T) {
+	rows := []SummaryRow{
+		{Experiment: "E1", Table: "E1/x", Labels: map[string]string{"sched": "easy"}, Name: "meanWait", N: 3, Mean: 10, Std: 1, CI95: 1.13},
+		{Experiment: "E2", Table: "E2", Name: "tau", N: 3, Mean: 0.9},
+	}
+	tables := SummaryTables(rows)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if tables[0].ID != "E1/summary" || tables[1].ID != "E2/summary" {
+		t.Fatalf("order: %s, %s", tables[0].ID, tables[1].ID)
+	}
+	if !strings.Contains(tables[0].String(), "sched=easy") {
+		t.Errorf("labels missing from render:\n%s", tables[0].String())
+	}
+}
+
+func TestGenWorkloadBadModel(t *testing.T) {
+	if _, err := genWorkload("no-such-model", QuickConfig(), 0.7); err == nil {
+		t.Fatal("bad model name must return an error, not panic")
+	}
+}
+
+// TestOnCellCallback: every cell is reported exactly once, concurrently.
+func TestOnCellCallback(t *testing.T) {
+	var calls atomic.Int64
+	RunBatch(context.Background(), []Runner{seedEcho("A"), seedEcho("B")},
+		Config{Seed: 1}, BatchOptions{Parallel: 4, Reps: 3,
+			OnCell: func(c CellResult) { calls.Add(1) }})
+	if calls.Load() != 6 {
+		t.Errorf("OnCell calls = %d, want 6", calls.Load())
+	}
+}

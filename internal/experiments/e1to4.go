@@ -19,25 +19,39 @@ var e1Schedulers = []string{"fcfs", "firstfit", "sjf", "lxf", "easy", "cons"}
 // load, reporting the full metric battery (paper Section 2.1: "now
 // practically all evaluations of parallel job schedulers rely on real
 // data" — here, on the models fitted to that data).
-func E1SchedulerComparison(cfg Config) []Table {
+func E1SchedulerComparison(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	var tables []Table
 	for _, modelName := range []string{"feitelson96", "jann97", "lublin99", "downey97"} {
-		w := genWorkload(modelName, cfg, 0.7)
+		w, err := genWorkload(modelName, cfg, 0.7)
+		if err != nil {
+			return nil, err
+		}
 		t := Table{
 			ID:     "E1/" + modelName,
 			Title:  fmt.Sprintf("schedulers on %s (load 0.7, %d jobs, %d nodes)", modelName, cfg.Jobs, cfg.Nodes),
 			Header: []string{"sched", "meanWait(s)", "meanResp(s)", "meanBSLD", "geoBSLD", "p95Wait", "util"},
 		}
 		for _, sn := range e1Schedulers {
-			r := runOn(w, sn, sim.Options{})
+			r, err := runOn(w, sn, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(sn, f0(r.Wait.Mean), f0(r.Response.Mean), f(r.BSLD.Mean),
 				f(r.GeoBSLD), f0(r.Wait.P90), f3(r.Utilization))
+			// The rendered header says "p95Wait" (kept verbatim for
+			// output compatibility) but the value is the 90th
+			// percentile; the typed metric carries the truthful name.
+			t.Observe(map[string]string{"model": modelName, "sched": sn}, map[string]float64{
+				"meanWait": r.Wait.Mean, "meanResp": r.Response.Mean,
+				"meanBSLD": r.BSLD.Mean, "geoBSLD": r.GeoBSLD,
+				"p90Wait": r.Wait.P90, "util": r.Utilization,
+			})
 		}
 		t.Note("expected shape: easy/cons dominate fcfs on wait and slowdown; firstfit best raw wait but starves large jobs")
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 // E2MetricConflict reproduces the observation of Ghare & Leutenegger
@@ -46,7 +60,7 @@ func E1SchedulerComparison(cfg Config) []Table {
 // is used. The experiment computes rankings of the scheduler family
 // under four metrics across a load sweep and reports every pairwise
 // flip it finds.
-func E2MetricConflict(cfg Config) []Table {
+func E2MetricConflict(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:     "E2",
@@ -63,16 +77,24 @@ func E2MetricConflict(cfg Config) []Table {
 		names := e1Schedulers
 		var reports []metrics.Report
 		for _, sn := range names {
-			reports = append(reports, runOn(w, sn, sim.Options{}))
+			r, err := runOn(w, sn, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, r)
 		}
+		// name is the rendered label (kept verbatim, including the
+		// legacy "p95Wait" misnomer, for output compatibility); label
+		// is the truthful name the typed metric stream exports.
 		metricSet := []struct {
 			name  string
+			label string
 			score func(metrics.Report) float64
 		}{
-			{"meanResponse", func(r metrics.Report) float64 { return r.Response.Mean }},
-			{"meanBSLD", func(r metrics.Report) float64 { return r.BSLD.Mean }},
-			{"geoBSLD", func(r metrics.Report) float64 { return r.GeoBSLD }},
-			{"p95Wait", func(r metrics.Report) float64 { return r.Wait.P90 }},
+			{"meanResponse", "meanResponse", func(r metrics.Report) float64 { return r.Response.Mean }},
+			{"meanBSLD", "meanBSLD", func(r metrics.Report) float64 { return r.BSLD.Mean }},
+			{"geoBSLD", "geoBSLD", func(r metrics.Report) float64 { return r.GeoBSLD }},
+			{"p95Wait", "p90Wait", func(r metrics.Report) float64 { return r.Wait.P90 }},
 		}
 		rankings := map[string][]string{}
 		for _, ms := range metricSet {
@@ -83,6 +105,10 @@ func E2MetricConflict(cfg Config) []Table {
 			ranking := rankOf(names, scores)
 			rankings[ms.name] = ranking
 			t.AddRow(f(load), ms.name, strings.Join(ranking, " > "))
+			for i, sn := range names {
+				t.Observe(map[string]string{"load": f(load), "metric": ms.label, "sched": sn},
+					map[string]float64{"score": scores[i]})
+			}
 		}
 		// Find pairwise flips between meanResponse and meanBSLD.
 		pos := func(ranking []string, n string) int {
@@ -111,7 +137,7 @@ func E2MetricConflict(cfg Config) []Table {
 		t.Notes = append(t.Notes, msg)
 	}
 	sortStrings(t.Notes)
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // E3ObjectiveWeights reproduces Krallmann/Schwiegelshohn/Yahyapour [41]
@@ -122,13 +148,17 @@ func E2MetricConflict(cfg Config) []Table {
 // disagreeing (E2): score = w·(mean wait) + (1−w)·(mean bounded
 // slowdown), each normalized by the FCFS baseline so the weight is
 // scale-free.
-func E3ObjectiveWeights(cfg Config) []Table {
+func E3ObjectiveWeights(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	w := lublinWorkload(cfg, 0.85)
 	names := e1Schedulers
 	var reports []metrics.Report
 	for _, sn := range names {
-		reports = append(reports, runOn(w, sn, sim.Options{}))
+		r, err := runOn(w, sn, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
 	}
 	// Normalize against the FCFS baseline.
 	var baseWait, baseBSLD float64
@@ -163,9 +193,10 @@ func E3ObjectiveWeights(cfg Config) []Table {
 		// deterministically by rankOf): tau = 1 iff identical order.
 		tau := stats.KendallTau(negateF(basePos), negateF(pos))
 		t.AddRow(f(wgt), strings.Join(ranking, " > "), f3(tau))
+		t.Observe(map[string]string{"w": f(wgt)}, map[string]float64{"tau": tau})
 	}
 	t.Note("tau < 1 at any w confirms the [41] effect: the metric weight alone reorders schedulers")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // positions maps each name to its index in the ranking.
@@ -196,7 +227,7 @@ func negateF(xs []float64) []float64 {
 // paper describes). The feedback run self-throttles: as the machine
 // saturates, dependent submittals shift later, so response times grow
 // far more slowly than the open-loop replay suggests.
-func E4Feedback(cfg Config) []Table {
+func E4Feedback(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:     "E4",
@@ -210,14 +241,24 @@ func E4Feedback(cfg Config) []Table {
 	for _, load := range loads {
 		w := lublinWorkload(cfg, load)
 		rep := core.InferFeedback(w, 3600)
-		open := runOn(w, "easy", sim.Options{})
-		closed := runOn(w, "easy", sim.Options{Feedback: true})
+		open, err := runOn(w, "easy", sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		closed, err := runOn(w, "easy", sim.Options{Feedback: true})
+		if err != nil {
+			return nil, err
+		}
 		linked := 100 * float64(rep.LinkedJobs) / float64(len(w.Jobs))
 		t.AddRow(f(load), f0(open.Response.Mean), f0(closed.Response.Mean),
 			f(open.BSLD.Mean), f(closed.BSLD.Mean), f(linked))
+		t.Observe(map[string]string{"load": f(load)}, map[string]float64{
+			"openMeanResp": open.Response.Mean, "closedMeanResp": closed.Response.Mean,
+			"openBSLD": open.BSLD.Mean, "closedBSLD": closed.BSLD.Mean, "linkedPct": linked,
+		})
 	}
 	t.Note("expected shape: closed-loop response and slowdown sit below the open-loop replay past saturation, by a margin that grows with the linked fraction (feedback throttles arrivals)")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 func sortStrings(xs []string) {

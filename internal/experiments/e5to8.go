@@ -19,7 +19,7 @@ import (
 // variant (easy+win, which drains before announced windows). Failures
 // are sudden; maintenance is announced a day ahead, exactly the two
 // announcement modes of the proposed outage format.
-func E5Outages(cfg Config) []Table {
+func E5Outages(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	w := lublinWorkload(cfg, 0.7)
 	horizon := w.Jobs[len(w.Jobs)-1].Submit + 7*86400
@@ -51,15 +51,23 @@ func E5Outages(cfg Config) []Table {
 		}
 		olog := outage.Generate(gcfg, cfg.Seed+7)
 		for _, sn := range []string{"easy", "easy+win"} {
-			r := runOn(w, sn, sim.Options{Outages: olog})
+			r, err := runOn(w, sn, sim.Options{Outages: olog})
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(sc.name, sn, f0(r.Wait.Mean), f(r.BSLD.Mean),
 				fmt.Sprintf("%d", r.Restarts),
 				f(float64(r.LostWork)/3600),
 				fmt.Sprintf("%d", r.Unfinished))
+			t.Observe(map[string]string{"mtbf": sc.name, "sched": sn}, map[string]float64{
+				"meanWait": r.Wait.Mean, "meanBSLD": r.BSLD.Mean,
+				"restarts": float64(r.Restarts), "lostWorkProcH": float64(r.LostWork) / 3600,
+				"unfinished": float64(r.Unfinished),
+			})
 		}
 	}
 	t.Note("expected shape: with announced maintenance only (mtbf none) the aware scheduler eliminates kills entirely; sudden failures remain unavoidable for both")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // E6Reservations reproduces Section 3's "simple approach may be an
@@ -68,7 +76,7 @@ func E5Outages(cfg Config) []Table {
 // a reservation-aware backfiller (easy+win) or an oblivious one. The
 // aware scheduler keeps reservations feasible (high grant rate) at
 // some cost in local slowdown; the oblivious one tramples them.
-func E6Reservations(cfg Config) []Table {
+func E6Reservations(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	w := lublinWorkload(cfg, 0.6)
 	span := w.Jobs[len(w.Jobs)-1].Submit
@@ -87,11 +95,11 @@ func E6Reservations(cfg Config) []Table {
 		for _, sn := range []string{"easy", "easy+win"} {
 			s, err := sched.New(sn)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("scheduler %q: %w", sn, err)
 			}
 			res, err := sim.Run(w, s, sim.Options{Reservations: resvs})
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("simulating %q: %w", sn, err)
 			}
 			r := res.Report(w.MaxNodes)
 			granted := 0
@@ -105,10 +113,13 @@ func E6Reservations(cfg Config) []Table {
 				grantPct = 100 * float64(granted) / float64(len(res.Reservations))
 			}
 			t.AddRow(f(frac), sn, f(grantPct), f(r.BSLD.Mean), f3(r.Utilization))
+			t.Observe(map[string]string{"resvFrac": f(frac), "sched": sn}, map[string]float64{
+				"grantPct": grantPct, "localBSLD": r.BSLD.Mean, "util": r.Utilization,
+			})
 		}
 	}
 	t.Note("expected shape: easy+win grants ~all reservations; oblivious easy fails grants as resvFrac grows; local slowdown rises with resvFrac")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // periodicReservations builds a reservation stream consuming roughly
@@ -141,15 +152,18 @@ func periodicReservations(frac float64, nodes int, span int64, period int64) []s
 // evaluated on a real scheduling trace (accuracy table), then a 4-site
 // grid compares meta-scheduler policies that use no information
 // (random), queue state (least-work), and predictions (predicted-wait).
-func E7Prediction(cfg Config) []Table {
+func E7Prediction(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 
 	// Part 1: predictor accuracy on a single busy machine.
 	w := lublinWorkload(cfg, 0.95)
-	s, _ := sched.New("easy")
+	s, err := sched.New("easy")
+	if err != nil {
+		return nil, fmt.Errorf("scheduler easy: %w", err)
+	}
 	res, err := sim.Run(w, s, sim.Options{})
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("simulating easy: %w", err)
 	}
 	jobsByID := map[int64]*core.Job{}
 	for _, j := range w.Jobs {
@@ -172,6 +186,9 @@ func E7Prediction(cfg Config) []Table {
 			ev.Feed(jobsByID[o.JobID], o.Submit, o.Wait())
 		}
 		acc.AddRow(p.Name(), f0(ev.MAE()), f0(ev.RMSE()), f3(ev.NormalizedMAE()))
+		acc.Observe(map[string]string{"predictor": p.Name()}, map[string]float64{
+			"mae": ev.MAE(), "rmse": ev.RMSE(), "normMAE": ev.NormalizedMAE(),
+		})
 	}
 	acc.Note("expected shape: category templates beat the no-information baseline; global averages barely help — queue waits are 'still relatively inaccurate' to predict (Section 3.1)")
 
@@ -187,20 +204,26 @@ func E7Prediction(cfg Config) []Table {
 		func() meta.Policy { return meta.LeastWorkPolicy{} },
 		func() meta.Policy { return meta.PredictedWaitPolicy{} },
 	} {
-		g := buildGrid(cfg)
+		g, err := buildGrid(cfg)
+		if err != nil {
+			return nil, err
+		}
 		policy := pol()
 		g.SubmitMeta(metaJobs, policy)
 		g.Run(0)
 		outs, lost := g.MetaOutcomes()
 		r := metrics.Compute(policy.Name(), "grid", outs, g.TotalNodes())
 		gain.AddRow(policy.Name(), f0(r.Wait.Mean), f0(r.Wait.P90), fmt.Sprintf("%d", lost))
+		gain.Observe(map[string]string{"policy": policy.Name()}, map[string]float64{
+			"meanWait": r.Wait.Mean, "p90Wait": r.Wait.P90, "lost": float64(lost),
+		})
 	}
 	gain.Note("expected shape: least-work and predicted-wait cut meta-job waits versus random")
-	return []Table{acc, gain}
+	return []Table{acc, gain}, nil
 }
 
 // buildGrid assembles the standard 4-site grid with skewed local loads.
-func buildGrid(cfg Config) *meta.Grid {
+func buildGrid(cfg Config) (*meta.Grid, error) {
 	jobsPerSite := cfg.Jobs / 4
 	loads := []float64{0.3, 0.6, 0.9, 1.2}
 	var specs []meta.SiteSpec
@@ -217,9 +240,9 @@ func buildGrid(cfg Config) *meta.Grid {
 	}
 	g, err := meta.NewGrid(specs)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("building grid: %w", err)
 	}
-	return g
+	return g, nil
 }
 
 // metaJobStream builds n meta jobs spread over the grid's active span.
@@ -247,7 +270,7 @@ func metaJobStream(cfg Config, n int) []*core.Job {
 // negotiated via advance reservations on reservation-aware locals.
 // More parts mean more negotiation constraints: later common starts,
 // but the grant rate stays high because the locals honour windows.
-func E8CoAllocation(cfg Config) []Table {
+func E8CoAllocation(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:     "E8",
@@ -259,7 +282,10 @@ func E8CoAllocation(cfg Config) []Table {
 		nReq = 10
 	}
 	for _, parts := range []int{1, 2, 4} {
-		g := buildCoAllocGrid(cfg)
+		g, err := buildCoAllocGrid(cfg)
+		if err != nil {
+			return nil, err
+		}
 		reqs := coAllocStream(cfg, nReq, parts)
 		g.SubmitCoAlloc(reqs)
 		g.Run(0)
@@ -291,12 +317,16 @@ func E8CoAllocation(cfg Config) []Table {
 		t.AddRow(fmt.Sprintf("%d", parts),
 			f(100*float64(granted)/float64(len(cas))),
 			f0(ds.Mean), f0(ds.P90), f(localBSLD))
+		t.Observe(map[string]string{"parts": fmt.Sprintf("%d", parts)}, map[string]float64{
+			"grantedPct": 100 * float64(granted) / float64(len(cas)),
+			"meanDelay":  ds.Mean, "p90Delay": ds.P90, "localBSLD": localBSLD,
+		})
 	}
 	t.Note("expected shape: grant rate stays high (aware locals); delay grows with parts (harder simultaneous holes); local slowdown rises with co-allocation pressure")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
-func buildCoAllocGrid(cfg Config) *meta.Grid {
+func buildCoAllocGrid(cfg Config) (*meta.Grid, error) {
 	jobsPerSite := cfg.Jobs / 8
 	var specs []meta.SiteSpec
 	for i := 0; i < 4; i++ {
@@ -311,9 +341,9 @@ func buildCoAllocGrid(cfg Config) *meta.Grid {
 	}
 	g, err := meta.NewGrid(specs)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("building co-allocation grid: %w", err)
 	}
-	return g
+	return g, nil
 }
 
 func coAllocStream(cfg Config, n, parts int) []meta.CoAllocRequest {

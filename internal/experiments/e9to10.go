@@ -23,7 +23,7 @@ import (
 // it. By construction the Lublin model should rank best and the naive
 // guesswork baseline worst — the paper's point that measurement-based
 // models beat guesswork.
-func E9ModelFidelity(cfg Config) []Table {
+func E9ModelFidelity(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	ref := lublin.Default().Generate(model.Config{
 		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs * 2, Seed: cfg.Seed + 10007, Load: 0.65,
@@ -46,7 +46,7 @@ func E9ModelFidelity(cfg Config) []Table {
 	for _, name := range []string{"lublin99", "feitelson96", "jann97", "downey97", "naive"} {
 		m, err := registry.New(name)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("workload model %q: %w", name, err)
 		}
 		w := m.Generate(model.Config{MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed, Load: 0.7})
 		gaps, sizes, rts := model.Marginals(w)
@@ -60,6 +60,10 @@ func E9ModelFidelity(cfg Config) []Table {
 		composite := (kg + ks + kr + dp + dn) / 5
 		scores = append(scores, scored{name, composite})
 		t.AddRow(name, f3(kg), f3(ks), f3(kr), f3(dp), f3(dn), f3(composite))
+		t.Observe(map[string]string{"model": name}, map[string]float64{
+			"ksArrival": kg, "ksSize": ks, "ksRuntime": kr,
+			"dPow2": dp, "dSerial": dn, "composite": composite,
+		})
 	}
 	best, worst := scores[0], scores[0]
 	for _, s := range scores {
@@ -72,7 +76,7 @@ func E9ModelFidelity(cfg Config) []Table {
 	}
 	t.Note("closest model: %s (composite %.3f); farthest: %s (%.3f)", best.name, best.d, worst.name, worst.d)
 	t.Note("expected shape: lublin99 closest (the [58] finding); naive guesswork farthest (no power-of-two or serial structure)")
-	return []Table{t}
+	return []Table{t}, nil
 }
 
 // E10Warmstones runs the WARMstones evaluation environment of Section
@@ -80,7 +84,7 @@ func E9ModelFidelity(cfg Config) []Table {
 // canonical metasystem configurations under three mapping policies,
 // reporting event-driven makespans; a second table quantifies the
 // agreement between the two simulation fidelities.
-func E10Warmstones(cfg Config) []Table {
+func E10Warmstones(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	suite := warmstones.StandardSuite(cfg.Seed)
 	mappers := []warmstones.Mapper{
@@ -106,7 +110,7 @@ func E10Warmstones(cfg Config) []Table {
 		}
 		scores, err := warmstones.Evaluate(graphs, sys, mappers)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("evaluating %q: %w", sys.Name, err)
 		}
 		// Scoreboard rows: one per graph, columns per mapper.
 		byGraph := map[string]map[string]warmstones.Score{}
@@ -122,6 +126,10 @@ func E10Warmstones(cfg Config) []Table {
 				f(row["round-robin"].Makespan),
 				f(row["load-balance"].Makespan),
 				f(row["comm-aware"].Makespan))
+			for _, mn := range []string{"round-robin", "load-balance", "comm-aware"} {
+				board.Observe(map[string]string{"system": sys.Name, "graph": g.Name, "mapper": mn},
+					map[string]float64{"makespan": row[mn].Makespan})
+			}
 		}
 		// Fidelity agreement: among same-graph mapper pairs whose
 		// event-driven makespans differ by more than 10%, how often does
@@ -157,12 +165,18 @@ func E10Warmstones(cfg Config) []Table {
 			}
 		}
 		agreement := "-"
+		vals := map[string]float64{
+			"distinctPairs": float64(distinct),
+			"meanAbsRelErr": relErr / float64(len(scores)),
+		}
 		if distinct > 0 {
 			agreement = f(100 * float64(agree) / float64(distinct))
+			vals["agreementPct"] = 100 * float64(agree) / float64(distinct)
 		}
 		fidelity.AddRow(sys.Name, fmt.Sprintf("%d", distinct), agreement, f3(relErr/float64(len(scores))))
+		fidelity.Observe(map[string]string{"system": sys.Name}, vals)
 	}
 	board.Note("expected shape: load-balance wins compute-intensive; comm-aware wins communication-intensive on slow links; device-bound pins to device machines")
 	fidelity.Note("expected shape: positive rank agreement — the cheap estimate usually picks the same winner as the event-driven engine")
-	return []Table{board, fidelity}
+	return []Table{board, fidelity}, nil
 }

@@ -49,17 +49,63 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Metric is one typed observation behind the formatted cells: a named
+// value under a label set (e.g. {sched: easy, model: lublin99} →
+// meanWait = 5362). Metrics are what the batch layer aggregates across
+// replications and what -json/-csv export; the formatted rows remain
+// the human-readable view.
+type Metric struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Name   string            `json:"name"`
+	Value  float64           `json:"value"`
+}
+
+// LabelKey renders the label set in sorted k=v form, the stable
+// grouping key used by replication aggregation and CSV export.
+func (m Metric) LabelKey() string {
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m.Labels[k])
+	}
+	return b.String()
+}
+
 // Table is one experiment output table.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Metrics []Metric   `json:"metrics,omitempty"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Observe records typed metric values under a shared label set — the
+// machine-readable counterpart of a formatted row. Names are appended
+// in sorted order so the metric stream is deterministic.
+func (t *Table) Observe(labels map[string]string, values map[string]float64) {
+	names := make([]string, 0, len(values))
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.Metrics = append(t.Metrics, Metric{Labels: labels, Name: n, Value: values[n]})
+	}
+}
 
 // Note appends a free-text note under the table.
 func (t *Table) Note(format string, args ...interface{}) {
@@ -106,11 +152,13 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Runner is one experiment.
+// Runner is one experiment. Run returns the experiment's tables (each
+// carrying typed metric rows) or an error; a failing experiment must
+// report, not panic, so one bad cell cannot kill a parallel battery.
 type Runner struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) []Table
+	Run   func(cfg Config) ([]Table, error)
 }
 
 // All returns the experiment battery in order.
@@ -142,16 +190,18 @@ func ByID(id string) (Runner, bool) {
 // ---------------------------------------------------------------------
 // shared helpers
 
-// genWorkload generates a workload from a named model.
-func genWorkload(name string, cfg Config, load float64) *core.Workload {
+// genWorkload generates a workload from a named model. A bad model
+// name is reported, not panicked, so the error flows through the
+// Runner result path instead of killing a whole battery.
+func genWorkload(name string, cfg Config, load float64) (*core.Workload, error) {
 	m, err := registry.New(name)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("workload model %q: %w", name, err)
 	}
 	return m.Generate(model.Config{
 		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
 		Load: load, EstimateFactor: 2,
-	})
+	}), nil
 }
 
 // lublinWorkload is the default test substrate (the model the paper
@@ -164,16 +214,16 @@ func lublinWorkload(cfg Config, load float64) *core.Workload {
 }
 
 // runOn simulates a workload under a named scheduler.
-func runOn(w *core.Workload, schedName string, opts sim.Options) metrics.Report {
+func runOn(w *core.Workload, schedName string, opts sim.Options) (metrics.Report, error) {
 	s, err := sched.New(schedName)
 	if err != nil {
-		panic(err)
+		return metrics.Report{}, fmt.Errorf("scheduler %q: %w", schedName, err)
 	}
 	res, err := sim.Run(w, s, opts)
 	if err != nil {
-		panic(err)
+		return metrics.Report{}, fmt.Errorf("simulating %q: %w", schedName, err)
 	}
-	return res.Report(w.MaxNodes)
+	return res.Report(w.MaxNodes), nil
 }
 
 // f formats a float compactly.

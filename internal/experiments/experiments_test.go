@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,7 +14,11 @@ func runQuick(t *testing.T, id string) []Table {
 	if !ok {
 		t.Fatalf("unknown experiment %s", id)
 	}
-	return r.Run(QuickConfig())
+	tables, err := r.Run(QuickConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return tables
 }
 
 func TestAllRegistered(t *testing.T) {
@@ -25,6 +30,63 @@ func TestAllRegistered(t *testing.T) {
 	}
 	if _, ok := ByID("E99"); ok {
 		t.Fatal("unknown ID accepted")
+	}
+}
+
+// renderAll renders a table list to one string, the byte-level
+// artifact the determinism contract is stated over.
+func renderAll(tables []Table) string {
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestDeterminismSerialRerun locks in the internal/des reproducibility
+// contract: the same Config must yield byte-identical tables on every
+// run, for every experiment in the battery.
+func TestDeterminismSerialRerun(t *testing.T) {
+	for _, r := range All() {
+		first, err := r.Run(QuickConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		second, err := r.Run(QuickConfig())
+		if err != nil {
+			t.Fatalf("%s rerun: %v", r.ID, err)
+		}
+		if a, b := renderAll(first), renderAll(second); a != b {
+			t.Errorf("%s: rerun with identical Config produced different tables", r.ID)
+		}
+	}
+}
+
+// TestDeterminismParallelMatchesSerial: the batch layer sharded over
+// many workers must reproduce the serial path byte for byte — derived
+// seeds and no shared RNG state make worker order irrelevant.
+func TestDeterminismParallelMatchesSerial(t *testing.T) {
+	cfg := QuickConfig()
+	serial := map[string]string{}
+	for _, r := range All() {
+		tables, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		serial[r.ID] = renderAll(tables)
+	}
+	res := RunBatch(context.Background(), All(), cfg, BatchOptions{Parallel: 8, Reps: 1})
+	if len(res.Cells) != len(All()) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Fatalf("%s failed in batch: %s", c.ID, c.Err)
+		}
+		if got := renderAll(c.Tables); got != serial[c.ID] {
+			t.Errorf("%s: parallel tables differ from serial run", c.ID)
+		}
 	}
 }
 

@@ -236,6 +236,36 @@ func TestBatchMeansCI(t *testing.T) {
 	}
 }
 
+func TestTQuantile95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 9: 2.262, 30: 2.042}
+	for df, want := range cases {
+		if got := TQuantile95(df); got != want {
+			t.Errorf("TQuantile95(%d) = %v, want %v", df, got, want)
+		}
+	}
+	// Past the table: the approximation must stay close to the true
+	// quantile (2.040 at df=31, 2.000 at df=60, 1.980 at df=120) and
+	// approach the normal value from above.
+	approx := map[int]float64{31: 2.040, 60: 2.000, 120: 1.980}
+	for df, want := range approx {
+		if got := TQuantile95(df); math.Abs(got-want) > 0.01 {
+			t.Errorf("TQuantile95(%d) = %v, want ~%v", df, got, want)
+		}
+	}
+	if got := TQuantile95(1 << 20); got < 1.96 || got > 1.961 {
+		t.Errorf("asymptote = %v, want ~1.96", got)
+	}
+	if TQuantile95(0) != 0 {
+		t.Error("df=0 must return 0")
+	}
+	// Monotone non-increasing toward the normal limit.
+	for df := 1; df < 40; df++ {
+		if TQuantile95(df+1) > TQuantile95(df) {
+			t.Fatalf("t-quantile not monotone at df=%d", df)
+		}
+	}
+}
+
 func TestBatchMeansCIEdge(t *testing.T) {
 	if m, hw := BatchMeansCI(nil, 10); m != 0 || hw != 0 {
 		t.Fatal("empty input should give zeros")

@@ -29,6 +29,7 @@
 package parsched
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -65,6 +66,10 @@ type (
 	ModelConfig = model.Config
 	// ExperimentTable is one table of experiment output.
 	ExperimentTable = experiments.Table
+	// ExperimentMetric is one typed observation behind a table row.
+	ExperimentMetric = experiments.Metric
+	// BatchResult is the structured outcome of a parallel battery run.
+	BatchResult = experiments.BatchResult
 )
 
 // Models lists the available workload model names.
@@ -155,18 +160,34 @@ func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
 	if quick {
 		cfg = experiments.QuickConfig()
 	}
-	return r.Run(cfg), nil
+	return r.Run(cfg)
 }
 
-// RunAllExperiments executes the whole battery in order.
-func RunAllExperiments(quick bool) []ExperimentTable {
+// RunAllExperiments executes the whole battery in order, serially.
+func RunAllExperiments(quick bool) ([]ExperimentTable, error) {
 	cfg := experiments.Default()
 	if quick {
 		cfg = experiments.QuickConfig()
 	}
 	var tables []ExperimentTable
 	for _, r := range experiments.All() {
-		tables = append(tables, r.Run(cfg)...)
+		ts, err := r.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("parsched: %s: %w", r.ID, err)
+		}
+		tables = append(tables, ts...)
 	}
-	return tables
+	return tables, nil
+}
+
+// RunBattery shards the whole battery (experiments × replications)
+// across a bounded worker pool with deterministic per-cell seeds; see
+// experiments.RunBatch for the semantics. parallel <= 0 means NumCPU.
+func RunBattery(ctx context.Context, quick bool, parallel, reps int) *BatchResult {
+	cfg := experiments.Default()
+	if quick {
+		cfg = experiments.QuickConfig()
+	}
+	return experiments.RunBatch(ctx, experiments.All(), cfg,
+		experiments.BatchOptions{Parallel: parallel, Reps: reps})
 }
