@@ -1,0 +1,118 @@
+package parsched
+
+// Large-scale stress benchmarks for the simulation core. These are the
+// benchmarks the perf trajectory is measured against (scripts/bench.sh
+// emits them into BENCH_PR2.json): two macro-benchmarks replaying a
+// 20k-job Lublin workload on a 512-node machine under the two
+// backfilling families — the workload scale of the Mu'alem & Feitelson
+// SWF evaluations — plus micro-benchmarks for the cluster allocator and
+// the scheduler-visible running set, which dominate per-event cost.
+
+import (
+	"testing"
+
+	"parsched/internal/cluster"
+	"parsched/internal/core"
+	"parsched/internal/des"
+	"parsched/internal/model/lublin"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+)
+
+// largeWorkload is shared by the macro-benchmarks: one deterministic
+// 20k-job trace generated once per process.
+var largeWorkload *Workload
+
+func benchLargeWorkload(b *testing.B) *Workload {
+	if largeWorkload == nil {
+		largeWorkload = lublin.Default().Generate(ModelConfig{
+			MaxNodes: 512, Jobs: 20000, Seed: 7, Load: 0.85, EstimateFactor: 2,
+		})
+	}
+	if len(largeWorkload.Jobs) != 20000 {
+		b.Fatalf("short workload: %d jobs", len(largeWorkload.Jobs))
+	}
+	return largeWorkload
+}
+
+func benchLargeSim(b *testing.B, scheduler string) {
+	w := benchLargeWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.New(scheduler)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(w, s, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report(512).Finished == 0 {
+			b.Fatal("nothing finished")
+		}
+	}
+}
+
+func BenchmarkLargeEASY(b *testing.B)         { benchLargeSim(b, "easy") }
+func BenchmarkLargeConservative(b *testing.B) { benchLargeSim(b, "cons") }
+
+// BenchmarkAllocate512 exercises best-fit allocation on a 512-node
+// machine with four memory classes at ~50% occupancy: the allocator's
+// steady state during a backfilling run.
+func BenchmarkAllocate512(b *testing.B) {
+	mems := make([]int64, 512)
+	for i := range mems {
+		mems[i] = int64(1024 << (i % 4)) // 1, 2, 4, 8 GB classes
+	}
+	m := cluster.NewHeterogeneous(mems)
+	// Pre-fill half the machine so Allocate works against a fragmented
+	// free set, as it does mid-simulation.
+	for o := int64(1); o <= 16; o++ {
+		if _, ok := m.Allocate(o, 16, 0); !ok {
+			b.Fatal("prefill failed")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner := int64(1000 + i)
+		if _, ok := m.Allocate(owner, 32, 2048); !ok {
+			b.Fatal("allocate failed")
+		}
+		m.Release(owner)
+	}
+}
+
+// BenchmarkRunningSet measures the cost of the scheduler-visible
+// Running() view with 256 concurrent jobs — the call every scheduler
+// callback makes before building its availability profile.
+func BenchmarkRunningSet(b *testing.B) {
+	engine := &des.Engine{}
+	s, err := sched.New("fcfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := sim.NewInstance(engine, "bench", 512, s, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		j := &core.Job{
+			ID: int64(i + 1), Size: 2,
+			Runtime: int64(1000000 + i*37), Estimate: int64(1000000 + i*37),
+		}
+		inst.SubmitAt(j, 0)
+	}
+	engine.RunUntil(10)
+	if got := len(inst.Running()); got != 256 {
+		b.Fatalf("running = %d, want 256", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(inst.Running()) != 256 {
+			b.Fatal("running set changed")
+		}
+	}
+}

@@ -122,6 +122,24 @@ func BenchmarkDESEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkDESSteadyState measures the per-event cost of the engine in
+// steady state — a standing population of pending events, one scheduled
+// for each one fired — which is the regime a long simulation lives in.
+// The allocs/op figure here is the "allocation-free per event" contract.
+func BenchmarkDESSteadyState(b *testing.B) {
+	var e des.Engine
+	nop := func() {}
+	for k := 0; k < 1024; k++ {
+		e.At(int64(k), des.PriorityArrival, nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.After(1024, des.PriorityArrival, nop)
+	}
+}
+
 func benchSim(b *testing.B, scheduler string, jobs int) {
 	w := benchWorkload(jobs)
 	b.ReportAllocs()

@@ -9,15 +9,41 @@
 // offline, but the system continues to operate. Any job running on that
 // node would have to be restarted, but it has no effect on any other
 // running jobs").
+//
+// Counting and allocation are the per-event hot path of the simulator,
+// so the machine maintains its aggregate state incrementally: cached
+// up/free/in-use counters updated on every node transition, and
+// free-node bitsets bucketed by distinct memory value (ascending), so
+// best-fit allocation walks only the free nodes it will take instead of
+// scanning and sorting the whole machine. The original O(N) scans are
+// kept as scan* functions behind the debugCheck flag, which tests
+// enable to cross-validate every cached figure after every mutation.
 package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
 // NoOwner marks a free node.
 const NoOwner int64 = 0
+
+// debugCheck, when true, makes every mutating operation cross-validate
+// the cached counters and free lists against a from-scratch scan.
+// Enabled by tests (see EnableDebugChecks); off in production because
+// it restores the O(N)-per-event cost the cache exists to remove.
+var debugCheck bool
+
+// EnableDebugChecks toggles scan-based cross-validation of the cached
+// state after every mutation. Returns the previous setting. Not safe
+// for concurrent use with running machines — flip it only around
+// single-threaded test bodies.
+func EnableDebugChecks(on bool) bool {
+	prev := debugCheck
+	debugCheck = on
+	return prev
+}
 
 // Node is one processor/compute node.
 type Node struct {
@@ -30,10 +56,34 @@ type Node struct {
 	Owner int64
 }
 
+// memClass is the free list for one distinct memory value: a bitset of
+// free node indices (free = up and unowned) plus its population count.
+type memClass struct {
+	mem   int64
+	free  []uint64 // bit i set iff node i is free and in this class
+	count int
+}
+
+func (c *memClass) set(i int)   { c.free[i>>6] |= 1 << (uint(i) & 63) }
+func (c *memClass) clear(i int) { c.free[i>>6] &^= 1 << (uint(i) & 63) }
+func (c *memClass) has(i int) bool {
+	return c.free[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
 // Machine is a space-sliced parallel computer.
 type Machine struct {
 	nodes  []Node
 	owners map[int64][]int // owner -> node indices
+
+	// Cached aggregates, maintained on every state transition.
+	up    int // nodes not down
+	inUse int // up nodes with an owner
+	nFree int // up nodes without an owner
+
+	// classes are the per-memory-value free lists, ascending by Mem.
+	// classOf maps a node index to its (immutable) class index.
+	classes []memClass
+	classOf []int
 }
 
 // New creates a homogeneous machine of n nodes with memPerNode KB each.
@@ -49,14 +99,63 @@ func New(n int, memPerNode int64) *Machine {
 // the "nodes configured with different amounts of resources" case of
 // Section 4.1.
 func NewHeterogeneous(memPerNode []int64) *Machine {
+	n := len(memPerNode)
 	m := &Machine{
-		nodes:  make([]Node, len(memPerNode)),
-		owners: map[int64][]int{},
+		nodes:   make([]Node, n),
+		owners:  map[int64][]int{},
+		classOf: make([]int, n),
+	}
+	distinct := append([]int64(nil), memPerNode...)
+	sort.Slice(distinct, func(a, b int) bool { return distinct[a] < distinct[b] })
+	distinct = dedupe(distinct)
+	words := (n + 63) / 64
+	m.classes = make([]memClass, len(distinct))
+	for ci, mem := range distinct {
+		m.classes[ci] = memClass{mem: mem, free: make([]uint64, words)}
 	}
 	for i, mem := range memPerNode {
 		m.nodes[i] = Node{Mem: mem}
+		ci := sort.Search(len(distinct), func(k int) bool { return distinct[k] >= mem })
+		m.classOf[i] = ci
+		m.classes[ci].set(i)
+		m.classes[ci].count++
 	}
+	m.up = n
+	m.nFree = n
 	return m
+}
+
+func dedupe(sorted []int64) []int64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// markFree records that node i just became free (up and unowned).
+func (m *Machine) markFree(i int) {
+	c := &m.classes[m.classOf[i]]
+	c.set(i)
+	c.count++
+	m.nFree++
+}
+
+// markBusy records that node i just stopped being free (allocated or
+// went down).
+func (m *Machine) markBusy(i int) {
+	c := &m.classes[m.classOf[i]]
+	c.clear(i)
+	c.count--
+	m.nFree--
+}
+
+// firstClass returns the index of the smallest memory class satisfying
+// minMem.
+func (m *Machine) firstClass(minMem int64) int {
+	return sort.Search(len(m.classes), func(k int) bool { return m.classes[k].mem >= minMem })
 }
 
 // Total returns the number of nodes, up or down.
@@ -64,40 +163,34 @@ func (m *Machine) Total() int { return len(m.nodes) }
 
 // Up returns the number of functional (not down) nodes.
 func (m *Machine) Up() int {
-	n := 0
-	for i := range m.nodes {
-		if !m.nodes[i].Down {
-			n++
-		}
-	}
-	return n
+	m.check()
+	return m.up
 }
 
 // Free returns the number of nodes that are up and unallocated.
-func (m *Machine) Free() int { return m.FreeWithMem(0) }
+func (m *Machine) Free() int {
+	m.check()
+	return m.nFree
+}
 
 // FreeWithMem returns the number of up, unallocated nodes with at least
 // minMem KB of memory.
 func (m *Machine) FreeWithMem(minMem int64) int {
+	m.check()
+	if minMem <= 0 {
+		return m.nFree
+	}
 	n := 0
-	for i := range m.nodes {
-		nd := &m.nodes[i]
-		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
-			n++
-		}
+	for ci := m.firstClass(minMem); ci < len(m.classes); ci++ {
+		n += m.classes[ci].count
 	}
 	return n
 }
 
 // InUse returns the number of allocated (and up) nodes.
 func (m *Machine) InUse() int {
-	n := 0
-	for i := range m.nodes {
-		if !m.nodes[i].Down && m.nodes[i].Owner != NoOwner {
-			n++
-		}
-	}
-	return n
+	m.check()
+	return m.inUse
 }
 
 // CanAllocate reports whether count nodes with minMem memory are free.
@@ -108,10 +201,31 @@ func (m *Machine) CanAllocate(count int, minMem int64) bool {
 // Allocate assigns count free nodes with at least minMem memory to
 // owner and returns their indices. Nodes with the smallest adequate
 // memory are chosen first, preserving large-memory nodes for jobs that
-// need them (best fit). It returns false, and allocates nothing, if the
-// request cannot be satisfied. Owner must be nonzero and must not
-// already hold an allocation.
+// need them (best fit); ties break toward lower node indices. It
+// returns false, and allocates nothing, if the request cannot be
+// satisfied. Owner must be nonzero and must not already hold an
+// allocation.
 func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
+	chosen, ok := m.allocate(owner, count, minMem)
+	if !ok {
+		return nil, false
+	}
+	// Return a copy: the stored list must not alias caller-visible
+	// memory (SetUp edits it in place).
+	return append([]int(nil), chosen...), true
+}
+
+// Claim is Allocate for callers that do not need the node list (the
+// simulator's job starts, which only track the owner): same selection,
+// same bookkeeping, no defensive copy.
+func (m *Machine) Claim(owner int64, count int, minMem int64) bool {
+	_, ok := m.allocate(owner, count, minMem)
+	return ok
+}
+
+// allocate performs the allocation and returns the stored (internal)
+// node list.
+func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	if owner == NoOwner {
 		panic("cluster: allocation with zero owner")
 	}
@@ -121,31 +235,46 @@ func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	if count <= 0 {
 		panic("cluster: non-positive allocation size")
 	}
-	var candidates []int
-	for i := range m.nodes {
-		nd := &m.nodes[i]
-		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
-			candidates = append(candidates, i)
-		}
-	}
-	if len(candidates) < count {
+	if m.FreeWithMem(minMem) < count {
 		return nil, false
 	}
-	sort.Slice(candidates, func(a, b int) bool {
-		if m.nodes[candidates[a]].Mem != m.nodes[candidates[b]].Mem {
-			return m.nodes[candidates[a]].Mem < m.nodes[candidates[b]].Mem
+	// Walk the free lists from the smallest adequate class upward,
+	// taking lowest-index nodes first within each class — the same
+	// (Mem, index) order the original scan-and-sort produced.
+	chosen := make([]int, 0, count)
+	need := count
+	for ci := m.firstClass(minMem); ci < len(m.classes) && need > 0; ci++ {
+		c := &m.classes[ci]
+		if c.count == 0 {
+			continue
 		}
-		return candidates[a] < candidates[b]
-	})
-	chosen := append([]int(nil), candidates[:count]...)
+		for wi := 0; wi < len(c.free) && need > 0; wi++ {
+			w := c.free[wi]
+			for w != 0 && need > 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << uint(b)
+				chosen = append(chosen, wi<<6|b)
+				need--
+			}
+		}
+	}
+	if need > 0 {
+		panic("cluster: free-list count disagrees with free-list contents")
+	}
 	for _, i := range chosen {
 		m.nodes[i].Owner = owner
+		m.markBusy(i)
 	}
-	sort.Ints(chosen)
+	m.inUse += count
+	// The class walk emits ascending indices per class, so a
+	// single-class pick (the homogeneous machine, or any allocation
+	// served from one class) is already sorted.
+	if !sort.IntsAreSorted(chosen) {
+		sort.Ints(chosen)
+	}
 	m.owners[owner] = chosen
-	// Return a copy: the stored list must not alias caller-visible
-	// memory (SetUp edits it in place).
-	return append([]int(nil), chosen...), true
+	m.check()
+	return chosen, true
 }
 
 // Release frees all nodes held by owner and returns them. Releasing an
@@ -158,9 +287,14 @@ func (m *Machine) Release(owner int64) []int {
 	for _, i := range nodes {
 		if m.nodes[i].Owner == owner {
 			m.nodes[i].Owner = NoOwner
+			if !m.nodes[i].Down {
+				m.inUse--
+				m.markFree(i)
+			}
 		}
 	}
 	delete(m.owners, owner)
+	m.check()
 	return nodes
 }
 
@@ -185,6 +319,13 @@ func (m *Machine) SetDown(i int) int64 {
 		return NoOwner
 	}
 	nd.Down = true
+	m.up--
+	if nd.Owner != NoOwner {
+		m.inUse--
+	} else {
+		m.markBusy(i)
+	}
+	m.check()
 	return nd.Owner
 }
 
@@ -192,7 +333,11 @@ func (m *Machine) SetDown(i int) int64 {
 // (the job was killed when the node went down).
 func (m *Machine) SetUp(i int) {
 	nd := &m.nodes[i]
+	wasDown := nd.Down
 	nd.Down = false
+	if wasDown {
+		m.up++
+	}
 	if nd.Owner != NoOwner {
 		// Remove the node from the stale owner's list if still present.
 		owner := nd.Owner
@@ -208,7 +353,15 @@ func (m *Machine) SetUp(i int) {
 			delete(m.owners, owner)
 		}
 		nd.Owner = NoOwner
+		if !wasDown {
+			// The node was up and allocated; it is now up and free.
+			m.inUse--
+		}
+		m.markFree(i)
+	} else if wasDown {
+		m.markFree(i)
 	}
+	m.check()
 }
 
 // Owners returns the active owners, ascending.
@@ -221,13 +374,124 @@ func (m *Machine) Owners() []int64 {
 	return out
 }
 
+// ---------------------------------------------------------------------
+// Reference scans: the original O(N) implementations, retained to
+// cross-validate the cached counters (check, Validate, and the
+// equivalence property tests).
+
+// scanUp recomputes Up from scratch.
+func (m *Machine) scanUp() int {
+	n := 0
+	for i := range m.nodes {
+		if !m.nodes[i].Down {
+			n++
+		}
+	}
+	return n
+}
+
+// scanFreeWithMem recomputes FreeWithMem from scratch.
+func (m *Machine) scanFreeWithMem(minMem int64) int {
+	n := 0
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
+			n++
+		}
+	}
+	return n
+}
+
+// scanInUse recomputes InUse from scratch.
+func (m *Machine) scanInUse() int {
+	n := 0
+	for i := range m.nodes {
+		if !m.nodes[i].Down && m.nodes[i].Owner != NoOwner {
+			n++
+		}
+	}
+	return n
+}
+
+// scanBestFit recomputes the allocation the original scan-and-sort
+// implementation would choose (nil if infeasible), without mutating.
+func (m *Machine) scanBestFit(count int, minMem int64) []int {
+	var candidates []int
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if !nd.Down && nd.Owner == NoOwner && nd.Mem >= minMem {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) < count {
+		return nil
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if m.nodes[candidates[a]].Mem != m.nodes[candidates[b]].Mem {
+			return m.nodes[candidates[a]].Mem < m.nodes[candidates[b]].Mem
+		}
+		return candidates[a] < candidates[b]
+	})
+	chosen := append([]int(nil), candidates[:count]...)
+	sort.Ints(chosen)
+	return chosen
+}
+
+// check cross-validates the cached state against the reference scans
+// when debugCheck is enabled. It panics on divergence: a counter drift
+// is a simulation-correctness bug, not a recoverable condition.
+func (m *Machine) check() {
+	if !debugCheck {
+		return
+	}
+	if err := m.validateCached(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+}
+
+// validateCached compares every cached aggregate — counters, per-class
+// free-list populations, per-node free bits, class membership — against
+// a from-scratch recomputation. Shared by check and Validate.
+func (m *Machine) validateCached() error {
+	if got := m.scanUp(); got != m.up {
+		return fmt.Errorf("cached up=%d, scan=%d", m.up, got)
+	}
+	if got := m.scanInUse(); got != m.inUse {
+		return fmt.Errorf("cached inUse=%d, scan=%d", m.inUse, got)
+	}
+	if got := m.scanFreeWithMem(0); got != m.nFree {
+		return fmt.Errorf("cached free=%d, scan=%d", m.nFree, got)
+	}
+	for ci := range m.classes {
+		c := &m.classes[ci]
+		pop := 0
+		for _, w := range c.free {
+			pop += bits.OnesCount64(w)
+		}
+		if pop != c.count {
+			return fmt.Errorf("class %d (mem %d) count=%d, popcount=%d", ci, c.mem, c.count, pop)
+		}
+	}
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		free := !nd.Down && nd.Owner == NoOwner
+		if got := m.classes[m.classOf[i]].has(i); got != free {
+			return fmt.Errorf("node %d free-bit=%v, state free=%v", i, got, free)
+		}
+		if m.classes[m.classOf[i]].mem != nd.Mem {
+			return fmt.Errorf("node %d in class with mem %d, node mem %d",
+				i, m.classes[m.classOf[i]].mem, nd.Mem)
+		}
+	}
+	return nil
+}
+
 // Validate checks internal consistency (every owned node appears in its
-// owner's list and vice versa). It is used by property tests.
+// owner's list and vice versa, cached counters match a from-scratch
+// recomputation). It is used by property tests.
 func (m *Machine) Validate() error {
-	seen := map[int64]int{}
 	for i := range m.nodes {
 		if o := m.nodes[i].Owner; o != NoOwner {
-			seen[o]++
 			found := false
 			for _, v := range m.owners[o] {
 				if v == i {
@@ -250,6 +514,5 @@ func (m *Machine) Validate() error {
 			}
 		}
 	}
-	_ = seen
-	return nil
+	return m.validateCached()
 }

@@ -178,6 +178,119 @@ func TestNodesOfReturnsCopy(t *testing.T) {
 	}
 }
 
+// TestCountersMatchScansProperty drives randomized
+// allocate/release/SetDown/SetUp sequences with heterogeneous memory
+// and asserts after every step that the cached counters and
+// per-memory-class free lists equal a from-scratch recomputation, and
+// that Allocate picks exactly the nodes the original scan-and-sort
+// implementation would have picked. debugCheck additionally
+// cross-validates inside every mutation.
+func TestCountersMatchScansProperty(t *testing.T) {
+	defer EnableDebugChecks(EnableDebugChecks(true))
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		mems := make([]int64, 48)
+		for i := range mems {
+			mems[i] = int64(1024 << rng.Intn(4)) // four memory classes
+		}
+		m := NewHeterogeneous(mems)
+		// live is an ordered list so owner selection below is a pure
+		// function of the seed (map iteration would not replay).
+		var live []int64
+		drop := func(o int64) {
+			for k, v := range live {
+				if v == o {
+					live = append(live[:k], live[k+1:]...)
+					return
+				}
+			}
+		}
+		next := int64(1)
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(5) {
+			case 0, 1: // allocate with a random memory floor
+				count := 1 + rng.Intn(10)
+				minMem := int64(1024 << rng.Intn(5))
+				if rng.Intn(3) == 0 {
+					minMem = 0
+				}
+				want := m.scanBestFit(count, minMem)
+				got, ok := m.Allocate(next, count, minMem)
+				if (want == nil) == ok {
+					t.Logf("step %d: feasibility diverged (scan %v, got %v)", step, want, ok)
+					return false
+				}
+				if ok {
+					if len(got) != len(want) {
+						t.Logf("step %d: chose %v, scan chose %v", step, got, want)
+						return false
+					}
+					for k := range got {
+						if got[k] != want[k] {
+							t.Logf("step %d: chose %v, scan chose %v", step, got, want)
+							return false
+						}
+					}
+					live = append(live, next)
+				}
+				next++
+			case 2: // release a random live owner
+				if len(live) > 0 {
+					k := rng.Intn(len(live))
+					m.Release(live[k])
+					live = append(live[:k], live[k+1:]...)
+				}
+			case 3: // take a node down (kill + release the victim)
+				n := rng.Intn(len(mems))
+				if evicted := m.SetDown(n); evicted != NoOwner {
+					m.Release(evicted)
+					drop(evicted)
+				}
+			case 4: // bring a random node up (may already be up)
+				m.SetUp(rng.Intn(len(mems)))
+			}
+			if err := m.Validate(); err != nil {
+				t.Logf("step %d: %v", step, err)
+				return false
+			}
+			if m.Up() != m.scanUp() || m.InUse() != m.scanInUse() ||
+				m.Free() != m.scanFreeWithMem(0) {
+				t.Logf("step %d: counters diverged from scans", step)
+				return false
+			}
+			for _, minMem := range []int64{0, 1024, 2048, 4096, 8192, 1 << 20} {
+				if m.FreeWithMem(minMem) != m.scanFreeWithMem(minMem) {
+					t.Logf("step %d: FreeWithMem(%d) diverged", step, minMem)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetUpWhileUpClearsAllocation pins the historical (surprising)
+// SetUp contract: calling SetUp on an up, allocated node evicts the
+// allocation — counters must follow.
+func TestSetUpWhileUpClearsAllocation(t *testing.T) {
+	defer EnableDebugChecks(EnableDebugChecks(true))
+	m := New(4, 1024)
+	nodes, _ := m.Allocate(7, 2, 0)
+	m.SetUp(nodes[0])
+	if m.OwnerOf(nodes[0]) != NoOwner {
+		t.Fatal("SetUp on an up node must clear ownership")
+	}
+	if m.Free() != 3 || m.InUse() != 1 || m.Up() != 4 {
+		t.Fatalf("free=%d inuse=%d up=%d", m.Free(), m.InUse(), m.Up())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestAllocationInvariantProperty drives random allocate/release/outage
 // sequences and checks machine consistency plus the capacity invariant
 // (free + in-use + down-free == total).

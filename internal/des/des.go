@@ -9,9 +9,13 @@
 // Determinism contract: events fire in ascending (Time, Priority, Seq)
 // order, where Seq is insertion order. Two runs that schedule the same
 // events observe identical interleavings.
+//
+// The engine recycles event structs through a free list, so a
+// simulation in steady state (one event scheduled per event fired)
+// performs zero allocations per event. Handles carry a generation
+// number so a stale handle can never cancel the recycled event's next
+// occupant.
 package des
-
-import "container/heap"
 
 // Priority classes order events that share a timestamp. Finishing jobs
 // before processing arrivals at the same instant is the convention that
@@ -27,67 +31,56 @@ const (
 	PrioritySchedule = 3
 )
 
-// Handle identifies a scheduled event and allows cancellation.
+// Handle identifies a scheduled event and allows cancellation. A
+// Handle remains safe to use after its event fires: the engine bumps
+// the event's generation when recycling it, so stale handles become
+// inert no-ops instead of touching whatever event reuses the struct.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancelled reports whether the event was cancelled or already fired.
-func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.action == nil }
+func (h Handle) Cancelled() bool {
+	return h.ev == nil || h.gen != h.ev.gen || h.ev.action == nil
+}
 
 type event struct {
 	time     int64
 	priority int
 	seq      uint64
+	gen      uint64
 	action   func()
-	index    int // heap index, -1 once popped
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x interface{}) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
 }
 
 // Engine is a single-threaded event loop. The zero value is ready to
-// use starting at time 0.
+// use starting at time 0; NewEngine pre-sizes the queue and event pool
+// for a known event population.
 type Engine struct {
 	now     int64
 	seq     uint64
-	queue   eventHeap
+	queue   []*event // binary min-heap on (time, priority, seq)
+	pool    []*event // recycled event structs
 	stopped bool
 	// Processed counts events fired since construction.
 	Processed uint64
+}
+
+// NewEngine returns an engine whose heap and event pool are pre-sized
+// for capacityHint simultaneously pending events, so reaching that
+// population performs no per-event allocation. A hint of 0 is the same
+// as the zero value.
+func NewEngine(capacityHint int) *Engine {
+	e := &Engine{}
+	if capacityHint > 0 {
+		e.queue = make([]*event, 0, capacityHint)
+		block := make([]event, capacityHint)
+		e.pool = make([]*event, capacityHint)
+		for i := range block {
+			e.pool[i] = &block[i]
+		}
+	}
+	return e
 }
 
 // Now returns the current simulation time in seconds.
@@ -102,10 +95,14 @@ func (e *Engine) At(t int64, priority int, action func()) Handle {
 	if action == nil {
 		panic("des: nil action")
 	}
-	ev := &event{time: t, priority: priority, seq: e.seq, action: action}
+	ev := e.alloc()
+	ev.time = t
+	ev.priority = priority
+	ev.seq = e.seq
+	ev.action = action
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev: ev}
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules action d seconds from now.
@@ -116,7 +113,7 @@ func (e *Engine) After(d int64, priority int, action func()) Handle {
 // Cancel prevents a scheduled event from firing. Cancelling an already
 // fired or cancelled event is a no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.ev != nil {
+	if h.ev != nil && h.gen == h.ev.gen {
 		h.ev.action = nil
 	}
 }
@@ -127,19 +124,17 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Step fires the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.action == nil {
-			continue // cancelled
-		}
-		e.now = ev.time
-		action := ev.action
-		ev.action = nil
-		e.Processed++
-		action()
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.popHead()
+	e.now = ev.time
+	action := ev.action
+	e.recycle(ev)
+	e.Processed++
+	action()
+	return true
 }
 
 // Run fires events until the queue is empty or Stop is called.
@@ -153,16 +148,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t int64) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek.
-		next := e.queue[0]
-		if next.action == nil {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.time > t {
+		next := e.peek()
+		if next == nil || next.time > t {
 			break
 		}
 		e.Step()
@@ -174,3 +161,92 @@ func (e *Engine) RunUntil(t int64) {
 
 // Stop halts Run/RunUntil after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// peek returns the next live event without removing it, draining (and
+// recycling) cancelled events from the head of the queue. It is the
+// single skip-cancelled funnel shared by Step and RunUntil.
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.action != nil {
+			return ev
+		}
+		e.popHead()
+		e.recycle(ev)
+	}
+	return nil
+}
+
+// alloc takes an event struct from the pool, or allocates one.
+func (e *Engine) alloc() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the pool. Bumping the generation
+// invalidates every outstanding Handle to it.
+func (e *Engine) recycle(ev *event) {
+	ev.action = nil
+	ev.gen++
+	e.pool = append(e.pool, ev)
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled binary min-heap on (time, priority, seq). Inlined rather
+// than container/heap to keep the per-event path free of interface
+// conversions and indirect calls.
+
+func less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.queue[i], e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// popHead removes the root of the heap.
+func (e *Engine) popHead() {
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && less(e.queue[right], e.queue[left]) {
+			smallest = right
+		}
+		if !less(e.queue[smallest], e.queue[i]) {
+			break
+		}
+		e.queue[i], e.queue[smallest] = e.queue[smallest], e.queue[i]
+		i = smallest
+	}
+}

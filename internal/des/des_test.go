@@ -195,3 +195,119 @@ func TestPendingCount(t *testing.T) {
 		t.Fatalf("pending = %d after step", e.Pending())
 	}
 }
+
+func TestRunUntilCancelledHead(t *testing.T) {
+	// A cancelled event at the head of the queue must be drained, not
+	// block RunUntil or count as the next timestamp.
+	var e Engine
+	var got []int64
+	h1 := e.At(5, PriorityArrival, func() { got = append(got, 5) })
+	e.At(10, PriorityArrival, func() { got = append(got, 10) })
+	h3 := e.At(20, PriorityArrival, func() { got = append(got, 20) })
+	e.Cancel(h1)
+	e.Cancel(h3)
+	e.RunUntil(15)
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("fired %v, want [10]", got)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock = %d, want 15", e.Now())
+	}
+	// The cancelled tail event must not fire either.
+	e.Run()
+	if len(got) != 1 {
+		t.Fatalf("cancelled event fired late: %v", got)
+	}
+}
+
+func TestRunUntilAllCancelled(t *testing.T) {
+	var e Engine
+	var hs []Handle
+	for i := int64(1); i <= 4; i++ {
+		hs = append(hs, e.At(i, PriorityArrival, func() { t.Error("cancelled event fired") }))
+	}
+	for _, h := range hs {
+		e.Cancel(h)
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 (cancelled events drained)", e.Pending())
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	// After an event fires its struct may be recycled for a new event;
+	// the old handle must become inert rather than cancel the newcomer.
+	var e Engine
+	h := e.At(1, PriorityArrival, func() {})
+	e.Run()
+	if !h.Cancelled() {
+		t.Fatal("fired event's handle should report cancelled")
+	}
+	fired := false
+	h2 := e.At(2, PriorityArrival, func() { fired = true })
+	e.Cancel(h) // stale: must not touch the recycled struct
+	if h2.Cancelled() {
+		t.Fatal("stale cancel hit the recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestStaleHandleAfterCancelledDrain(t *testing.T) {
+	// Same as above, but the first event leaves the queue via the
+	// cancelled-drain path instead of firing.
+	var e Engine
+	h := e.At(1, PriorityArrival, func() { t.Error("cancelled event fired") })
+	e.Cancel(h)
+	e.At(2, PriorityArrival, func() {})
+	e.Run()
+	count := 0
+	h2 := e.At(3, PriorityArrival, func() { count++ })
+	e.Cancel(h) // stale
+	if h2.Cancelled() {
+		t.Fatal("stale cancel hit the recycled event")
+	}
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestNewEngineCapacityHint(t *testing.T) {
+	e := NewEngine(64)
+	var got []int64
+	for i := int64(10); i > 0; i-- {
+		i := i
+		e.At(i, PriorityArrival, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != int64(i+1) {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if NewEngine(0).Step() {
+		t.Fatal("empty engine stepped")
+	}
+}
+
+func TestSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine(8)
+	nop := func() {}
+	for i := int64(0); i < 8; i++ {
+		e.At(i, PriorityArrival, nop)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+		e.After(100, PriorityArrival, nop)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", allocs)
+	}
+}

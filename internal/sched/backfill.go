@@ -21,6 +21,9 @@ type EASY struct {
 	Windows bool
 
 	queue []*core.Job
+	// scratch is the per-pass working profile, reused across scheduling
+	// passes so a pass costs no profile allocations.
+	scratch Profile
 }
 
 // NewEASY returns plain EASY backfilling.
@@ -58,10 +61,10 @@ func (e *EASY) OnChange(ctx Context) { e.schedule(ctx) }
 // outages it has not been told about).
 func (e *EASY) profile(ctx Context) *Profile {
 	if e.Windows {
-		return BuildProfile(ctx)
+		return BuildProfileInto(&e.scratch, ctx)
 	}
 	now := ctx.Now()
-	p := NewProfile(now, ctx.FreeProcs())
+	p := e.scratch.Reset(now, ctx.FreeProcs())
 	for _, r := range ctx.Running() {
 		p.Release(overdueClamp(now, r.ExpEnd), r.Size)
 	}
@@ -153,6 +156,8 @@ type Conservative struct {
 	Windows bool
 
 	queue []*core.Job
+	// scratch is the per-pass working profile, reused across passes.
+	scratch Profile
 }
 
 // NewConservative returns conservative backfilling.
@@ -188,9 +193,9 @@ func (c *Conservative) schedule(ctx Context) {
 	now := ctx.Now()
 	var p *Profile
 	if c.Windows {
-		p = BuildProfile(ctx)
+		p = BuildProfileInto(&c.scratch, ctx)
 	} else {
-		p = NewProfile(now, ctx.FreeProcs())
+		p = c.scratch.Reset(now, ctx.FreeProcs())
 		for _, r := range ctx.Running() {
 			p.Release(overdueClamp(now, r.ExpEnd), r.Size)
 		}

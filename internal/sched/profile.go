@@ -1,7 +1,5 @@
 package sched
 
-import "sort"
-
 // Profile is a piecewise-constant availability profile: free processor
 // count as a function of future time. Backfilling schedulers build one
 // from the running jobs' expected completions (plus outage and
@@ -21,6 +19,15 @@ func NewProfile(start int64, free int) *Profile {
 	return &Profile{times: []int64{start}, frees: []int{free}}
 }
 
+// Reset re-initializes p to a flat profile of free processors from
+// start onward, reusing its backing arrays. Schedulers keep one scratch
+// Profile and Reset it each scheduling pass instead of allocating.
+func (p *Profile) Reset(start int64, free int) *Profile {
+	p.times = append(p.times[:0], start)
+	p.frees = append(p.frees[:0], free)
+	return p
+}
+
 // clone is used by tests.
 func (p *Profile) clone() *Profile {
 	return &Profile{
@@ -30,14 +37,23 @@ func (p *Profile) clone() *Profile {
 }
 
 // segmentAt returns the index of the segment containing t (t must be >=
-// p.times[0]).
+// p.times[0]): the last i with times[i] <= t. Hand-rolled binary search
+// — this sits under every split/FreeAt/EarliestFit on the per-event
+// path, where sort.Search's closure calls are measurable.
 func (p *Profile) segmentAt(t int64) int {
-	// Find the last i with times[i] <= t.
-	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] > t }) - 1
-	if i < 0 {
-		i = 0
+	lo, hi := 0, len(p.times) // invariant: times[lo-1] <= t < times[hi]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return i
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
 }
 
 // split ensures a breakpoint exists at t and returns its index.
@@ -97,6 +113,13 @@ func (p *Profile) FreeAt(t int64) int {
 
 // EarliestFit returns the earliest time >= after at which procs
 // processors are continuously free for dur seconds.
+//
+// Single forward sweep over the segments: the candidate start is
+// `after` until a too-full segment is met, then the breakpoint just
+// past it — the optimal start is always one of those, so one O(n) scan
+// replaces the old try-every-breakpoint O(n²) search with identical
+// results. It returns -1 only if the request exceeds the machine (the
+// infinite tail segment cannot fit it).
 func (p *Profile) EarliestFit(after int64, dur int64, procs int) int64 {
 	if after < p.times[0] {
 		after = p.times[0]
@@ -104,29 +127,23 @@ func (p *Profile) EarliestFit(after int64, dur int64, procs int) int64 {
 	if dur < 1 {
 		dur = 1
 	}
-	// Candidate starts: `after` and every breakpoint beyond it.
-	cand := []int64{after}
-	for _, t := range p.times {
-		if t > after {
-			cand = append(cand, t)
+	n := len(p.times)
+	start := after
+	for i := p.segmentAt(start); i < n; i++ {
+		if p.frees[i] < procs {
+			if i+1 >= n {
+				return -1 // the window would run into a too-full tail
+			}
+			start = p.times[i+1]
+			continue
+		}
+		if i+1 >= n || p.times[i+1] >= start+dur {
+			// Free through the end of the window (the last segment
+			// extends forever).
+			return start
 		}
 	}
-	for _, s := range cand {
-		if p.fits(s, s+dur, procs) {
-			return s
-		}
-	}
-	// The profile is flat after the last breakpoint; the last candidate
-	// always fits if capacity does at all. Guard against pathological
-	// negative tail capacity:
-	last := p.times[len(p.times)-1]
-	if p.frees[len(p.frees)-1] >= procs {
-		if last < after {
-			last = after
-		}
-		return last
-	}
-	return -1 // cannot ever fit (procs > machine)
+	return -1
 }
 
 // fits reports whether procs are free over the whole window [s, e).
@@ -158,8 +175,14 @@ func (p *Profile) fits(s, e int64, procs int) bool {
 // known outage and reservation windows. Overdue running jobs (ExpEnd in
 // the past) are treated as ending one second from now.
 func BuildProfile(ctx Context) *Profile {
+	return BuildProfileInto(&Profile{}, ctx)
+}
+
+// BuildProfileInto is BuildProfile writing into a caller-owned scratch
+// profile (reusing its backing arrays across scheduling passes).
+func BuildProfileInto(p *Profile, ctx Context) *Profile {
 	now := ctx.Now()
-	p := NewProfile(now, ctx.FreeProcs())
+	p.Reset(now, ctx.FreeProcs())
 	for _, r := range ctx.Running() {
 		// The base profile (FreeProcs) already excludes the job's
 		// processors; they come back at the expected end.

@@ -54,6 +54,11 @@ type Reservation struct {
 
 // Context is the machine abstraction a scheduler manipulates. All
 // methods are non-blocking and valid only during a callback.
+//
+// Slices returned by Running, Outages, and Reservations are reused
+// buffers owned by the Context: they are valid only until the next
+// call of the same method, so schedulers must consume them within the
+// current callback and never retain them.
 type Context interface {
 	// Now is the current time in seconds.
 	Now() int64
@@ -67,7 +72,8 @@ type Context interface {
 	// Start begins j now on size processors. It panics if CanStart is
 	// false — schedulers must check first.
 	Start(j *core.Job, size int)
-	// Running lists running jobs sorted by ascending ExpEnd.
+	// Running lists running jobs sorted by ascending ExpEnd. The
+	// returned slice is only valid until the next Running call.
 	Running() []RunningJob
 	// Estimate returns the runtime estimate the scheduler is allowed
 	// to see for j (the simulator may inject estimate error here).

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"parsched/internal/cluster"
 	"parsched/internal/core"
@@ -26,6 +27,22 @@ type Instance struct {
 
 	running  map[int64]*runState
 	outcomes map[int64]*metrics.Outcome
+	// runOrder mirrors running, kept sorted by (ExpEnd, job ID): the
+	// order Running() promises. It is maintained incrementally on every
+	// start/finish/kill instead of being re-sorted per scheduler
+	// callback. ExpEnd is fixed at start time (rate changes alter the
+	// actual finish event, not the scheduler-visible estimate), so
+	// membership changes are the only mutations.
+	runOrder []*runState
+	// runBuf, outBuf, resvBuf are reused return buffers for Running(),
+	// Outages(), and Reservations(); each is valid only until the next
+	// call — schedulers consume them within a single callback.
+	runBuf  []sched.RunningJob
+	outBuf  []sched.Window
+	resvBuf []sched.Window
+	// rsPool recycles runState structs between jobs so a start costs no
+	// allocation in steady state.
+	rsPool []*runState
 	// dependents maps predecessor ID -> dependent jobs awaiting it.
 	dependents map[int64][]*core.Job
 
@@ -266,29 +283,32 @@ func (sm *Instance) killJob(id int64) {
 	sm.machine.Release(id)
 	sm.engine.Cancel(rs.finish)
 	delete(sm.running, id)
+	sm.removeRunning(rs)
 
 	o := sm.outcomes[id]
 	o.Restarts++
 	o.LostWork += int64(rs.size) * (now - rs.start)
 
+	job := rs.job
+	sm.recycleRunState(rs)
 	if sm.opts.DropKilled || o.Restarts > MaxRestarts {
 		o.Dropped = true
 		o.Start, o.End = -1, -1
-		sm.releaseDependents(rs.job)
+		sm.releaseDependents(job)
 		if sm.FinishHook != nil {
-			sm.FinishHook(rs.job, *o)
+			sm.FinishHook(job, *o)
 		}
-		sm.callback(func() { sm.schedule.OnFinish(sm, rs.job) })
+		sm.callback(func() { sm.schedule.OnFinish(sm, job) })
 		return
 	}
 	// Restart from scratch: hand the job back to the scheduler.
-	sm.callback(func() { sm.schedule.OnSubmit(sm, rs.job) })
+	sm.callback(func() { sm.schedule.OnSubmit(sm, job) })
 }
 
 // claimReservation allocates the reserved processors at start time.
 func (sm *Instance) claimReservation(r sched.Reservation) {
 	owner := reservationOwner + r.ID
-	_, ok := sm.machine.Allocate(owner, r.Procs, 0)
+	ok := sm.machine.Claim(owner, r.Procs, 0)
 	sm.resvResults = append(sm.resvResults, ReservationOutcome{Reservation: r, Granted: ok})
 	if ok {
 		sm.engine.At(r.End, des.PriorityOutage, func() {
@@ -331,12 +351,13 @@ func (sm *Instance) Start(j *core.Job, size int) {
 	if _, dup := sm.running[j.ID]; dup {
 		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
 	}
-	if _, ok := sm.machine.Allocate(j.ID, size, sm.memNeed(j)); !ok {
+	if !sm.machine.Claim(j.ID, size, sm.memNeed(j)) {
 		panic(fmt.Sprintf("sim: scheduler started job %d (size %d) without capacity", j.ID, size))
 	}
 	now := sm.engine.Now()
 	actual := j.RuntimeOn(size)
-	rs := &runState{
+	rs := sm.allocRunState()
+	*rs = runState{
 		job: j, size: size, start: now,
 		expEnd:     now + sm.Estimate(j),
 		remaining:  float64(actual),
@@ -345,6 +366,7 @@ func (sm *Instance) Start(j *core.Job, size int) {
 	}
 	rs.finish = sm.engine.At(now+actual, des.PriorityFinish, func() { sm.finishJob(j.ID) })
 	sm.running[j.ID] = rs
+	sm.insertRunning(rs)
 	if sm.StartHook != nil {
 		sm.StartHook(j, sm.outcomes[j.ID].Submit, now)
 	}
@@ -356,7 +378,8 @@ func (sm *Instance) StartShared(j *core.Job, rate float64) {
 		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
 	}
 	now := sm.engine.Now()
-	rs := &runState{
+	rs := sm.allocRunState()
+	*rs = runState{
 		job: j, size: j.Size, start: now,
 		expEnd:     now + sm.Estimate(j),
 		shared:     true,
@@ -365,6 +388,7 @@ func (sm *Instance) StartShared(j *core.Job, rate float64) {
 		lastUpdate: now,
 	}
 	sm.running[j.ID] = rs
+	sm.insertRunning(rs)
 	if sm.StartHook != nil {
 		sm.StartHook(j, sm.outcomes[j.ID].Submit, now)
 	}
@@ -403,14 +427,63 @@ func (sm *Instance) setRate(rs *runState, rate float64) {
 	rs.finish = sm.engine.At(now+dur, des.PriorityFinish, func() { sm.finishJob(id) })
 }
 
-// Running implements sched.Context.
+// Running implements sched.Context. The returned slice is a reused
+// buffer, valid only until the next Running() call on this instance.
 func (sm *Instance) Running() []sched.RunningJob {
-	out := make([]sched.RunningJob, 0, len(sm.running))
-	for _, rs := range sm.running {
-		out = append(out, sched.RunningJob{Job: rs.job, Size: rs.size, Start: rs.start, ExpEnd: rs.expEnd})
+	sm.runBuf = sm.runBuf[:0]
+	for _, rs := range sm.runOrder {
+		sm.runBuf = append(sm.runBuf, sched.RunningJob{Job: rs.job, Size: rs.size, Start: rs.start, ExpEnd: rs.expEnd})
 	}
-	sortRunning(out)
-	return out
+	return sm.runBuf
+}
+
+// allocRunState takes a runState from the pool, or allocates one. The
+// caller overwrites every field.
+func (sm *Instance) allocRunState() *runState {
+	if n := len(sm.rsPool); n > 0 {
+		rs := sm.rsPool[n-1]
+		sm.rsPool[n-1] = nil
+		sm.rsPool = sm.rsPool[:n-1]
+		return rs
+	}
+	return &runState{}
+}
+
+// recycleRunState returns a terminated job's state to the pool. Only
+// call once every read of rs (including scheduler callbacks that might
+// observe it) has completed.
+func (sm *Instance) recycleRunState(rs *runState) {
+	*rs = runState{}
+	sm.rsPool = append(sm.rsPool, rs)
+}
+
+// runBefore is the (ExpEnd, job ID) order of runOrder — the contract
+// Running() documents.
+func runBefore(a, b *runState) bool {
+	if a.expEnd != b.expEnd {
+		return a.expEnd < b.expEnd
+	}
+	return a.job.ID < b.job.ID
+}
+
+// insertRunning places rs into runOrder at its sorted position.
+func (sm *Instance) insertRunning(rs *runState) {
+	i := sort.Search(len(sm.runOrder), func(k int) bool { return runBefore(rs, sm.runOrder[k]) })
+	sm.runOrder = append(sm.runOrder, nil)
+	copy(sm.runOrder[i+1:], sm.runOrder[i:])
+	sm.runOrder[i] = rs
+}
+
+// removeRunning deletes rs from runOrder. rs must be present; its sort
+// key is immutable after insertion, so binary search finds it exactly.
+func (sm *Instance) removeRunning(rs *runState) {
+	i := sort.Search(len(sm.runOrder), func(k int) bool { return !runBefore(sm.runOrder[k], rs) })
+	if i >= len(sm.runOrder) || sm.runOrder[i] != rs {
+		panic(fmt.Sprintf("sim: job %d missing from running order", rs.job.ID))
+	}
+	copy(sm.runOrder[i:], sm.runOrder[i+1:])
+	sm.runOrder[len(sm.runOrder)-1] = nil
+	sm.runOrder = sm.runOrder[:len(sm.runOrder)-1]
 }
 
 // Estimate implements sched.Context.
@@ -421,14 +494,18 @@ func (sm *Instance) Estimate(j *core.Job) int64 {
 	return j.EstimateOrRuntime()
 }
 
-// Outages implements sched.Context.
+// Outages implements sched.Context. The returned slice is a reused
+// buffer, valid only until the next Outages() call on this instance.
 func (sm *Instance) Outages() []sched.Window {
-	return sm.visibleWindows(sm.outageWins)
+	sm.outageWins, sm.outBuf = visibleWindows(sm.outageWins, sm.outBuf[:0], sm.engine.Now())
+	return sm.outBuf
 }
 
-// Reservations implements sched.Context.
+// Reservations implements sched.Context. The returned slice is a
+// reused buffer, valid only until the next Reservations() call.
 func (sm *Instance) Reservations() []sched.Window {
-	return sm.visibleWindows(sm.resvWins)
+	sm.resvWins, sm.resvBuf = visibleWindows(sm.resvWins, sm.resvBuf[:0], sm.engine.Now())
+	return sm.resvBuf
 }
 
 // PlanningHorizon bounds how far ahead capacity windows are exposed to
@@ -438,15 +515,25 @@ func (sm *Instance) Reservations() []sched.Window {
 // the whole reservation calendar.
 const PlanningHorizon = 14 * 86400
 
-func (sm *Instance) visibleWindows(wins []timedWindow) []sched.Window {
-	now := sm.engine.Now()
-	var out []sched.Window
+// visibleWindows appends the currently scheduler-visible windows to buf
+// (announced, not yet ended, within the planning horizon) and returns
+// the filtered source list: windows whose End has passed are compacted
+// out permanently, since simulation time only moves forward. The
+// relative order of surviving windows — and therefore of the visible
+// output — is preserved.
+func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedWindow, []sched.Window) {
+	kept := 0
 	for _, tw := range wins {
-		if tw.announced <= now && tw.win.End > now && tw.win.Start <= now+PlanningHorizon {
-			out = append(out, tw.win)
+		if tw.win.End <= now {
+			continue // expired for good
+		}
+		wins[kept] = tw
+		kept++
+		if tw.announced <= now && tw.win.Start <= now+PlanningHorizon {
+			buf = append(buf, tw.win)
 		}
 	}
-	return out
+	return wins[:kept], buf
 }
 
 // finishJob completes a running job.
@@ -460,6 +547,7 @@ func (sm *Instance) finishJob(id int64) {
 		sm.machine.Release(id)
 	}
 	delete(sm.running, id)
+	sm.removeRunning(rs)
 
 	o := sm.outcomes[id]
 	o.Start = rs.start
@@ -471,11 +559,13 @@ func (sm *Instance) finishJob(id int64) {
 		// job's nominal work, not the stretched wall-clock.
 		o.Runtime = rs.job.Runtime
 	}
-	sm.releaseDependents(rs.job)
+	job := rs.job
+	sm.recycleRunState(rs)
+	sm.releaseDependents(job)
 	if sm.FinishHook != nil {
-		sm.FinishHook(rs.job, *o)
+		sm.FinishHook(job, *o)
 	}
-	sm.callback(func() { sm.schedule.OnFinish(sm, rs.job) })
+	sm.callback(func() { sm.schedule.OnFinish(sm, job) })
 }
 
 // releaseDependents schedules the submittal of feedback jobs waiting on
@@ -488,18 +578,4 @@ func (sm *Instance) releaseDependents(j *core.Job) {
 		sm.engine.At(at, des.PriorityArrival, func() { sm.submit(dep, at) })
 	}
 	delete(sm.dependents, j.ID)
-}
-
-func sortRunning(rs []sched.RunningJob) {
-	// Insertion sort keeps this allocation-free for the common small
-	// running sets; determinism comes from the (ExpEnd, ID) key.
-	for i := 1; i < len(rs); i++ {
-		for k := i; k > 0; k-- {
-			a, b := &rs[k-1], &rs[k]
-			if a.ExpEnd < b.ExpEnd || (a.ExpEnd == b.ExpEnd && a.Job.ID <= b.Job.ID) {
-				break
-			}
-			rs[k-1], rs[k] = rs[k], rs[k-1]
-		}
-	}
 }

@@ -106,7 +106,11 @@ func Run(w *core.Workload, s sched.Scheduler, opts Options) (*Result, error) {
 	}
 	w = w.Clone()
 
-	engine := &des.Engine{}
+	// All arrivals are scheduled up front, so the peak pending-event
+	// population is about one event per job plus the injected streams;
+	// pre-sizing the engine for it makes the run allocation-free in
+	// steady state.
+	engine := des.NewEngine(len(w.Jobs) + 2*len(opts.Reservations) + 64)
 	sm, err := NewInstance(engine, w.Name, w.MaxNodes, s, opts)
 	if err != nil {
 		return nil, err
