@@ -11,6 +11,18 @@
 //	experiments -json out.json     # machine-readable batch result
 //	experiments -csv results/      # long-form metric and summary CSVs
 //
+// The battery also runs on real logs in the Standard Workload Format:
+//
+//	experiments -trace log.swf                          # replay a real trace
+//	experiments -trace log.swf -scale-load 0.5,0.7,0.9  # rescaled load points
+//	experiments -trace log.swf -reps 5                  # resampled replications
+//
+// With a trace, the machine size follows the log's header, each
+// experiment rescales the trace to its load points by interarrival
+// scaling, and replications beyond the first resample the trace's
+// interarrival gaps (deterministically from the seed), so -reps N
+// produces real confidence intervals.
+//
 // With -parallel 1 -reps 1 the output is byte-identical to the classic
 // serial path. With -reps > 1 per-replication tables are summarised
 // into mean ± CI rows (use -tables to also print every replication).
@@ -22,15 +34,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"parsched/internal/experiments"
+	"parsched/internal/workload/trace"
 )
 
 func main() {
@@ -39,6 +54,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker-pool size; 0 = NumCPU")
 	reps := flag.Int("reps", 1, "replications per experiment (deterministic derived seeds)")
 	seed := flag.Int64("seed", 0, "override the base seed (0 = configuration default)")
+	tracePath := flag.String("trace", "", "run the battery on this SWF log instead of the synthetic models")
+	scaleLoad := flag.String("scale-load", "", "comma-separated offered loads overriding each experiment's load points, e.g. 0.5,0.7,0.9")
 	jsonOut := flag.String("json", "", "write the full batch result as JSON to this file")
 	csvOut := flag.String("csv", "", "write metrics.csv/cells.csv (and summary.csv) into this directory")
 	showTables := flag.Bool("tables", false, "print per-replication tables even when -reps > 1")
@@ -50,6 +67,24 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *tracePath != "" {
+		// Load once up front: a bad path fails fast, and the clean
+		// report is surfaced before any cell output scrolls it away.
+		src, err := trace.Cached(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: trace %s (%d jobs, %d nodes, offered load %.3f): %s\n",
+			src.Name, src.JobCount(), src.MaxNodes(), src.OfferedLoad(), src.CleanSummary())
+		cfg.Source = "trace:" + *tracePath
+	}
+	if *scaleLoad != "" {
+		loads, err := parseLoads(*scaleLoad)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Loads = loads
 	}
 
 	runners := experiments.All()
@@ -163,6 +198,27 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 	os.Exit(1)
+}
+
+// parseLoads parses the -scale-load list.
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		// !(v > 0) also rejects NaN, which compares false to everything.
+		if err != nil || !(v > 0) || math.IsInf(v, 1) {
+			return nil, fmt.Errorf("-scale-load: %q is not a positive load", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale-load: no load values in %q", s)
+	}
+	return out, nil
 }
 
 func writeJSON(path string, res *experiments.BatchResult) error {

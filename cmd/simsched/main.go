@@ -2,6 +2,13 @@
 // more machine schedulers and prints the metric battery.
 //
 //	simsched -sched easy,cons,fcfs -outages machine.outages trace.swf
+//	swfgen -model lublin99 -jobs 500 | simsched -sched easy
+//
+// The trace is loaded through the shared trace-workload source
+// (internal/workload/trace): cleaned with swf.Clean — the clean report
+// is printed on stderr so a mutilated trace is never silent — and
+// optionally rescaled to a target offered load by interarrival
+// scaling. "-" or no argument reads the log from stdin.
 package main
 
 import (
@@ -10,12 +17,12 @@ import (
 	"os"
 	"strings"
 
-	"parsched/internal/core"
 	"parsched/internal/metrics"
 	"parsched/internal/outage"
 	"parsched/internal/sched"
 	"parsched/internal/sim"
 	"parsched/internal/swf"
+	"parsched/internal/workload/trace"
 )
 
 func main() {
@@ -24,28 +31,35 @@ func main() {
 	feedback := flag.Bool("feedback", false, "honour preceding-job/think-time fields (closed loop)")
 	perfect := flag.Bool("perfect-estimates", false, "schedulers see true runtimes")
 	load := flag.Float64("scale-load", 0, "rescale offered load to this value before simulating (0 = as recorded)")
+	jobs := flag.Int("jobs", 0, "replay only the first N jobs (0 = all)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf")
+	var src *trace.Source
+	var err error
+	switch {
+	case flag.NArg() == 0 || (flag.NArg() == 1 && flag.Arg(0) == "-"):
+		var log *swf.Log
+		log, err = swf.Read(os.Stdin)
+		if err == nil {
+			name := log.Header.Computer
+			if name == "" {
+				name = "stdin"
+			}
+			src, err = trace.FromLog(name, log)
+		}
+	case flag.NArg() == 1:
+		src, err = trace.Open(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf   ('-' or no argument reads stdin)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	log, err := swf.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	clean, _ := swf.Clean(log)
-	w, err := core.FromSWF(clean)
-	if err != nil {
-		fail(err)
-	}
-	if *load > 0 {
-		base := w.OfferedLoad()
-		if base > 0 {
-			w.ScaleLoad(*load / base)
-		}
-	}
+	fmt.Fprintf(os.Stderr, "simsched: cleaned %s: %s\n", src.Name, src.CleanSummary())
+
+	w := src.Workload(trace.Options{Load: *load, Jobs: *jobs})
 
 	opts := sim.Options{Feedback: *feedback, PerfectEstimates: *perfect}
 	if *outagePath != "" {

@@ -190,6 +190,9 @@ func runCell(ctx context.Context, c Cell, cfg Config) (out CellResult) {
 	}()
 	cellCfg := cfg
 	cellCfg.Seed = c.Seed
+	// Trace sources replay rep 0 faithfully and resample arrivals for
+	// later reps; model sources ignore Rep (the derived seed varies).
+	cellCfg.Rep = c.Rep
 	tables, err := c.Runner.Run(cellCfg)
 	if err != nil {
 		out.Err = err.Error()

@@ -21,17 +21,26 @@ var e1Schedulers = []string{"fcfs", "firstfit", "sjf", "lxf", "easy", "cons"}
 // data" — here, on the models fitted to that data).
 func E1SchedulerComparison(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
+	load := cfg.fixedLoad(0.7)
+	// On a trace substrate the per-model loop collapses to the one real
+	// log: there is a single recorded workload to rescale, and its name
+	// labels the table where the model name otherwise would.
+	substrates := []string{"feitelson96", "jann97", "lublin99", "downey97"}
+	if kind, _ := cfg.sourceSpec(); kind == sourceTrace {
+		substrates = []string{substrateLabel(cfg)}
+	}
 	var tables []Table
-	for _, modelName := range []string{"feitelson96", "jann97", "lublin99", "downey97"} {
-		w, err := genWorkload(modelName, cfg, 0.7)
+	for _, modelName := range substrates {
+		w, err := genWorkload(modelName, cfg, load)
 		if err != nil {
 			return nil, err
 		}
 		t := Table{
 			ID:     "E1/" + modelName,
-			Title:  fmt.Sprintf("schedulers on %s (load 0.7, %d jobs, %d nodes)", modelName, cfg.Jobs, cfg.Nodes),
+			Title:  fmt.Sprintf("schedulers on %s (load %.2g, %d jobs, %d nodes)", modelName, load, cfg.Jobs, cfg.Nodes),
 			Header: []string{"sched", "meanWait(s)", "meanResp(s)", "meanBSLD", "geoBSLD", "p95Wait", "util"},
 		}
+		noteLoadShortfall(&t, cfg, w, load)
 		for _, sn := range e1Schedulers {
 			r, err := runOn(w, sn, sim.Options{})
 			if err != nil {
@@ -64,7 +73,7 @@ func E2MetricConflict(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:     "E2",
-		Title:  "scheduler rankings per metric (lublin99 workload)",
+		Title:  fmt.Sprintf("scheduler rankings per metric (%s workload)", substrateLabel(cfg)),
 		Header: []string{"load", "metric", "ranking (best to worst)"},
 	}
 	flips := map[string]bool{}
@@ -72,8 +81,13 @@ func E2MetricConflict(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		loads = []float64{0.8}
 	}
+	loads = cfg.sweepLoads(loads)
 	for _, load := range loads {
-		w := lublinWorkload(cfg, load)
+		w, err := substrateWorkload(cfg, load)
+		if err != nil {
+			return nil, err
+		}
+		noteLoadShortfall(&t, cfg, w, load)
 		names := e1Schedulers
 		var reports []metrics.Report
 		for _, sn := range names {
@@ -150,7 +164,11 @@ func E2MetricConflict(cfg Config) ([]Table, error) {
 // scale-free.
 func E3ObjectiveWeights(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
-	w := lublinWorkload(cfg, 0.85)
+	load := cfg.fixedLoad(0.85)
+	w, err := substrateWorkload(cfg, load)
+	if err != nil {
+		return nil, err
+	}
 	names := e1Schedulers
 	var reports []metrics.Report
 	for _, sn := range names {
@@ -175,9 +193,10 @@ func E3ObjectiveWeights(cfg Config) ([]Table, error) {
 	}
 	t := Table{
 		ID:     "E3",
-		Title:  "ranking under weighted objective w*wait + (1-w)*bsld (FCFS-normalized), lublin99 load 0.85",
+		Title:  fmt.Sprintf("ranking under weighted objective w*wait + (1-w)*bsld (FCFS-normalized), %s load %.2g", substrateLabel(cfg), load),
 		Header: []string{"w", "ranking (best to worst)", "tau vs w=0"},
 	}
+	noteLoadShortfall(&t, cfg, w, load)
 	var basePos []float64
 	for wgt := 0.0; wgt <= 1.001; wgt += 0.1 {
 		scores := make([]float64, len(reports))
@@ -231,15 +250,20 @@ func E4Feedback(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:     "E4",
-		Title:  "open vs closed loop (lublin99 + inferred think-time chains, easy)",
+		Title:  fmt.Sprintf("open vs closed loop (%s + inferred think-time chains, easy)", substrateLabel(cfg)),
 		Header: []string{"load", "openMeanResp", "closedMeanResp", "openBSLD", "closedBSLD", "linked%"},
 	}
 	loads := []float64{0.7, 0.9, 1.1, 1.3}
 	if cfg.Quick {
 		loads = []float64{0.9, 1.3}
 	}
+	loads = cfg.sweepLoads(loads)
 	for _, load := range loads {
-		w := lublinWorkload(cfg, load)
+		w, err := substrateWorkload(cfg, load)
+		if err != nil {
+			return nil, err
+		}
+		noteLoadShortfall(&t, cfg, w, load)
 		rep := core.InferFeedback(w, 3600)
 		open, err := runOn(w, "easy", sim.Options{})
 		if err != nil {

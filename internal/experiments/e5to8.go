@@ -21,7 +21,10 @@ import (
 // announcement modes of the proposed outage format.
 func E5Outages(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
-	w := lublinWorkload(cfg, 0.7)
+	w, err := substrateWorkload(cfg, cfg.fixedLoad(0.7))
+	if err != nil {
+		return nil, err
+	}
 	horizon := w.Jobs[len(w.Jobs)-1].Submit + 7*86400
 
 	t := Table{
@@ -29,6 +32,7 @@ func E5Outages(cfg Config) ([]Table, error) {
 		Title:  "outage impact: oblivious (easy) vs aware (easy+win)",
 		Header: []string{"mtbf", "sched", "meanWait(s)", "meanBSLD", "restarts", "lostWork(proc-h)", "unfinished"},
 	}
+	noteLoadShortfall(&t, cfg, w, cfg.fixedLoad(0.7))
 	type scenario struct {
 		name string
 		mtbf float64 // machine-level mean time between node failures; 0 = none
@@ -78,14 +82,19 @@ func E5Outages(cfg Config) ([]Table, error) {
 // some cost in local slowdown; the oblivious one tramples them.
 func E6Reservations(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
-	w := lublinWorkload(cfg, 0.6)
+	load := cfg.fixedLoad(0.6)
+	w, err := substrateWorkload(cfg, load)
+	if err != nil {
+		return nil, err
+	}
 	span := w.Jobs[len(w.Jobs)-1].Submit
 
 	t := Table{
 		ID:     "E6",
-		Title:  "reservation load vs backfilling (lublin99, load 0.6)",
+		Title:  fmt.Sprintf("reservation load vs backfilling (%s, load %.2g)", substrateLabel(cfg), load),
 		Header: []string{"resvFrac", "sched", "grant%", "localBSLD", "util"},
 	}
+	noteLoadShortfall(&t, cfg, w, load)
 	fracs := []float64{0, 0.1, 0.2, 0.4}
 	if cfg.Quick {
 		fracs = []float64{0.2}
@@ -156,7 +165,11 @@ func E7Prediction(cfg Config) ([]Table, error) {
 	cfg = cfg.withDefaults()
 
 	// Part 1: predictor accuracy on a single busy machine.
-	w := lublinWorkload(cfg, 0.95)
+	accLoad := cfg.fixedLoad(0.95)
+	w, err := substrateWorkload(cfg, accLoad)
+	if err != nil {
+		return nil, err
+	}
 	s, err := sched.New("easy")
 	if err != nil {
 		return nil, fmt.Errorf("scheduler easy: %w", err)
@@ -171,9 +184,10 @@ func E7Prediction(cfg Config) ([]Table, error) {
 	}
 	acc := Table{
 		ID:     "E7/accuracy",
-		Title:  "wait-time predictor accuracy (easy, lublin99, load 0.95)",
+		Title:  fmt.Sprintf("wait-time predictor accuracy (easy, %s, load %.2g)", substrateLabel(cfg), accLoad),
 		Header: []string{"predictor", "MAE(s)", "RMSE(s)", "MAE/meanWait"},
 	}
+	noteLoadShortfall(&acc, cfg, w, accLoad)
 	preds := []predict.Predictor{
 		predict.Zero{}, predict.NewRecent(25), predict.NewEWMA(0.2), predict.NewCategory(),
 	}
@@ -228,11 +242,13 @@ func buildGrid(cfg Config) (*meta.Grid, error) {
 	loads := []float64{0.3, 0.6, 0.9, 1.2}
 	var specs []meta.SiteSpec
 	for i, load := range loads {
-		lw := lublinWorkload(Config{Seed: cfg.Seed + int64(i), Jobs: jobsPerSite, Nodes: cfg.Nodes / 2}, load)
-		lw.Name = fmt.Sprintf("local-%d", i)
+		lw, nodes, err := siteWorkload(cfg, i, jobsPerSite, cfg.Nodes/2, load)
+		if err != nil {
+			return nil, err
+		}
 		specs = append(specs, meta.SiteSpec{
 			Name:      fmt.Sprintf("site%d", i),
-			Nodes:     cfg.Nodes / 2,
+			Nodes:     nodes,
 			Scheduler: sched.NewEASY(),
 			Local:     lw,
 			Predictor: predict.NewRecent(25),
@@ -330,11 +346,13 @@ func buildCoAllocGrid(cfg Config) (*meta.Grid, error) {
 	jobsPerSite := cfg.Jobs / 8
 	var specs []meta.SiteSpec
 	for i := 0; i < 4; i++ {
-		lw := lublinWorkload(Config{Seed: cfg.Seed + int64(i), Jobs: jobsPerSite, Nodes: cfg.Nodes / 2}, 0.5)
-		lw.Name = fmt.Sprintf("local-%d", i)
+		lw, nodes, err := siteWorkload(cfg, i, jobsPerSite, cfg.Nodes/2, 0.5)
+		if err != nil {
+			return nil, err
+		}
 		specs = append(specs, meta.SiteSpec{
 			Name:      fmt.Sprintf("site%d", i),
-			Nodes:     cfg.Nodes / 2,
+			Nodes:     nodes,
 			Scheduler: sched.NewEASYWindows(),
 			Local:     lw,
 		})

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -18,6 +19,7 @@ import (
 	"parsched/internal/model/registry"
 	"parsched/internal/sched"
 	"parsched/internal/sim"
+	"parsched/internal/workload/trace"
 )
 
 // Config scales the experiments. Quick shrinks workloads so the whole
@@ -28,6 +30,28 @@ type Config struct {
 	Jobs  int
 	Nodes int
 	Quick bool
+
+	// Source selects the workload substrate the battery runs on:
+	//
+	//	""                 the per-experiment defaults (lublin99 et al.)
+	//	"model:<name>"     a named statistical model as the substrate
+	//	"trace:<path>"     a real SWF log, cleaned, rescaled to each
+	//	                   experiment's load points, and resampled per
+	//	                   replication (internal/workload/trace)
+	//
+	// With a trace source, Nodes follows the trace's machine size and
+	// Jobs truncates the trace (0 or larger than the log = all jobs).
+	Source string
+	// Loads overrides the experiments' load points (-scale-load):
+	// load sweeps run at exactly these values; experiments pinned to a
+	// single load run at the override closest to their default. Empty
+	// keeps the defaults, byte-identically.
+	Loads []float64
+	// Rep is the replication index of this run (0-based). The batch
+	// layer sets it alongside the derived seed; trace sources replay
+	// rep 0 faithfully and resample arrivals for rep > 0. Model
+	// sources ignore it (the derived seed already varies).
+	Rep int
 }
 
 // Default returns the EXPERIMENTS.md configuration.
@@ -46,7 +70,82 @@ func (c Config) withDefaults() Config {
 	if c.Nodes == 0 {
 		c.Nodes = 128
 	}
+	// A trace substrate dictates the machine size: experiment tables,
+	// outage streams, and grids must all describe the traced machine,
+	// not the synthetic default. Unreadable paths are left alone here;
+	// the error surfaces from genWorkload with context.
+	if kind, arg := c.sourceSpec(); kind == sourceTrace {
+		if src, err := trace.Cached(arg); err == nil {
+			c.Nodes = src.MaxNodes()
+		}
+	}
 	return c
+}
+
+// Workload-source spec kinds (Config.Source).
+const (
+	sourceModel = "model"
+	sourceTrace = "trace"
+)
+
+// defaultSubstrate is the model the paper calls relatively
+// representative, used wherever an experiment needs "the" workload.
+const defaultSubstrate = "lublin99"
+
+// sourceSpec parses Config.Source into (kind, argument).
+func (c Config) sourceSpec() (kind, arg string) {
+	s := strings.TrimSpace(c.Source)
+	switch {
+	case s == "":
+		return sourceModel, defaultSubstrate
+	case strings.HasPrefix(s, sourceTrace+":"):
+		return sourceTrace, strings.TrimPrefix(s, sourceTrace+":")
+	case strings.HasPrefix(s, sourceModel+":"):
+		return sourceModel, strings.TrimPrefix(s, sourceModel+":")
+	default:
+		// A bare name reads as a model, the common shorthand.
+		return sourceModel, s
+	}
+}
+
+// traceSource resolves the trace behind a trace-kind Source.
+func (c Config) traceSource() (*trace.Source, error) {
+	kind, arg := c.sourceSpec()
+	if kind != sourceTrace {
+		return nil, fmt.Errorf("experiments: source %q is not a trace", c.Source)
+	}
+	src, err := trace.Cached(arg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload source %q: %w", c.Source, err)
+	}
+	return src, nil
+}
+
+// sweepLoads returns an experiment's load sweep, honouring a -scale-load
+// override. With no override the defaults pass through untouched, which
+// keeps classic output byte-identical.
+func (c Config) sweepLoads(def []float64) []float64 {
+	if len(c.Loads) == 0 {
+		return def
+	}
+	return append([]float64(nil), c.Loads...)
+}
+
+// fixedLoad returns the load of a single-load experiment: the default,
+// or — under a -scale-load override — the override value closest to it,
+// so every requested load point is exercised by the experiments whose
+// regime it best matches.
+func (c Config) fixedLoad(def float64) float64 {
+	if len(c.Loads) == 0 {
+		return def
+	}
+	best := c.Loads[0]
+	for _, l := range c.Loads[1:] {
+		if math.Abs(l-def) < math.Abs(best-def) {
+			best = l
+		}
+	}
+	return best
 }
 
 // Metric is one typed observation behind the formatted cells: a named
@@ -190,10 +289,22 @@ func ByID(id string) (Runner, bool) {
 // ---------------------------------------------------------------------
 // shared helpers
 
-// genWorkload generates a workload from a named model. A bad model
-// name is reported, not panicked, so the error flows through the
-// Runner result path instead of killing a whole battery.
+// genWorkload produces a workload at the given offered load. When the
+// configuration selects a trace source, the trace is the substrate
+// regardless of name (rescaled to the load, truncated to cfg.Jobs,
+// resampled for replications > 0); otherwise name picks a statistical
+// model. A bad name or path is reported, not panicked, so the error
+// flows through the Runner result path instead of killing a battery.
 func genWorkload(name string, cfg Config, load float64) (*core.Workload, error) {
+	if kind, _ := cfg.sourceSpec(); kind == sourceTrace {
+		src, err := cfg.traceSource()
+		if err != nil {
+			return nil, err
+		}
+		return src.Workload(trace.Options{
+			Load: load, Jobs: cfg.Jobs, Variant: cfg.Rep, Seed: cfg.Seed,
+		}), nil
+	}
 	m, err := registry.New(name)
 	if err != nil {
 		return nil, fmt.Errorf("workload model %q: %w", name, err)
@@ -204,13 +315,80 @@ func genWorkload(name string, cfg Config, load float64) (*core.Workload, error) 
 	}), nil
 }
 
-// lublinWorkload is the default test substrate (the model the paper
-// calls relatively representative).
-func lublinWorkload(cfg Config, load float64) *core.Workload {
-	return lublin.Default().Generate(model.Config{
-		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
+// substrateWorkload is "the" workload of an experiment: the configured
+// trace when one is selected, else the substrate model named by the
+// source spec (lublin99 by default — the model the paper calls
+// relatively representative).
+func substrateWorkload(cfg Config, load float64) (*core.Workload, error) {
+	kind, arg := cfg.sourceSpec()
+	if kind == sourceTrace {
+		return genWorkload("", cfg, load)
+	}
+	if arg == defaultSubstrate {
+		// Keep the exact lublin.Default() path (not the registry) so
+		// classic output stays byte-identical.
+		return lublin.Default().Generate(model.Config{
+			MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
+			Load: load, EstimateFactor: 2,
+		}), nil
+	}
+	return genWorkload(arg, cfg, load)
+}
+
+// siteWorkload builds the local workload of grid site `site` and
+// returns it with the site's machine size. Model substrates derive a
+// per-site model workload on `nodes`; a trace substrate derives a
+// per-site resampled variant of the trace (variants are offset so that
+// sites differ from each other and from the main workload) on the
+// traced machine — a trace cannot be re-fit to a half-size machine.
+func siteWorkload(cfg Config, site, jobs, nodes int, load float64) (*core.Workload, int, error) {
+	if kind, _ := cfg.sourceSpec(); kind == sourceTrace {
+		src, err := cfg.traceSource()
+		if err != nil {
+			return nil, 0, err
+		}
+		w := src.Workload(trace.Options{
+			Load: load, Jobs: jobs, Variant: site + 1, Seed: cfg.Seed,
+		})
+		w.Name = fmt.Sprintf("local-%d", site)
+		return w, src.MaxNodes(), nil
+	}
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: nodes, Jobs: jobs, Seed: cfg.Seed + int64(site),
 		Load: load, EstimateFactor: 2,
 	})
+	w.Name = fmt.Sprintf("local-%d", site)
+	return w, nodes, nil
+}
+
+// noteLoadShortfall records when a trace substrate could not reach the
+// requested offered load: interarrival compression is bounded by the
+// trace's runtime tail, so overload targets (e.g. E4's 1.1/1.3 sweep)
+// may be unreachable. Without the note, the table's load axis would
+// silently claim a regime the simulation never ran in. Model
+// substrates calibrate generatively and need no note.
+func noteLoadShortfall(t *Table, cfg Config, w *core.Workload, requested float64) {
+	if requested <= 0 {
+		return
+	}
+	if kind, _ := cfg.sourceSpec(); kind != sourceTrace {
+		return
+	}
+	if got := w.OfferedLoad(); math.Abs(got-requested) > 0.05*requested {
+		t.Note("trace substrate reached offered load %.3f of requested %.2f (runtime tail bounds interarrival compression)", got, requested)
+	}
+}
+
+// substrateLabel names the substrate in table titles and metric labels.
+func substrateLabel(cfg Config) string {
+	kind, arg := cfg.sourceSpec()
+	if kind == sourceTrace {
+		if src, err := trace.Cached(arg); err == nil {
+			return src.Name
+		}
+		return arg
+	}
+	return arg
 }
 
 // runOn simulates a workload under a named scheduler.

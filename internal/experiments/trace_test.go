@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// miniTrace is the dirty golden fixture shared with the trace package.
+const miniTrace = "trace:../workload/trace/testdata/mini.swf"
+
+func traceQuickConfig() Config {
+	cfg := QuickConfig()
+	cfg.Source = miniTrace
+	return cfg
+}
+
+// TestBatteryRunsOnTrace is the scenario-diversity contract of the
+// trace source: every experiment must run on a real SWF log, not only
+// on the synthetic models.
+func TestBatteryRunsOnTrace(t *testing.T) {
+	cfg := traceQuickConfig()
+	for _, r := range All() {
+		tables, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s on trace: %v", r.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s on trace: no tables", r.ID)
+		}
+	}
+}
+
+func TestTraceConfigAdoptsTraceMachine(t *testing.T) {
+	cfg := traceQuickConfig().withDefaults()
+	if cfg.Nodes != 32 {
+		t.Fatalf("Nodes = %d, want 32 (the traced machine)", cfg.Nodes)
+	}
+}
+
+func TestTraceBatteryDeterministicAndRepSensitive(t *testing.T) {
+	r, _ := ByID("E2")
+	cfg := traceQuickConfig()
+
+	first, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(first) != renderAll(second) {
+		t.Fatal("same config must yield byte-identical trace tables")
+	}
+
+	rep1 := cfg
+	rep1.Rep = 1
+	rep1.Seed = RepSeed(cfg.Seed, 1)
+	other, err := r.Run(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(first) == renderAll(other) {
+		t.Fatal("a different replication must resample the trace, not repeat it")
+	}
+}
+
+// TestModelPathIgnoresRep locks in the compatibility contract: the Rep
+// field the batch layer now threads through must not perturb
+// model-based runs (classic output stays byte-identical).
+func TestModelPathIgnoresRep(t *testing.T) {
+	r, _ := ByID("E2")
+	base, err := r.Run(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRep := QuickConfig()
+	withRep.Rep = 3
+	again, err := r.Run(withRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(base) != renderAll(again) {
+		t.Fatal("Rep must be inert for model substrates")
+	}
+}
+
+// TestTraceReplicationsGiveRealCIs is the acceptance criterion: -reps N
+// on a trace yields non-degenerate confidence intervals, because each
+// replication resamples the trace's interarrival gaps.
+func TestTraceReplicationsGiveRealCIs(t *testing.T) {
+	r, _ := ByID("E2")
+	cfg := traceQuickConfig()
+	res := RunBatch(context.Background(), []Runner{r}, cfg,
+		BatchOptions{Parallel: 2, Reps: 3})
+	if failed := res.Failed(); len(failed) != 0 {
+		t.Fatalf("failed cells: %+v", failed)
+	}
+	if len(res.Summaries) == 0 {
+		t.Fatal("no summaries for a multi-rep run")
+	}
+	nonzero := 0
+	for _, s := range res.Summaries {
+		if s.N != 3 {
+			t.Fatalf("summary %s/%s aggregated %d reps, want 3", s.Table, s.Name, s.N)
+		}
+		if s.CI95 > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("every CI is zero: replications did not vary the trace")
+	}
+}
+
+func TestSourceSpecParsing(t *testing.T) {
+	cases := []struct {
+		in        string
+		kind, arg string
+	}{
+		{"", sourceModel, "lublin99"},
+		{"model:jann97", sourceModel, "jann97"},
+		{"jann97", sourceModel, "jann97"},
+		{"trace:/some/log.swf", sourceTrace, "/some/log.swf"},
+		{"  trace:x.swf  ", sourceTrace, "x.swf"},
+	}
+	for _, c := range cases {
+		k, a := Config{Source: c.in}.sourceSpec()
+		if k != c.kind || a != c.arg {
+			t.Errorf("sourceSpec(%q) = (%s, %s), want (%s, %s)", c.in, k, a, c.kind, c.arg)
+		}
+	}
+}
+
+func TestLoadOverrides(t *testing.T) {
+	c := Config{}
+	if got := c.fixedLoad(0.7); got != 0.7 {
+		t.Fatalf("fixedLoad default = %v", got)
+	}
+	c.Loads = []float64{0.5, 0.7, 0.9}
+	if got := c.fixedLoad(0.85); got != 0.9 {
+		t.Fatalf("fixedLoad(0.85) = %v, want closest override 0.9", got)
+	}
+	if got := c.fixedLoad(0.6); got != 0.5 {
+		t.Fatalf("fixedLoad(0.6) = %v, want closest override 0.5", got)
+	}
+	sweep := c.sweepLoads([]float64{0.6, 0.8})
+	if len(sweep) != 3 || sweep[0] != 0.5 || sweep[2] != 0.9 {
+		t.Fatalf("sweepLoads override wrong: %v", sweep)
+	}
+	if def := (Config{}).sweepLoads([]float64{0.6, 0.8}); len(def) != 2 || def[0] != 0.6 {
+		t.Fatalf("sweepLoads default wrong: %v", def)
+	}
+}
+
+func TestTraceSourceErrorsFlowThroughRunner(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Source = "trace:does-not-exist.swf"
+	r, _ := ByID("E1")
+	if _, err := r.Run(cfg); err == nil {
+		t.Fatal("missing trace file must error, not panic")
+	}
+}

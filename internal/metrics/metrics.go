@@ -111,9 +111,6 @@ func Compute(scheduler, workload string, outs []Outcome, procs int) Report {
 	var firstSubmit, lastEnd int64 = 1<<62 - 1, 0
 	var usefulWork int64
 	for _, o := range outs {
-		if o.Submit < firstSubmit {
-			firstSubmit = o.Submit
-		}
 		if o.Dropped {
 			r.Dropped++
 		}
@@ -124,6 +121,13 @@ func Compute(scheduler, workload string, outs []Outcome, procs int) Report {
 			continue
 		}
 		r.Finished++
+		// Makespan spans the finished population only: firstSubmit and
+		// lastEnd must cover the same jobs, otherwise an early-submitted
+		// job that never finishes inflates the makespan and deflates
+		// utilization and throughput on partially-completed runs.
+		if o.Submit < firstSubmit {
+			firstSubmit = o.Submit
+		}
 		if o.End > lastEnd {
 			lastEnd = o.End
 		}

@@ -80,6 +80,33 @@ func TestComputeEmptyAndUnfinished(t *testing.T) {
 	}
 }
 
+func TestComputeMakespanSpansFinishedOnly(t *testing.T) {
+	// Regression: firstSubmit used to span all outcomes (including
+	// dropped/unfinished) while lastEnd spanned only finished ones, so
+	// an early-submitted job that never finished inflated the makespan
+	// and deflated utilization/throughput on partially-completed runs.
+	outs := []Outcome{
+		{JobID: 1, Submit: 0, Start: -1, End: -1}, // never started
+		{JobID: 2, Submit: 1000, Start: 1000, End: 1100, Size: 4, Runtime: 100},
+		{JobID: 3, Submit: 1050, Start: 1100, End: 1200, Size: 4, Runtime: 100},
+	}
+	r := Compute("s", "w", outs, 8)
+	if r.Finished != 2 || r.Unfinished != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.Makespan != 200 {
+		t.Fatalf("makespan = %d, want 200 (finished population only)", r.Makespan)
+	}
+	wantUtil := 800.0 / (200 * 8)
+	if math.Abs(r.Utilization-wantUtil) > 1e-12 {
+		t.Fatalf("utilization = %v, want %v", r.Utilization, wantUtil)
+	}
+	wantTput := 2.0 / (200.0 / 3600)
+	if math.Abs(r.Throughput-wantTput) > 1e-9 {
+		t.Fatalf("throughput = %v, want %v", r.Throughput, wantTput)
+	}
+}
+
 func TestComputeRestartsAndLoss(t *testing.T) {
 	outs := []Outcome{
 		{Submit: 0, Start: 50, End: 150, Size: 4, Runtime: 100, Restarts: 2, LostWork: 300},

@@ -59,17 +59,28 @@ func Clean(in *Log) (*Log, CleanReport) {
 		kept = append(kept, r)
 	}
 
-	// Stable sort by submit time; records with unknown submit sink to
-	// the position they held (stability keeps ties in file order).
-	sorted := sort.SliceIsSorted(kept, func(i, j int) bool {
-		return kept[i].Submit < kept[j].Submit
-	})
-	if !sorted {
-		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Submit < kept[j].Submit })
+	// Stable sort by submit time. Records with unknown submit (-1)
+	// cannot be placed on the arrival axis, so they sink to the back of
+	// the file (not the front, where a plain integer compare would put
+	// them); stability keeps ties in file order.
+	less := func(i, j int) bool {
+		si, sj := kept[i].Submit, kept[j].Submit
+		if si < 0 {
+			return false // unknown sinks behind everything
+		}
+		if sj < 0 {
+			return true
+		}
+		return si < sj
+	}
+	if !sort.SliceIsSorted(kept, less) {
+		sort.SliceStable(kept, less)
 		rep.ResortedRecords = true
 	}
 
-	// Shift so the earliest submittal is zero.
+	// Shift so the earliest *known* submittal is zero. Unknown submits
+	// stay unknown; they must not anchor the epoch (one -1 line would
+	// otherwise leave the whole trace on its original epoch).
 	if len(kept) > 0 && kept[0].Submit > 0 {
 		rep.ShiftedBy = kept[0].Submit
 		for i := range kept {

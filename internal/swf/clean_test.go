@@ -94,6 +94,64 @@ func TestCleanResortsAndRebases(t *testing.T) {
 	}
 }
 
+func TestCleanSinksUnknownSubmits(t *testing.T) {
+	// Regression: a record with unknown submit (-1) used to sort to the
+	// front (plain integer compare), where the kept[0].Submit > 0 guard
+	// then skipped the epoch shift entirely — one unknown-submit line
+	// left the whole trace on its original epoch.
+	log := cleanFixture()
+	// Put the whole fixture on an epoch base and inject one
+	// unknown-submit record in the middle of the file.
+	for i := range log.Records {
+		log.Records[i].Submit += 915148800
+	}
+	log.Records = append(log.Records, Record{
+		JobID: 4, Submit: Missing, Wait: Missing, RunTime: 60, Procs: 2,
+		AvgCPU: 50, UsedMem: 64, ReqProcs: 2, ReqTime: 120, ReqMem: 128,
+		Status: StatusKilled, User: 3, Group: 1, App: 3, Queue: 1,
+		Partition: 1, PrecedingJob: Missing, ThinkTime: Missing,
+	})
+	log.Records[2], log.Records[3] = log.Records[3], log.Records[2]
+
+	out, rep := Clean(log)
+	if rep.ShiftedBy != 915148800 {
+		t.Fatalf("ShiftedBy = %d, want 915148800 (epoch of first known submit)", rep.ShiftedBy)
+	}
+	if out.Records[0].Submit != 0 {
+		t.Fatalf("first known submit = %d, want 0 after rebase", out.Records[0].Submit)
+	}
+	last := out.Records[len(out.Records)-1]
+	if last.Submit != Missing {
+		t.Fatalf("unknown submit = %d, want sunk to the back and left Missing", last.Submit)
+	}
+	// Known submits stay sorted ascending ahead of the sunk record.
+	prev := int64(0)
+	for _, r := range out.Records[:len(out.Records)-1] {
+		if r.Submit < prev {
+			t.Fatalf("known submits out of order: %d after %d", r.Submit, prev)
+		}
+		prev = r.Submit
+	}
+}
+
+func TestCleanAllUnknownSubmits(t *testing.T) {
+	log := cleanFixture()
+	for i := range log.Records {
+		log.Records[i].Submit = Missing
+		log.Records[i].PrecedingJob = Missing
+		log.Records[i].ThinkTime = Missing
+	}
+	out, rep := Clean(log)
+	if rep.ShiftedBy != 0 {
+		t.Fatalf("ShiftedBy = %d, want 0 when no submit is known", rep.ShiftedBy)
+	}
+	for _, r := range out.Records {
+		if r.Submit != Missing {
+			t.Fatalf("submit = %d, want Missing preserved", r.Submit)
+		}
+	}
+}
+
 func TestCleanRenumbersAndRemapsFeedback(t *testing.T) {
 	log := cleanFixture()
 	// Drop job 1 (unknown runtime); job 3 depends on job 1 and must lose

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/swf"
+)
+
+const fixture = "testdata/mini.swf"
+
+func openFixture(t *testing.T) *Source {
+	t.Helper()
+	s, err := Open(fixture)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", fixture, err)
+	}
+	return s
+}
+
+func TestOpenCleansTheGoldenFixture(t *testing.T) {
+	s := openFixture(t)
+	// The fixture is a synthetic log deliberately dirtied with every
+	// anomaly Clean handles: epoch-based submits, one unknown-submit
+	// line, one unknown-runtime line, one procs-fallback line, one
+	// CPU-overrun line, two partial-execution lines, unsorted records.
+	if s.Report.Input != 90 {
+		t.Fatalf("Input = %d, want 90", s.Report.Input)
+	}
+	if s.Report.DroppedPartials != 2 || s.Report.DroppedNoRuntime != 1 || s.Report.DroppedNoProcs != 0 {
+		t.Fatalf("drop counts wrong: %+v", s.Report)
+	}
+	if s.Report.ClampedCPU != 1 {
+		t.Fatalf("ClampedCPU = %d, want 1", s.Report.ClampedCPU)
+	}
+	if !s.Report.ResortedRecords {
+		t.Fatal("fixture is unsorted; Clean must resort")
+	}
+	if s.Report.ShiftedBy != 915176221 {
+		t.Fatalf("ShiftedBy = %d, want 915176221 (epoch of first known submit)", s.Report.ShiftedBy)
+	}
+	if s.DroppedNoSubmit != 1 {
+		t.Fatalf("DroppedNoSubmit = %d, want 1", s.DroppedNoSubmit)
+	}
+	if s.JobCount() != 86 {
+		t.Fatalf("JobCount = %d, want 86", s.JobCount())
+	}
+	if s.Name != "mini-cluster" || s.MaxNodes() != 32 {
+		t.Fatalf("identity wrong: %q / %d nodes", s.Name, s.MaxNodes())
+	}
+	w := s.Workload(Options{})
+	if w.Jobs[0].Submit != 0 {
+		t.Fatalf("first submit = %d, want 0 (rebased)", w.Jobs[0].Submit)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("base workload invalid: %v", err)
+	}
+}
+
+// renderSWF is the byte-level artifact determinism is stated over.
+func renderSWF(t *testing.T, w *core.Workload) string {
+	t.Helper()
+	var b strings.Builder
+	if err := swf.Write(&b, core.ToSWF(w)); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWorkloadIsDeterministicAndPrivate(t *testing.T) {
+	s := openFixture(t)
+	opts := Options{Load: 0.8, Jobs: 50, Variant: 3, Seed: 1999}
+	a := s.Workload(opts)
+	b := s.Workload(opts)
+	if renderSWF(t, a) != renderSWF(t, b) {
+		t.Fatal("same options must derive byte-identical workloads")
+	}
+	// Mutating a derived workload must not leak into the source.
+	a.Jobs[0].Runtime = 999999
+	c := s.Workload(opts)
+	if c.Jobs[0].Runtime == 999999 {
+		t.Fatal("derived workloads must be private clones")
+	}
+}
+
+func TestVariantZeroIsFaithfulReplay(t *testing.T) {
+	s := openFixture(t)
+	for _, seed := range []int64{0, 1, 1999} {
+		w := s.Workload(Options{Variant: 0, Seed: seed})
+		base := s.Workload(Options{})
+		if renderSWF(t, w) != renderSWF(t, base) {
+			t.Fatalf("variant 0 with seed %d must be the faithful replay", seed)
+		}
+	}
+}
+
+func TestVariantsResampleArrivals(t *testing.T) {
+	s := openFixture(t)
+	base := s.Workload(Options{})
+	v1 := s.Workload(Options{Variant: 1, Seed: 1999})
+	v2 := s.Workload(Options{Variant: 2, Seed: 1999})
+	otherSeed := s.Workload(Options{Variant: 1, Seed: 2000})
+
+	differs := func(a, b *core.Workload) bool {
+		for i := range a.Jobs {
+			if a.Jobs[i].Submit != b.Jobs[i].Submit {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(base, v1) || !differs(v1, v2) || !differs(v1, otherSeed) {
+		t.Fatal("variants must produce distinct arrival patterns")
+	}
+
+	// Resampling permutes the gaps: span, total area, job attributes,
+	// and therefore offered load are all preserved.
+	if base.TotalArea() != v1.TotalArea() {
+		t.Fatal("resampling must not change work")
+	}
+	last := func(w *core.Workload) int64 { return w.Jobs[len(w.Jobs)-1].Submit }
+	if last(base) != last(v1) {
+		t.Fatalf("gap shuffle must preserve the submit span: %d vs %d", last(base), last(v1))
+	}
+	for i := range base.Jobs {
+		b, v := base.Jobs[i], v1.Jobs[i]
+		if b.Size != v.Size || b.Runtime != v.Runtime || b.User != v.User || b.ID != v.ID {
+			t.Fatal("resampling must keep per-job attributes in place")
+		}
+	}
+	if err := v1.Validate(); err != nil {
+		t.Fatalf("resampled workload invalid: %v", err)
+	}
+}
+
+func TestLoadRescaling(t *testing.T) {
+	s := openFixture(t)
+	for _, target := range []float64{0.5, 0.7, 0.9} {
+		w := s.Workload(Options{Load: target})
+		got := w.OfferedLoad()
+		if math.Abs(got-target) > 0.02*target {
+			t.Fatalf("rescaled load = %.4f, want within 2%% of %.2f", got, target)
+		}
+		if w.TotalArea() != s.Workload(Options{}).TotalArea() {
+			t.Fatal("load rescaling must change arrivals, never work")
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	s := openFixture(t)
+	w := s.Workload(Options{Jobs: 10})
+	if len(w.Jobs) != 10 {
+		t.Fatalf("jobs = %d, want 10", len(w.Jobs))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("truncated workload invalid: %v", err)
+	}
+	if got := s.Workload(Options{Jobs: 10000}); len(got.Jobs) != s.JobCount() {
+		t.Fatal("oversized truncation must keep every job")
+	}
+}
+
+// TestRoundTripSimDeterminism is the trace round-trip contract: Read →
+// Clean → trace workload → sim.Run is byte-identical for the same seed
+// and variant, and a different replication variant actually changes
+// the simulation.
+func TestRoundTripSimDeterminism(t *testing.T) {
+	s := openFixture(t)
+	run := func(variant int, seed int64) string {
+		w := s.Workload(Options{Load: 0.9, Variant: variant, Seed: seed})
+		res, err := sim.Run(w, sched.NewEASY(), sim.Options{})
+		if err != nil {
+			t.Fatalf("sim.Run: %v", err)
+		}
+		return res.Report(w.MaxNodes).TableRow()
+	}
+	if a, b := run(0, 1999), run(0, 1999); a != b {
+		t.Fatalf("same seed must be byte-identical:\n%s\n%s", a, b)
+	}
+	if a, b := run(1, 1999), run(1, 1999); a != b {
+		t.Fatalf("same (variant, seed) must be byte-identical:\n%s\n%s", a, b)
+	}
+	if a, b := run(0, 1999), run(1, 1999); a == b {
+		t.Fatalf("different variant produced an identical report row: %s", a)
+	}
+}
+
+func TestFromLogAndMaxNodesInference(t *testing.T) {
+	log := &swf.Log{}
+	log.Records = []swf.Record{
+		{JobID: 1, Submit: 0, Wait: 0, RunTime: 100, Procs: 48, ReqProcs: 48,
+			Status: swf.StatusCompleted, User: 1, Group: 1, App: 1, Queue: 1,
+			Partition: 1, PrecedingJob: swf.Missing, ThinkTime: swf.Missing,
+			AvgCPU: swf.Missing, UsedMem: swf.Missing, ReqTime: 200, ReqMem: swf.Missing},
+		{JobID: 2, Submit: 60, Wait: 0, RunTime: 50, Procs: 4, ReqProcs: 4,
+			Status: swf.StatusCompleted, User: 1, Group: 1, App: 1, Queue: 1,
+			Partition: 1, PrecedingJob: swf.Missing, ThinkTime: swf.Missing,
+			AvgCPU: swf.Missing, UsedMem: swf.Missing, ReqTime: 100, ReqMem: swf.Missing},
+	}
+	s, err := FromLog("", log)
+	if err != nil {
+		t.Fatalf("FromLog: %v", err)
+	}
+	if s.Name != "trace" {
+		t.Fatalf("Name = %q, want fallback \"trace\"", s.Name)
+	}
+	// No MaxNodes header: inferred from the widest job.
+	if s.MaxNodes() != 48 {
+		t.Fatalf("MaxNodes = %d, want 48 (inferred)", s.MaxNodes())
+	}
+}
+
+func TestFromLogRejectsUnreplayableLogs(t *testing.T) {
+	// A log whose every record is dropped by cleaning must error here,
+	// not panic downstream when an experiment indexes Jobs[len-1].
+	log := &swf.Log{Records: []swf.Record{
+		{JobID: 1, Submit: 0, Wait: 10, RunTime: -1, Procs: 4, ReqProcs: 4,
+			Status: swf.StatusCompleted, User: 1, Group: 1, App: 1, Queue: 1,
+			Partition: 1, PrecedingJob: swf.Missing, ThinkTime: swf.Missing,
+			AvgCPU: swf.Missing, UsedMem: swf.Missing, ReqTime: 100, ReqMem: swf.Missing},
+	}}
+	if _, err := FromLog("empty", log); err == nil {
+		t.Fatal("log with no replayable jobs must be rejected")
+	}
+	if _, err := FromLog("empty", &swf.Log{}); err == nil {
+		t.Fatal("empty log must be rejected")
+	}
+}
+
+func TestCachedSharesOneSource(t *testing.T) {
+	a, err := Cached(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Cached must return the shared source")
+	}
+	if _, err := Cached("testdata/does-not-exist.swf"); err == nil {
+		t.Fatal("Cached must propagate open errors")
+	}
+	if _, err := os.Stat(fixture); err != nil {
+		t.Fatalf("fixture missing: %v", err)
+	}
+
+	// Concurrent derivation from the shared source must be race-free
+	// and deterministic (checked under -race in CI).
+	var wg sync.WaitGroup
+	rows := make([]string, 8)
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := a.Workload(Options{Load: 0.7, Variant: 1 + i%2, Seed: 1999})
+			res, err := sim.Run(w, sched.NewEASY(), sim.Options{})
+			if err != nil {
+				t.Errorf("sim.Run: %v", err)
+				return
+			}
+			rows[i] = res.Report(w.MaxNodes).TableRow()
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < len(rows); i++ {
+		if rows[i] != rows[i-2] {
+			t.Fatalf("concurrent derivation not deterministic:\n%s\n%s", rows[i-2], rows[i])
+		}
+	}
+}

@@ -19,8 +19,12 @@
 //   - the WARMstones evaluation environment: annotated program graphs,
 //     canonical metasystems, mapping policies, two simulation
 //     fidelities — internal/{graph,warmstones};
+//   - trace workload sources that make real SWF logs experiment
+//     substrates (clean, rescale to a target load, resample per
+//     replication) — internal/workload/trace;
 //   - the E1–E10 experiment battery regenerating the paper's
-//     evaluation programme — internal/experiments.
+//     evaluation programme on models or real traces —
+//     internal/experiments.
 //
 // This root package is a thin facade over those subsystems: the type
 // aliases below give external importers names for the core types, and
@@ -42,6 +46,7 @@ import (
 	"parsched/internal/sched"
 	"parsched/internal/sim"
 	"parsched/internal/swf"
+	"parsched/internal/workload/trace"
 )
 
 // Aliases for the domain types a library user manipulates.
@@ -70,6 +75,14 @@ type (
 	ExperimentMetric = experiments.Metric
 	// BatchResult is the structured outcome of a parallel battery run.
 	BatchResult = experiments.BatchResult
+	// TraceSource is a cleaned, replay-ready view of a real SWF log.
+	TraceSource = trace.Source
+	// TraceOptions select the workload a TraceSource derives: target
+	// offered load, truncation, and replication variant.
+	TraceOptions = trace.Options
+	// ExperimentConfig scales the experiment battery and selects its
+	// workload substrate (synthetic model or real trace).
+	ExperimentConfig = experiments.Config
 )
 
 // Models lists the available workload model names.
@@ -132,6 +145,16 @@ func CleanSWF(log *SWFLog) (*SWFLog, string) {
 
 // WorkloadFromSWF converts a clean standard log into a workload.
 func WorkloadFromSWF(log *SWFLog) (*Workload, error) { return core.FromSWF(log) }
+
+// OpenTrace loads, cleans, and converts the SWF log at path into a
+// reusable workload source: rescale it to target offered loads, and
+// derive deterministic per-replication resampled variants.
+func OpenTrace(path string) (*TraceSource, error) { return trace.Open(path) }
+
+// TraceFromLog builds a workload source from an already-parsed log.
+func TraceFromLog(name string, log *SWFLog) (*TraceSource, error) {
+	return trace.FromLog(name, log)
+}
 
 // WorkloadToSWF converts a workload into a standard log.
 func WorkloadToSWF(w *Workload) *SWFLog { return core.ToSWF(w) }
