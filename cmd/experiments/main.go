@@ -8,8 +8,15 @@
 //	experiments -quick             # seconds-scale versions
 //	experiments -parallel 8        # shard the battery over 8 workers
 //	experiments -reps 5            # 5 replications, mean ± 95% CI summaries
+//	experiments -sched easy,cons   # restrict the scheduler comparisons
 //	experiments -json out.json     # machine-readable batch result
 //	experiments -csv results/      # long-form metric and summary CSVs
+//
+// -sched takes scheduler specs in the internal/sched grammar
+// (family(param, key=value); run -h for the derived catalogue) and
+// restricts which schedulers the comparison experiments E1–E3, E5,
+// and E6 run; specs match canonically, so -sched 'easy(window)'
+// selects the legacy name easy+win.
 //
 // The battery also runs on real logs in the Standard Workload Format:
 //
@@ -45,6 +52,7 @@ import (
 	"sync/atomic"
 
 	"parsched/internal/experiments"
+	"parsched/internal/sched"
 	"parsched/internal/workload/trace"
 )
 
@@ -56,9 +64,15 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the base seed (0 = configuration default)")
 	tracePath := flag.String("trace", "", "run the battery on this SWF log instead of the synthetic models")
 	scaleLoad := flag.String("scale-load", "", "comma-separated offered loads overriding each experiment's load points, e.g. 0.5,0.7,0.9")
+	schedFilter := flag.String("sched", "", "comma-separated scheduler specs restricting the comparison experiments (E1-E3, E5, E6), e.g. 'easy,cons' or 'easy(window)'; run -h for the grammar")
 	jsonOut := flag.String("json", "", "write the full batch result as JSON to this file")
 	csvOut := flag.String("csv", "", "write metrics.csv/cells.csv (and summary.csv) into this directory")
 	showTables := flag.Bool("tables", false, "print per-replication tables even when -reps > 1")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags]")
+		flag.PrintDefaults()
+		fmt.Fprint(os.Stderr, sched.Usage())
+	}
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -85,6 +99,21 @@ func main() {
 			fatal(err)
 		}
 		cfg.Loads = loads
+	}
+	if *schedFilter != "" {
+		specs := sched.SplitList(*schedFilter)
+		if len(specs) == 0 {
+			fatal(fmt.Errorf("-sched names no schedulers"))
+		}
+		// Validate up front so a typo or out-of-range parameter fails
+		// fast, not per cell (New = Parse + Build, so factory-level
+		// rejections like reserve=0 surface here too).
+		for _, s := range specs {
+			if _, err := sched.New(s); err != nil {
+				fatal(err)
+			}
+		}
+		cfg.Scheds = specs
 	}
 
 	runners := experiments.All()

@@ -2,36 +2,48 @@
 // more machine schedulers and prints the metric battery.
 //
 //	simsched -sched easy,cons,fcfs -outages machine.outages trace.swf
+//	simsched -sched 'easy(reserve=2, window),gang(mpl=5)' trace.swf
 //	swfgen -model lublin99 -jobs 500 | simsched -sched easy
+//
+// Schedulers are named in the spec grammar (family(param, key=value));
+// run with -h for the full catalogue of families, parameters, and
+// legacy names — the help text is derived from the scheduler registry,
+// so it cannot go stale.
 //
 // The trace is loaded through the shared trace-workload source
 // (internal/workload/trace): cleaned with swf.Clean — the clean report
 // is printed on stderr so a mutilated trace is never silent — and
 // optionally rescaled to a target offered load by interarrival
-// scaling. "-" or no argument reads the log from stdin.
+// scaling. "-" or no argument reads the log from stdin. Each
+// scheduler run is a RunSpec (internal/experiments), the same unified
+// run configuration the experiment battery and the library facade use.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"parsched/internal/experiments"
 	"parsched/internal/metrics"
-	"parsched/internal/outage"
 	"parsched/internal/sched"
-	"parsched/internal/sim"
 	"parsched/internal/swf"
 	"parsched/internal/workload/trace"
 )
 
 func main() {
-	schedList := flag.String("sched", "fcfs,easy,cons", "comma-separated schedulers: "+strings.Join(sched.Names(), ", "))
+	schedList := flag.String("sched", "fcfs,easy,cons",
+		"comma-separated scheduler specs, e.g. 'easy,cons' or 'easy(reserve=2, window)'")
 	outagePath := flag.String("outages", "", "outage log file (standard outage format)")
 	feedback := flag.Bool("feedback", false, "honour preceding-job/think-time fields (closed loop)")
 	perfect := flag.Bool("perfect-estimates", false, "schedulers see true runtimes")
 	load := flag.Float64("scale-load", 0, "rescale offered load to this value before simulating (0 = as recorded)")
 	jobs := flag.Int("jobs", 0, "replay only the first N jobs (0 = all)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf   ('-' or no argument reads stdin)")
+		flag.PrintDefaults()
+		fmt.Fprint(os.Stderr, sched.Usage())
+	}
 	flag.Parse()
 
 	var src *trace.Source
@@ -50,8 +62,7 @@ func main() {
 	case flag.NArg() == 1:
 		src, err = trace.Open(flag.Arg(0))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf   ('-' or no argument reads stdin)")
-		flag.PrintDefaults()
+		flag.Usage()
 		os.Exit(2)
 	}
 	if err != nil {
@@ -59,36 +70,47 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "simsched: cleaned %s: %s\n", src.Name, src.CleanSummary())
 
-	w := src.Workload(trace.Options{Load: *load, Jobs: *jobs})
-
-	opts := sim.Options{Feedback: *feedback, PerfectEstimates: *perfect}
-	if *outagePath != "" {
-		f, err := os.Open(*outagePath)
-		if err != nil {
-			fail(err)
-		}
-		olog, err := outage.Read(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		opts.Outages = olog
+	// One RunSpec per scheduler: scheduler spec × source × options ×
+	// load point, exactly the run configuration the battery uses.
+	base := experiments.RunSpec{
+		Jobs:  *jobs,
+		Loads: []float64{*load},
+		Sim: experiments.SimSpec{
+			Feedback:         *feedback,
+			PerfectEstimates: *perfect,
+			OutagePath:       *outagePath,
+		},
 	}
 
-	fmt.Printf("workload: %s (%d jobs, %d nodes, offered load %.3f)\n",
-		w.Name, len(w.Jobs), w.MaxNodes, w.OfferedLoad())
-	fmt.Println(metrics.TableHeader())
-	for _, name := range strings.Split(*schedList, ",") {
-		name = strings.TrimSpace(name)
-		s, err := sched.New(name)
+	// Fail fast on a bad outage file, before any scheduler runs.
+	if _, err := base.Sim.Options(); err != nil {
+		fail(err)
+	}
+
+	specs := sched.SplitList(*schedList)
+	if len(specs) == 0 {
+		fail(fmt.Errorf("-sched names no schedulers"))
+	}
+	first := true
+	for _, name := range specs {
+		sp, err := sched.Parse(name)
 		if err != nil {
 			fail(err)
 		}
-		res, err := sim.Run(w, s, opts)
+		rs := base
+		rs.Scheduler = sp
+		results, err := experiments.ExecuteSource(src, rs)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(res.Report(w.MaxNodes).TableRow())
+		r := results[0]
+		if first {
+			fmt.Printf("workload: %s (%d jobs, %d nodes, offered load %.3f)\n",
+				r.Workload.Name, r.Workload.Jobs, r.Workload.Nodes, r.Workload.OfferedLoad)
+			fmt.Println(metrics.TableHeader())
+			first = false
+		}
+		fmt.Println(r.Report.TableRow())
 	}
 }
 

@@ -38,9 +38,16 @@ func main() {
 	}
 	fmt.Println("  validates cleanly against the standard's consistency rules")
 
-	// 3. Simulate under two schedulers and compare.
+	// 3. Simulate under two schedulers and compare. Schedulers are
+	//    named by spec strings — family(param, key=value) — parsed and
+	//    validated against the scheduler registry; "fcfs" and "easy"
+	//    are the zero-parameter specs of their families.
 	for _, scheduler := range []string{"fcfs", "easy"} {
-		res, err := parsched.Simulate(w, scheduler, parsched.SimOptions{})
+		spec, err := parsched.ParseSchedulerSpec(scheduler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := parsched.Simulate(w, spec.String(), parsched.SimOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

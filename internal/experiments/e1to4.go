@@ -29,6 +29,10 @@ func E1SchedulerComparison(cfg Config) ([]Table, error) {
 	if kind, _ := cfg.sourceSpec(); kind == sourceTrace {
 		substrates = []string{substrateLabel(cfg)}
 	}
+	scheds, err := cfg.schedList(e1Schedulers)
+	if err != nil {
+		return nil, err
+	}
 	var tables []Table
 	for _, modelName := range substrates {
 		w, err := genWorkload(modelName, cfg, load)
@@ -41,7 +45,7 @@ func E1SchedulerComparison(cfg Config) ([]Table, error) {
 			Header: []string{"sched", "meanWait(s)", "meanResp(s)", "meanBSLD", "geoBSLD", "p95Wait", "util"},
 		}
 		noteLoadShortfall(&t, cfg, w, load)
-		for _, sn := range e1Schedulers {
+		for _, sn := range scheds {
 			r, err := runOn(w, sn, sim.Options{})
 			if err != nil {
 				return nil, err
@@ -82,13 +86,17 @@ func E2MetricConflict(cfg Config) ([]Table, error) {
 		loads = []float64{0.8}
 	}
 	loads = cfg.sweepLoads(loads)
+	filtered, err := cfg.schedList(e1Schedulers)
+	if err != nil {
+		return nil, err
+	}
 	for _, load := range loads {
 		w, err := substrateWorkload(cfg, load)
 		if err != nil {
 			return nil, err
 		}
 		noteLoadShortfall(&t, cfg, w, load)
-		names := e1Schedulers
+		names := filtered
 		var reports []metrics.Report
 		for _, sn := range names {
 			r, err := runOn(w, sn, sim.Options{})
@@ -169,7 +177,10 @@ func E3ObjectiveWeights(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := e1Schedulers
+	names, err := cfg.schedList(e1Schedulers)
+	if err != nil {
+		return nil, err
+	}
 	var reports []metrics.Report
 	for _, sn := range names {
 		r, err := runOn(w, sn, sim.Options{})

@@ -41,6 +41,10 @@ func E5Outages(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		scenarios = []scenario{{"none", 0}, {"12h", 12 * 3600}}
 	}
+	scheds, err := cfg.schedList([]string{"easy", "easy+win"})
+	if err != nil {
+		return nil, err
+	}
 	for _, sc := range scenarios {
 		gcfg := outage.GeneratorConfig{
 			Nodes:             int64(cfg.Nodes),
@@ -54,7 +58,7 @@ func E5Outages(cfg Config) ([]Table, error) {
 			gcfg.Repair = stats.LogNormal{Mu: 7.5, Sigma: 0.7} // ~30 min repairs
 		}
 		olog := outage.Generate(gcfg, cfg.Seed+7)
-		for _, sn := range []string{"easy", "easy+win"} {
+		for _, sn := range scheds {
 			r, err := runOn(w, sn, sim.Options{Outages: olog})
 			if err != nil {
 				return nil, err
@@ -99,9 +103,13 @@ func E6Reservations(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		fracs = []float64{0.2}
 	}
+	scheds, err := cfg.schedList([]string{"easy", "easy+win"})
+	if err != nil {
+		return nil, err
+	}
 	for _, frac := range fracs {
 		resvs := periodicReservations(frac, cfg.Nodes, span, 4*3600)
-		for _, sn := range []string{"easy", "easy+win"} {
+		for _, sn := range scheds {
 			s, err := sched.New(sn)
 			if err != nil {
 				return nil, fmt.Errorf("scheduler %q: %w", sn, err)

@@ -52,6 +52,14 @@ type Config struct {
 	// rep 0 faithfully and resample arrivals for rep > 0. Model
 	// sources ignore it (the derived seed already varies).
 	Rep int
+	// Scheds restricts which schedulers the comparison experiments
+	// (E1–E3, E5, E6) run, as spec strings in the internal/sched
+	// grammar. Specs are matched canonically, so "easy(window)"
+	// selects the default list's "easy+win". Empty runs every default
+	// scheduler, byte-identically. A filter that empties an
+	// experiment's list is an error — a comparison with no subjects is
+	// not a run.
+	Scheds []string
 }
 
 // Default returns the EXPERIMENTS.md configuration.
@@ -94,18 +102,46 @@ const defaultSubstrate = "lublin99"
 
 // sourceSpec parses Config.Source into (kind, argument).
 func (c Config) sourceSpec() (kind, arg string) {
-	s := strings.TrimSpace(c.Source)
-	switch {
-	case s == "":
-		return sourceModel, defaultSubstrate
-	case strings.HasPrefix(s, sourceTrace+":"):
-		return sourceTrace, strings.TrimPrefix(s, sourceTrace+":")
-	case strings.HasPrefix(s, sourceModel+":"):
-		return sourceModel, strings.TrimPrefix(s, sourceModel+":")
-	default:
-		// A bare name reads as a model, the common shorthand.
-		return sourceModel, s
+	src := ParseSource(c.Source)
+	return src.Kind, src.Arg
+}
+
+// schedList applies the -sched restriction to an experiment's default
+// scheduler list. Specs are compared canonically (parsed through the
+// spec grammar), so any legal spelling of a scheduler matches it.
+func (c Config) schedList(def []string) ([]string, error) {
+	if len(c.Scheds) == 0 {
+		return def, nil
 	}
+	allowed := map[string]bool{}
+	for _, s := range c.Scheds {
+		sp, err := sched.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: -sched filter: %w", err)
+		}
+		// Parse alone admits specs whose factory rejects the values
+		// (easy(reserve=0)); building surfaces the real diagnosis
+		// instead of a misleading empty-filter error below.
+		if _, err := sched.Build(sp); err != nil {
+			return nil, fmt.Errorf("experiments: -sched filter: %w", err)
+		}
+		allowed[sp.String()] = true
+	}
+	var out []string
+	for _, name := range def {
+		sp, err := sched.Parse(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: default scheduler %q: %w", name, err)
+		}
+		if allowed[sp.String()] {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: scheduler filter %v excludes every scheduler of this experiment (%v)",
+			c.Scheds, def)
+	}
+	return out, nil
 }
 
 // traceSource resolves the trace behind a trace-kind Source.
@@ -391,7 +427,9 @@ func substrateLabel(cfg Config) string {
 	return arg
 }
 
-// runOn simulates a workload under a named scheduler.
+// runOn simulates a workload under a scheduler named by a spec string
+// (or legacy name) in the internal/sched grammar — the in-memory form
+// of a RunSpec whose workload is already resolved.
 func runOn(w *core.Workload, schedName string, opts sim.Options) (metrics.Report, error) {
 	s, err := sched.New(schedName)
 	if err != nil {

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens")
+
+const batteryGolden = "testdata/battery_quick.golden"
+
+// renderBattery runs the whole battery serially at quick scale with one
+// replication and renders every table — exactly the stdout a
+// `cmd/experiments -quick -parallel 1 -reps 1` run produces, minus the
+// per-cell timing banners.
+func renderBattery(t *testing.T) string {
+	t.Helper()
+	res := RunBatch(context.Background(), All(), QuickConfig(),
+		BatchOptions{Parallel: 1, Reps: 1})
+	var out string
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Fatalf("%s failed: %s", c.ID, c.Err)
+		}
+		out += renderAll(c.Tables)
+	}
+	return out
+}
+
+// TestBatteryGolden pins the model-based E1–E10 battery output byte for
+// byte against the committed golden. Canonical legacy scheduler names
+// must keep building behaviorally identical schedulers across registry
+// or spec-layer refactors; any intentional change must be reviewed by
+// regenerating with `go test ./internal/experiments -run Golden -update`.
+func TestBatteryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick battery")
+	}
+	got := renderBattery(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(batteryGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(batteryGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", batteryGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(batteryGolden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		// Find the first divergence for a readable failure.
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hiG, hiW := i+120, i+120
+		if hiG > len(got) {
+			hiG = len(got)
+		}
+		if hiW > len(want) {
+			hiW = len(want)
+		}
+		t.Fatalf("battery output diverges from golden at byte %d\n got: ...%q...\nwant: ...%q...",
+			i, got[lo:hiG], want[lo:hiW])
+	}
+}

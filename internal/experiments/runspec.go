@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"parsched/internal/core"
+	"parsched/internal/metrics"
+	"parsched/internal/model"
+	"parsched/internal/model/registry"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/workload/trace"
+)
+
+// RunSpec is the unified, JSON-serializable run configuration: a
+// scheduler spec × a workload source spec × simulation options × load
+// points. It is the single vocabulary the facade, the experiment
+// grids, and both CLIs use to name a run: a RunSpec written to disk
+// today names the same run tomorrow.
+type RunSpec struct {
+	// Scheduler names the system under test in the spec grammar
+	// (internal/sched): "easy", "gang(mpl=5)", "easy(reserve=2, window)".
+	Scheduler sched.Spec `json:"scheduler"`
+	// Source selects the workload substrate.
+	Source Source `json:"source"`
+	// Jobs truncates the workload (0 = source default / whole trace).
+	Jobs int `json:"jobs,omitempty"`
+	// Nodes is the machine size for model sources (0 = default; trace
+	// sources follow the trace's own machine).
+	Nodes int `json:"nodes,omitempty"`
+	// Seed is the base RNG seed (0 = the battery default).
+	Seed int64 `json:"seed,omitempty"`
+	// Rep is the replication variant (trace sources resample
+	// interarrivals for Rep > 0; model sources vary by seed).
+	Rep int `json:"rep,omitempty"`
+	// Loads are the offered-load points to run, one result per point.
+	// Empty means one run at the source's recorded/default load.
+	Loads []float64 `json:"loads,omitempty"`
+	// Sim carries the serializable simulation options.
+	Sim SimSpec `json:"sim,omitempty"`
+}
+
+// Source names a workload substrate: a statistical model
+// ("model:lublin99") or a cleaned real trace ("trace:path.swf").
+type Source struct {
+	Kind string `json:"kind"` // sourceModel or sourceTrace
+	Arg  string `json:"arg"`  // model name or trace path
+}
+
+// ParseSource parses the textual source spec Config.Source carries:
+// "", "model:<name>", "trace:<path>", or a bare model name.
+func ParseSource(s string) Source {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Source{Kind: sourceModel, Arg: defaultSubstrate}
+	case strings.HasPrefix(s, sourceTrace+":"):
+		return Source{Kind: sourceTrace, Arg: strings.TrimPrefix(s, sourceTrace+":")}
+	case strings.HasPrefix(s, sourceModel+":"):
+		return Source{Kind: sourceModel, Arg: strings.TrimPrefix(s, sourceModel+":")}
+	default:
+		// A bare name reads as a model, the common shorthand.
+		return Source{Kind: sourceModel, Arg: s}
+	}
+}
+
+// String renders the canonical textual form ParseSource accepts.
+func (s Source) String() string {
+	if s.Kind == "" {
+		return s.Arg
+	}
+	return s.Kind + ":" + s.Arg
+}
+
+// SimSpec is the serializable subset of sim.Options. Injected
+// in-memory streams (generated outage logs, reservation requests) have
+// no file form and ride alongside a RunSpec instead — see Execute's
+// extra parameter.
+type SimSpec struct {
+	// Feedback replays preceding-job/think-time chains (closed loop).
+	Feedback bool `json:"feedback,omitempty"`
+	// PerfectEstimates lets schedulers see true runtimes.
+	PerfectEstimates bool `json:"perfectEstimates,omitempty"`
+	// DropKilled abandons outage-killed jobs instead of restarting.
+	DropKilled bool `json:"dropKilled,omitempty"`
+	// Horizon stops the simulation at this time (0 = run to drain).
+	Horizon int64 `json:"horizon,omitempty"`
+	// OutagePath loads an outage log (standard outage format) from
+	// this file.
+	OutagePath string `json:"outagePath,omitempty"`
+}
+
+// Options materializes the sim options, loading OutagePath if set.
+func (s SimSpec) Options() (sim.Options, error) {
+	opts := sim.Options{
+		Feedback:         s.Feedback,
+		PerfectEstimates: s.PerfectEstimates,
+		DropKilled:       s.DropKilled,
+		Horizon:          s.Horizon,
+	}
+	if s.OutagePath != "" {
+		olog, err := cachedOutages(s.OutagePath)
+		if err != nil {
+			return sim.Options{}, err
+		}
+		opts.Outages = olog
+	}
+	return opts, nil
+}
+
+// outageCache memoizes parsed outage logs by path — the outage-log
+// analogue of trace.Cached. The simulator treats the log as read-only
+// (it builds its own event timeline), so one parsed log is safely
+// shared by every scheduler of a multi-spec run and every cell of a
+// battery.
+var outageCache sync.Map // path → *outage.Log
+
+func cachedOutages(path string) (*outage.Log, error) {
+	if v, ok := outageCache.Load(path); ok {
+		return v.(*outage.Log), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: outage log: %w", err)
+	}
+	defer f.Close()
+	olog, err := outage.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: outage log %s: %w", path, err)
+	}
+	outageCache.Store(path, olog)
+	return olog, nil
+}
+
+// RunResult is the outcome of one (load point × scheduler) run.
+type RunResult struct {
+	// Load is the requested offered load (0 = source default).
+	Load float64 `json:"load"`
+	// Workload describes the substrate the run actually simulated.
+	Workload WorkloadInfo `json:"workload"`
+	// Report is the full metric battery.
+	Report metrics.Report `json:"report"`
+}
+
+// WorkloadInfo identifies the simulated workload.
+type WorkloadInfo struct {
+	Name        string  `json:"name"`
+	Jobs        int     `json:"jobs"`
+	Nodes       int     `json:"nodes"`
+	OfferedLoad float64 `json:"offeredLoad"`
+}
+
+// config translates the RunSpec into the experiment Config vocabulary
+// so workload resolution shares one code path with the battery.
+func (rs RunSpec) config() Config {
+	return Config{
+		Seed:   rs.Seed,
+		Jobs:   rs.Jobs,
+		Nodes:  rs.Nodes,
+		Source: rs.Source.String(),
+		Rep:    rs.Rep,
+	}.withDefaults()
+}
+
+// Validate reports whether the RunSpec names a constructible run
+// without executing it: the scheduler builds and the source resolves.
+func (rs RunSpec) Validate() error {
+	if _, err := sched.Build(rs.Scheduler); err != nil {
+		return err
+	}
+	switch rs.Source.Kind {
+	case sourceModel:
+		if _, err := registry.New(rs.Source.Arg); err != nil {
+			return fmt.Errorf("runspec: workload model %q: %w", rs.Source.Arg, err)
+		}
+	case sourceTrace:
+		if _, err := trace.Cached(rs.Source.Arg); err != nil {
+			return fmt.Errorf("runspec: trace %q: %w", rs.Source.Arg, err)
+		}
+	default:
+		return fmt.Errorf("runspec: unknown source kind %q (have %s, %s)",
+			rs.Source.Kind, sourceModel, sourceTrace)
+	}
+	return nil
+}
+
+// Execute resolves and runs the RunSpec: one result per load point
+// (or a single default-load run when Loads is empty).
+func Execute(rs RunSpec) ([]RunResult, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return execute(rs, rs.workload)
+}
+
+// ExecuteSource runs the RunSpec against an already-resolved trace
+// source (stdin-fed logs have no path for Execute to reopen); the
+// RunSpec's own Source field is used only for labeling. Seed and Rep
+// default exactly as in Execute, so the same RunSpec resolves to the
+// same workload through either entry point.
+func ExecuteSource(src *trace.Source, rs RunSpec) ([]RunResult, error) {
+	cfg := rs.config()
+	return execute(rs, func(load float64) (*core.Workload, error) {
+		return src.Workload(trace.Options{
+			Load: load, Jobs: rs.Jobs, Variant: cfg.Rep, Seed: cfg.Seed,
+		}), nil
+	})
+}
+
+func execute(rs RunSpec, workload func(load float64) (*core.Workload, error)) ([]RunResult, error) {
+	opts, err := rs.Sim.Options()
+	if err != nil {
+		return nil, err
+	}
+	loads := rs.Loads
+	if len(loads) == 0 {
+		loads = []float64{0}
+	}
+	out := make([]RunResult, 0, len(loads))
+	for _, load := range loads {
+		w, err := workload(load)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sched.Build(rs.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(w, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("runspec: simulating %s: %w", rs.Scheduler, err)
+		}
+		out = append(out, RunResult{
+			Load: load,
+			Workload: WorkloadInfo{
+				Name: w.Name, Jobs: len(w.Jobs), Nodes: w.MaxNodes,
+				OfferedLoad: w.OfferedLoad(),
+			},
+			Report: res.Report(w.MaxNodes),
+		})
+	}
+	return out, nil
+}
+
+// workload resolves one load point of the spec's source.
+func (rs RunSpec) workload(load float64) (*core.Workload, error) {
+	cfg := rs.config()
+	if rs.Source.Kind == sourceTrace {
+		src, err := trace.Cached(rs.Source.Arg)
+		if err != nil {
+			return nil, err
+		}
+		// rs.Jobs, not cfg.Jobs: for a trace, 0 means the whole log,
+		// and the battery's 5000-job default must not truncate it.
+		return src.Workload(trace.Options{
+			Load: load, Jobs: rs.Jobs, Variant: cfg.Rep, Seed: cfg.Seed,
+		}), nil
+	}
+	if load == 0 {
+		// Model sources have no "recorded" load; use the battery's
+		// representative default.
+		load = 0.7
+	}
+	m, err := registry.New(rs.Source.Arg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Generate(model.Config{
+		MaxNodes: cfg.Nodes, Jobs: cfg.Jobs, Seed: cfg.Seed,
+		Load: load, EstimateFactor: 2,
+	}), nil
+}

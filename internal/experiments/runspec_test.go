@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"parsched/internal/sched"
+)
+
+func TestParseSourceForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Source
+	}{
+		{"", Source{Kind: "model", Arg: "lublin99"}},
+		{"model:jann97", Source{Kind: "model", Arg: "jann97"}},
+		{"trace:logs/kth.swf", Source{Kind: "trace", Arg: "logs/kth.swf"}},
+		{"naive", Source{Kind: "model", Arg: "naive"}},
+	}
+	for _, c := range cases {
+		if got := ParseSource(c.in); got != c.want {
+			t.Errorf("ParseSource(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String round-trips through ParseSource.
+		if back := ParseSource(c.want.String()); back != c.want {
+			t.Errorf("source %v round-trips to %v", c.want, back)
+		}
+	}
+}
+
+// TestRunSpecJSONRoundTrip: a RunSpec serializes losslessly — the
+// acceptance criterion that lets run configurations live in files.
+func TestRunSpecJSONRoundTrip(t *testing.T) {
+	rs := RunSpec{
+		Scheduler: sched.MustParse("easy(reserve=2, window)"),
+		Source:    ParseSource("model:lublin99"),
+		Jobs:      1200,
+		Nodes:     64,
+		Seed:      42,
+		Rep:       3,
+		Loads:     []float64{0.5, 0.7, 0.9},
+		Sim: SimSpec{
+			Feedback:         true,
+			PerfectEstimates: true,
+			DropKilled:       true,
+			Horizon:          86400,
+			OutagePath:       "machine.outages",
+		},
+	}
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheduler rides as its canonical spec string.
+	if !strings.Contains(string(data), `"easy(reserve=2, window)"`) {
+		t.Fatalf("scheduler not serialized as spec string: %s", data)
+	}
+	var back RunSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rs) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, rs)
+	}
+}
+
+func TestRunSpecValidate(t *testing.T) {
+	good := RunSpec{Scheduler: sched.MustParse("easy"), Source: ParseSource("model:naive")}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := RunSpec{Scheduler: sched.Spec{Family: "nope"}, Source: ParseSource("")}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown scheduler family accepted")
+	}
+	badModel := RunSpec{Scheduler: sched.MustParse("easy"), Source: ParseSource("model:nope")}
+	if err := badModel.Validate(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	badKind := RunSpec{Scheduler: sched.MustParse("easy"), Source: Source{Kind: "ftp", Arg: "x"}}
+	if err := badKind.Validate(); err == nil || !strings.Contains(err.Error(), "unknown source kind") {
+		t.Fatalf("unknown source kind: %v", err)
+	}
+}
+
+func TestExecuteModelSource(t *testing.T) {
+	rs := RunSpec{
+		Scheduler: sched.MustParse("easy"),
+		Source:    ParseSource("model:lublin99"),
+		Jobs:      300, Nodes: 32, Seed: 5,
+		Loads: []float64{0.6, 0.9},
+	}
+	results, err := Execute(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want one per load", len(results))
+	}
+	for _, r := range results {
+		if r.Workload.Jobs != 300 || r.Workload.Nodes != 32 {
+			t.Fatalf("workload info: %+v", r.Workload)
+		}
+		if r.Report.Finished != 300 {
+			t.Fatalf("finished %d/300 at load %v", r.Report.Finished, r.Load)
+		}
+	}
+	// Determinism: the same RunSpec is the same run.
+	again, err := Execute(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results, again) {
+		t.Fatal("identical RunSpec produced different results")
+	}
+}
+
+func TestExecuteTraceSource(t *testing.T) {
+	rs := RunSpec{
+		Scheduler: sched.MustParse("fcfs"),
+		Source:    ParseSource("trace:../workload/trace/testdata/mini.swf"),
+	}
+	results, err := Execute(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Workload.Jobs == 0 {
+		t.Fatal("empty trace workload")
+	}
+	if results[0].Load != 0 {
+		t.Fatal("default load point should be 0 (as recorded)")
+	}
+}
+
+func TestSchedListFilter(t *testing.T) {
+	def := []string{"fcfs", "sjf", "easy", "easy+win"}
+
+	cfg := Config{}
+	got, err := cfg.schedList(def)
+	if err != nil || !reflect.DeepEqual(got, def) {
+		t.Fatalf("no filter: %v, %v", got, err)
+	}
+
+	// Canonical matching: "easy(window)" selects the legacy "easy+win".
+	cfg = Config{Scheds: []string{"easy(window)", "fcfs"}}
+	got, err = cfg.schedList(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"fcfs", "easy+win"}) {
+		t.Fatalf("filtered: %v", got)
+	}
+
+	cfg = Config{Scheds: []string{"gang"}}
+	if _, err := cfg.schedList(def); err == nil {
+		t.Fatal("empty intersection accepted")
+	}
+	cfg = Config{Scheds: []string{"not-a-sched"}}
+	if _, err := cfg.schedList(def); err == nil {
+		t.Fatal("malformed filter accepted")
+	}
+}
+
+// TestE1HonoursSchedFilter: the restriction reaches the tables.
+func TestE1HonoursSchedFilter(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Scheds = []string{"easy", "fcfs"}
+	r, _ := ByID("E1")
+	tables, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 2 {
+			t.Fatalf("%s rows = %d, want 2 (filtered)", tb.ID, len(tb.Rows))
+		}
+	}
+}

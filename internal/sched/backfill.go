@@ -1,6 +1,46 @@
 package sched
 
-import "parsched/internal/core"
+import (
+	"fmt"
+
+	"parsched/internal/core"
+)
+
+func init() {
+	Register(Family{
+		Name: "easy",
+		Doc:  "EASY (aggressive) backfilling",
+		Params: []Param{
+			{Name: "window", Kind: BoolParam,
+				Doc: "respect announced outages and accepted advance reservations"},
+			{Name: "reserve", Kind: IntParam, Default: "1",
+				Doc: "reservation depth: blocked queue-head jobs guaranteed not to be delayed (1 = classic EASY; large = conservative)"},
+		},
+		Aliases: map[string]string{
+			"easy+win":  "easy(window)",
+			"easy+mold": "easy(mold)",
+		},
+		New: func(a Args) (Scheduler, error) {
+			r := a.Int("reserve")
+			if r < 1 {
+				return nil, fmt.Errorf("reserve must be >= 1, got %d", r)
+			}
+			return &EASY{Windows: a.Bool("window"), Reserve: r}, nil
+		},
+	})
+	Register(Family{
+		Name: "cons",
+		Doc:  "conservative backfilling (every queued job gets a reservation)",
+		Params: []Param{
+			{Name: "window", Kind: BoolParam,
+				Doc: "respect announced outages and accepted advance reservations"},
+		},
+		Aliases: map[string]string{"cons+win": "cons(window)"},
+		New: func(a Args) (Scheduler, error) {
+			return &Conservative{Windows: a.Bool("window")}, nil
+		},
+	})
+}
 
 // EASY is aggressive backfilling as introduced on the Argonne SP-1
 // (EASY) and analyzed by Feitelson & Weil: jobs run FCFS, but when the
@@ -19,6 +59,12 @@ type EASY struct {
 	// Windows folds Outages() and Reservations() into the availability
 	// profile, making the scheduler drain for known capacity holes.
 	Windows bool
+	// Reserve is the reservation depth: how many blocked jobs at the
+	// head of the queue are guaranteed not to be delayed by backfill.
+	// 0 or 1 is classic EASY (only the head is protected); a depth of
+	// the whole queue reproduces conservative backfilling. Built from
+	// specs like "easy(reserve=2)".
+	Reserve int
 
 	queue []*core.Job
 	// scratch is the per-pass working profile, reused across scheduling
@@ -33,9 +79,15 @@ func NewEASY() *EASY { return &EASY{} }
 // accepted advance reservations.
 func NewEASYWindows() *EASY { return &EASY{Windows: true} }
 
-// Name implements Scheduler.
+// Name implements Scheduler. Legacy configurations keep their legacy
+// names; parameterized ones name themselves by their canonical spec.
 func (e *EASY) Name() string {
-	if e.Windows {
+	switch {
+	case e.Reserve > 1 && e.Windows:
+		return fmt.Sprintf("easy(reserve=%d, window)", e.Reserve)
+	case e.Reserve > 1:
+		return fmt.Sprintf("easy(reserve=%d)", e.Reserve)
+	case e.Windows:
 		return "easy+win"
 	}
 	return "easy"
@@ -91,6 +143,10 @@ func (e *EASY) schedule(ctx Context) {
 	if len(e.queue) <= 1 {
 		return
 	}
+	if e.Reserve > 1 {
+		e.scheduleDeep(ctx, p, now)
+		return
+	}
 
 	// Phase 2: the head is blocked. Compute its reservation from the
 	// profile, then backfill later jobs that do not delay it.
@@ -121,6 +177,44 @@ func (e *EASY) schedule(ctx Context) {
 			if !fitsBefore {
 				extra -= j.Size
 			}
+			continue
+		}
+		i++
+	}
+}
+
+// scheduleDeep is the Reserve > 1 backfill pass: the first Reserve
+// waiting jobs are walked conservative-style — started when their
+// earliest fit is now, otherwise their future slot is carved into the
+// profile as a reservation — and jobs beyond the depth may start only
+// where they fit under the profile immediately, so no protected job is
+// ever delayed. Depth 1 degenerates to classic EASY (handled by the
+// shadow-time path above); depth >= queue length is conservative
+// backfilling.
+func (e *EASY) scheduleDeep(ctx Context, p *Profile, now int64) {
+	i := 0
+	for i < len(e.queue) {
+		j := e.queue[i]
+		est := ctx.Estimate(j)
+		if i < e.Reserve {
+			start := p.EarliestFit(now, est, j.Size)
+			if start == now && ctx.CanStart(j, j.Size) {
+				ctx.Start(j, j.Size)
+				p.Take(now, now+est, j.Size)
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				continue
+			}
+			if start >= 0 {
+				// Protect this job: backfill below must fit around it.
+				p.Take(start, start+est, j.Size)
+			}
+			i++
+			continue
+		}
+		if ctx.CanStart(j, j.Size) && p.EarliestFit(now, est, j.Size) == now {
+			ctx.Start(j, j.Size)
+			p.Take(now, now+est, j.Size)
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
 			continue
 		}
 		i++

@@ -259,3 +259,66 @@ type perfectSpeedup struct{}
 
 func (perfectSpeedup) Speedup(n int) float64 { return float64(n) }
 func (perfectSpeedup) String() string        { return "perfect" }
+
+// TestEASYReserveDepthProtectsSecondJob: with reserve=1 (classic EASY)
+// a long backfill may delay the second queued job; with reserve=2 the
+// second job holds a reservation the backfill must fit around.
+func TestEASYReserveDepthProtectsSecondJob(t *testing.T) {
+	run := func(reserve int) (*mockContext, *EASY) {
+		m := newMock(10)
+		s := &EASY{Reserve: reserve}
+		s.OnSubmit(m, job(1, 0, 8, 100))  // fills most of the machine
+		s.OnSubmit(m, job(2, 0, 4, 100))  // head: blocked until job 1 ends
+		s.OnSubmit(m, job(3, 0, 6, 50))   // second: wants the post-head leftovers
+		s.OnSubmit(m, job(4, 0, 2, 1000)) // long candidate backfill
+		return m, s
+	}
+
+	// Classic EASY: job 4 fits beside the head's shadow reservation and
+	// starts immediately — occupying processors job 3 needs until t=1000.
+	m, _ := run(1)
+	if !m.startedSet()[4] {
+		t.Fatal("reserve=1: long job should backfill beside the head")
+	}
+
+	// reserve=2: job 3's slot at the head release is protected, so the
+	// long job may not start now.
+	m, s := run(2)
+	if m.startedSet()[4] {
+		t.Fatal("reserve=2: long backfill delays the protected second job")
+	}
+	m.advance(100)
+	m.finish(s, 1)
+	if !m.startedSet()[2] || !m.startedSet()[3] {
+		t.Fatalf("protected jobs should start at the head release: %v", m.started)
+	}
+}
+
+// TestEASYDeepReserveMatchesConservative: with the reservation depth
+// covering the whole queue, the EASY pass reduces to conservative
+// backfilling on this scenario.
+func TestEASYDeepReserveMatchesConservative(t *testing.T) {
+	drive := func(s Scheduler) []int64 {
+		m := newMock(8)
+		jobs := []*core.Job{
+			job(1, 0, 6, 100), job(2, 0, 4, 200), job(3, 0, 2, 50),
+			job(4, 0, 2, 400), job(5, 0, 8, 30),
+		}
+		for _, j := range jobs {
+			s.OnSubmit(m, j)
+		}
+		m.advance(100)
+		m.finish(s, 1)
+		return append([]int64(nil), m.started...)
+	}
+	deep := drive(&EASY{Reserve: 100})
+	cons := drive(NewConservative())
+	if len(deep) != len(cons) {
+		t.Fatalf("starts differ: deep=%v cons=%v", deep, cons)
+	}
+	for i := range deep {
+		if deep[i] != cons[i] {
+			t.Fatalf("start order differs: deep=%v cons=%v", deep, cons)
+		}
+	}
+}

@@ -1,10 +1,34 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"parsched/internal/core"
 )
+
+func init() {
+	Register(Family{
+		Name: "gang",
+		Doc:  "gang scheduling (Ousterhout matrix, rate-shared rows)",
+		Params: []Param{
+			{Name: "mpl", Kind: IntParam, Default: "3",
+				Doc: "multiprogramming level: maximum matrix rows"},
+		},
+		Aliases: map[string]string{
+			"gang2": "gang(mpl=2)",
+			"gang3": "gang(mpl=3)",
+			"gang5": "gang(mpl=5)",
+		},
+		New: func(a Args) (Scheduler, error) {
+			mpl := a.Int("mpl")
+			if mpl < 1 {
+				return nil, fmt.Errorf("mpl must be >= 1, got %d", mpl)
+			}
+			return NewGang(mpl), nil
+		},
+	})
+}
 
 // Gang is a gang scheduler with an Ousterhout matrix: the machine's
 // processors are time-sliced across up to Slots rows; all processes of
@@ -42,8 +66,16 @@ func NewGang(slots int) *Gang {
 	return &Gang{Slots: slots}
 }
 
-// Name implements Scheduler.
-func (g *Gang) Name() string { return "gang" }
+// Name implements Scheduler. The default multiprogramming level keeps
+// the legacy label; other levels name themselves by their canonical
+// spec, so "gang(mpl=2),gang(mpl=5)" rows stay distinguishable and
+// every label feeds back into Parse.
+func (g *Gang) Name() string {
+	if g.Slots == 3 {
+		return "gang"
+	}
+	return fmt.Sprintf("gang(mpl=%d)", g.Slots)
+}
 
 // Queued implements QueueReporter.
 func (g *Gang) Queued() []*core.Job { return append([]*core.Job(nil), g.queue...) }

@@ -1,31 +1,75 @@
 package sched
 
-import "parsched/internal/core"
+import (
+	"strconv"
 
-// MoldableEASY is EASY backfilling with moldable-job adaptation: when a
-// moldable job reaches the head of the queue and cannot start at its
-// requested size, the scheduler considers smaller power-of-two sizes
-// (down to MinSize) and starts the job immediately at the largest size
-// that fits, provided the resulting runtime still beats waiting for the
-// requested size. This is the machine-side half of the "machine
-// schedulers and application schedulers may cooperate" convergence the
-// paper anticipates (Section 1.2), with the speedup model standing in
-// for the application scheduler's knowledge.
-type MoldableEASY struct {
-	inner *EASY
+	"parsched/internal/core"
+)
+
+// Moldable adapts moldable jobs for any machine scheduler: when a
+// moldable job arrives and cannot start at its requested size, the
+// adapter considers smaller power-of-two sizes (down to MinSize) and
+// fixes the job at the largest size that starts immediately, provided
+// the resulting runtime inflation stays within MaxStretch. This is the
+// machine-side half of the "machine schedulers and application
+// schedulers may cooperate" convergence the paper anticipates (Section
+// 1.2), with the speedup model standing in for the application
+// scheduler's knowledge. Built from specs like "easy(mold)" or
+// "fcfs(mold, moldmax=2)"; the decorator composes with every family.
+type Moldable struct {
+	// Inner is the decorated scheduler.
+	Inner Scheduler
+	// MaxStretch bounds the molded runtime relative to the
+	// requested-size runtime; <= 0 means the classic tolerance of 4.
+	MaxStretch float64
 }
 
-// NewMoldableEASY returns the adapter.
-func NewMoldableEASY() *MoldableEASY { return &MoldableEASY{inner: NewEASY()} }
+// NewMoldable wraps inner with the moldable-job adapter.
+func NewMoldable(inner Scheduler, maxStretch float64) *Moldable {
+	return &Moldable{Inner: inner, MaxStretch: maxStretch}
+}
 
-// Name implements Scheduler.
-func (m *MoldableEASY) Name() string { return "easy+mold" }
+// NewMoldableEASY returns moldable-adapted EASY backfilling (the
+// legacy "easy+mold" scheduler).
+func NewMoldableEASY() *Moldable { return NewMoldable(NewEASY(), 0) }
 
-// Queued implements QueueReporter.
-func (m *MoldableEASY) Queued() []*core.Job { return m.inner.Queued() }
+// Name implements Scheduler. The legacy configuration — EASY at the
+// classic tolerance — keeps its legacy name "easy+mold"; every other
+// configuration names itself by its canonical spec ("sjf(mold)",
+// "easy(mold, reserve=2)"), derived by re-parsing the inner
+// scheduler's name so the label always feeds back into Parse.
+func (m *Moldable) Name() string {
+	inner := m.Inner.Name()
+	classicStretch := m.MaxStretch <= 0 || m.MaxStretch == 4
+	if inner == "easy" && classicStretch {
+		return "easy+mold"
+	}
+	sp, err := Parse(inner)
+	if err != nil {
+		// An inner name outside the grammar (a custom scheduler):
+		// fall back to the legacy suffix.
+		return inner + "+mold"
+	}
+	if sp.Params == nil {
+		sp.Params = map[string]string{}
+	}
+	sp.Params["mold"] = "true"
+	if !classicStretch {
+		sp.Params["moldmax"] = strconv.FormatFloat(m.MaxStretch, 'g', -1, 64)
+	}
+	return sp.String()
+}
+
+// Queued implements QueueReporter when the inner scheduler does.
+func (m *Moldable) Queued() []*core.Job {
+	if qr, ok := m.Inner.(QueueReporter); ok {
+		return qr.Queued()
+	}
+	return nil
+}
 
 // OnSubmit implements Scheduler.
-func (m *MoldableEASY) OnSubmit(ctx Context, j *core.Job) {
+func (m *Moldable) OnSubmit(ctx Context, j *core.Job) {
 	if j.Class == core.Moldable && j.Speedup != nil {
 		if size, ok := m.adaptSize(ctx, j); ok && size != j.Size {
 			// Molding happens once, at start: fix the size and scale
@@ -40,23 +84,27 @@ func (m *MoldableEASY) OnSubmit(ctx Context, j *core.Job) {
 			j.Size = size
 		}
 	}
-	m.inner.OnSubmit(ctx, j)
+	m.Inner.OnSubmit(ctx, j)
 }
 
 // OnFinish implements Scheduler.
-func (m *MoldableEASY) OnFinish(ctx Context, j *core.Job) { m.inner.OnFinish(ctx, j) }
+func (m *Moldable) OnFinish(ctx Context, j *core.Job) { m.Inner.OnFinish(ctx, j) }
 
 // OnChange implements Scheduler.
-func (m *MoldableEASY) OnChange(ctx Context) { m.inner.OnChange(ctx) }
+func (m *Moldable) OnChange(ctx Context) { m.Inner.OnChange(ctx) }
 
 // adaptSize picks the size to start j at: if the requested size is free
 // right now, keep it. Otherwise try successively smaller powers of two
 // (>= MinSize): pick the largest that can start immediately and whose
 // runtime inflation is tolerable (runtime at the smaller size no more
-// than 4x the requested-size runtime).
-func (m *MoldableEASY) adaptSize(ctx Context, j *core.Job) (int, bool) {
+// than MaxStretch times the requested-size runtime).
+func (m *Moldable) adaptSize(ctx Context, j *core.Job) (int, bool) {
 	if ctx.CanStart(j, j.Size) {
 		return j.Size, true
+	}
+	stretch := m.MaxStretch
+	if stretch <= 0 {
+		stretch = 4
 	}
 	minSize := j.MinSize
 	if minSize < 1 {
@@ -67,7 +115,7 @@ func (m *MoldableEASY) adaptSize(ctx Context, j *core.Job) (int, bool) {
 		if !ctx.CanStart(j, size) {
 			continue
 		}
-		if j.RuntimeOn(size) <= 4*baseRT {
+		if float64(j.RuntimeOn(size)) <= stretch*float64(baseRT) {
 			return size, true
 		}
 		break // even smaller sizes only get slower

@@ -28,6 +28,40 @@ type QueueScheduler struct {
 	queue []*core.Job
 }
 
+// The queue-scheduler families self-register: one family per ordering
+// policy, each accepting the drain flag (plus the shared decorator
+// parameters Register appends).
+func init() {
+	queueFamilies := []struct {
+		name string
+		doc  string
+		make func() *QueueScheduler
+	}{
+		{"fcfs", "first-come first-served", NewFCFS},
+		{"firstfit", "FCFS order with bypass: any queued job that fits may start", NewFirstFit},
+		{"sjf", "shortest job first by runtime estimate", NewSJF},
+		{"ljf", "longest job first by runtime estimate", NewLJF},
+		{"smallest", "smallest job first by processor count", NewSmallestFirst},
+		{"lxf", "largest expansion factor first (dynamic slowdown priority)", NewLXF},
+	}
+	for _, qf := range queueFamilies {
+		ctor := qf.make
+		Register(Family{
+			Name: qf.name,
+			Doc:  qf.doc,
+			Params: []Param{
+				{Name: "drain", Kind: BoolParam,
+					Doc: "refuse starts that would cross an announced full-machine outage"},
+			},
+			New: func(a Args) (Scheduler, error) {
+				s := ctor()
+				s.DrainAware = a.Bool("drain")
+				return s, nil
+			},
+		})
+	}
+}
+
 // NewFCFS returns first-come-first-served.
 func NewFCFS() *QueueScheduler {
 	return &QueueScheduler{name: "fcfs", order: nil}
@@ -98,8 +132,15 @@ func expansion(now int64, j *core.Job, est int64) float64 {
 	return float64(wait+est) / float64(est)
 }
 
-// Name implements Scheduler.
-func (q *QueueScheduler) Name() string { return q.name }
+// Name implements Scheduler. The drain-aware variant names itself by
+// its canonical spec so result tables distinguish it from the base
+// policy.
+func (q *QueueScheduler) Name() string {
+	if q.DrainAware {
+		return q.name + "(drain)"
+	}
+	return q.name
+}
 
 // Queued implements QueueReporter.
 func (q *QueueScheduler) Queued() []*core.Job {

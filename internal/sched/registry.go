@@ -3,57 +3,337 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
-// New constructs a scheduler by name. Recognized names:
-//
-//	fcfs, firstfit, sjf, ljf, smallest, lxf,
-//	easy, easy+win, easy+mold, cons, cons+win, gang
-//
-// gang accepts an optional multiprogramming level suffix, e.g. "gang3".
-func New(name string) (Scheduler, error) {
-	switch name {
-	case "fcfs":
-		return NewFCFS(), nil
-	case "firstfit":
-		return NewFirstFit(), nil
-	case "sjf":
-		return NewSJF(), nil
-	case "ljf":
-		return NewLJF(), nil
-	case "smallest":
-		return NewSmallestFirst(), nil
-	case "lxf":
-		return NewLXF(), nil
-	case "easy":
-		return NewEASY(), nil
-	case "easy+win":
-		return NewEASYWindows(), nil
-	case "easy+mold":
-		return NewMoldableEASY(), nil
-	case "cons":
-		return NewConservative(), nil
-	case "cons+win":
-		return NewConservativeWindows(), nil
-	case "gang":
-		return NewGang(3), nil
-	case "gang2":
-		return NewGang(2), nil
-	case "gang3":
-		return NewGang(3), nil
-	case "gang5":
-		return NewGang(5), nil
+// The scheduler registry. Each constructor file self-registers its
+// families (with typed parameter declarations and legacy-name aliases)
+// from init, and every listing — Names, Families, Usage, error
+// messages — is derived from the registered set, so the catalogue can
+// never drift from what Build actually constructs.
+
+// ParamKind types a family parameter.
+type ParamKind int
+
+const (
+	// BoolParam accepts true/false (a bare flag in a spec means true).
+	BoolParam ParamKind = iota
+	// IntParam accepts a decimal integer.
+	IntParam
+	// FloatParam accepts a decimal floating-point number.
+	FloatParam
+)
+
+func (k ParamKind) String() string {
+	switch k {
+	case BoolParam:
+		return "bool"
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	}
+	return "unknown"
+}
+
+// Param declares one typed family parameter.
+type Param struct {
+	Name string
+	Kind ParamKind
+	// Default is the rendered default value; empty means the kind's
+	// zero ("false", "0").
+	Default string
+	Doc     string
+}
+
+func (p Param) defaultValue() string {
+	if p.Default != "" {
+		return p.Default
+	}
+	switch p.Kind {
+	case BoolParam:
+		return "false"
 	default:
-		return nil, fmt.Errorf("unknown scheduler %q (have %v)", name, Names())
+		return "0"
 	}
 }
 
-// Names lists the canonical scheduler names.
+// check validates a raw value against the parameter's kind.
+func (p Param) check(val string) error {
+	var err error
+	switch p.Kind {
+	case BoolParam:
+		_, err = strconv.ParseBool(val)
+	case IntParam:
+		_, err = strconv.Atoi(val)
+	case FloatParam:
+		_, err = strconv.ParseFloat(val, 64)
+	}
+	if err != nil {
+		return fmt.Errorf("sched: parameter %q: %s value required, got %q", p.Name, p.Kind, val)
+	}
+	return nil
+}
+
+// canon validates a raw value and returns its canonical typed
+// rendering plus whether it equals the parameter's default — Parse
+// uses it so every spelling of a value ("window=1", "window=T") lands
+// on one canonical Spec and default-valued parameters vanish.
+func (p Param) canon(val string) (canonical string, isDefault bool, err error) {
+	if err := p.check(val); err != nil {
+		return "", false, err
+	}
+	def := p.defaultValue()
+	switch p.Kind {
+	case BoolParam:
+		v, _ := strconv.ParseBool(val)
+		d, _ := strconv.ParseBool(def)
+		return strconv.FormatBool(v), v == d, nil
+	case IntParam:
+		v, _ := strconv.Atoi(val)
+		d, _ := strconv.Atoi(def)
+		return strconv.Itoa(v), v == d, nil
+	default:
+		v, _ := strconv.ParseFloat(val, 64)
+		d, _ := strconv.ParseFloat(def, 64)
+		return strconv.FormatFloat(v, 'g', -1, 64), v == d, nil
+	}
+}
+
+// Family is one registered scheduler family: a factory plus the typed
+// parameters it accepts and the legacy names that alias into it.
+type Family struct {
+	Name string
+	Doc  string
+	// Params declares the family's own parameters; Register appends
+	// the shared decorator parameters (mold, moldmax) automatically.
+	Params []Param
+	// Aliases maps legacy scheduler names to the canonical spec each
+	// expands to, e.g. "easy+win" → "easy(window)". Alias names appear
+	// in Names next to the family name.
+	Aliases map[string]string
+	// New constructs the base scheduler from validated arguments.
+	// Decorators declared by shared parameters are applied on top by
+	// Build.
+	New func(args Args) (Scheduler, error)
+}
+
+func (f *Family) param(name string) *Param {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return &f.Params[i]
+		}
+	}
+	return nil
+}
+
+// checkParam validates one raw key=value against the declarations.
+func (f *Family) checkParam(key, val string) error {
+	p := f.param(key)
+	if p == nil {
+		have := make([]string, len(f.Params))
+		for i, d := range f.Params {
+			have[i] = d.Name
+		}
+		return fmt.Errorf("sched: %s has no parameter %q (have %v)", f.Name, key, have)
+	}
+	return p.check(val)
+}
+
+// Args is the validated parameter view a family factory reads. Lookups
+// of undeclared parameters panic: that is a registration bug, not an
+// input error.
+type Args struct {
+	family *Family
+	vals   map[string]string
+}
+
+func (a Args) raw(name string) string {
+	p := a.family.param(name)
+	if p == nil {
+		panic(fmt.Sprintf("sched: family %s reads undeclared parameter %q", a.family.Name, name))
+	}
+	if v, ok := a.vals[name]; ok {
+		return v
+	}
+	return p.defaultValue()
+}
+
+// Set reports whether the spec gave the parameter explicitly.
+func (a Args) Set(name string) bool { _, ok := a.vals[name]; return ok }
+
+// Bool returns a boolean parameter (its default when unset).
+func (a Args) Bool(name string) bool {
+	v, _ := strconv.ParseBool(a.raw(name))
+	return v
+}
+
+// Int returns an integer parameter (its default when unset).
+func (a Args) Int(name string) int {
+	v, _ := strconv.Atoi(a.raw(name))
+	return v
+}
+
+// Float returns a floating-point parameter (its default when unset).
+func (a Args) Float(name string) float64 {
+	v, _ := strconv.ParseFloat(a.raw(name), 64)
+	return v
+}
+
+var (
+	families   = map[string]*Family{}
+	aliasTable = map[string]string{}
+)
+
+// decoratorParams are shared by every family: they select and tune
+// the decorators Build layers over the base scheduler.
+var decoratorParams = []Param{
+	{Name: "mold", Kind: BoolParam,
+		Doc: "wrap with the moldable-job adapter (jobs shrink to start sooner)"},
+	{Name: "moldmax", Kind: FloatParam, Default: "4",
+		Doc: "moldable runtime-inflation tolerance (requires mold)"},
+}
+
+// Register adds a scheduler family to the registry. It panics on
+// duplicate or malformed registrations — those are programming errors
+// caught at init time, not runtime conditions.
+func Register(f Family) {
+	if !validToken(f.Name) {
+		panic(fmt.Sprintf("sched: invalid family name %q", f.Name))
+	}
+	if f.New == nil {
+		panic(fmt.Sprintf("sched: family %s has no factory", f.Name))
+	}
+	if _, dup := families[f.Name]; dup {
+		panic(fmt.Sprintf("sched: family %s registered twice", f.Name))
+	}
+	if _, dup := aliasTable[f.Name]; dup {
+		panic(fmt.Sprintf("sched: family %s collides with an alias", f.Name))
+	}
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		if seen[p.Name] {
+			panic(fmt.Sprintf("sched: family %s declares parameter %q twice", f.Name, p.Name))
+		}
+		seen[p.Name] = true
+	}
+	for _, p := range decoratorParams {
+		if !seen[p.Name] {
+			f.Params = append(f.Params, p)
+		}
+	}
+	families[f.Name] = &f
+	for alias, target := range f.Aliases {
+		if _, dup := aliasTable[alias]; dup {
+			panic(fmt.Sprintf("sched: alias %s registered twice", alias))
+		}
+		if _, dup := families[alias]; dup {
+			panic(fmt.Sprintf("sched: alias %s collides with a family", alias))
+		}
+		aliasTable[alias] = target
+	}
+}
+
+// Build constructs the scheduler a spec names: the family factory
+// runs on the validated parameters, then shared decorators (the
+// moldable adapter) are layered on top.
+func Build(sp Spec) (Scheduler, error) {
+	f, ok := families[sp.Family]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", sp.Family, Names())
+	}
+	vals := map[string]string{}
+	for k, v := range sp.Params {
+		if err := f.checkParam(k, v); err != nil {
+			return nil, err
+		}
+		vals[k] = v
+	}
+	args := Args{family: f, vals: vals}
+	if args.Set("moldmax") && !args.Bool("mold") {
+		return nil, fmt.Errorf("sched: %s: moldmax is only meaningful with mold", sp.Family)
+	}
+	s, err := f.New(args)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", sp.Family, err)
+	}
+	if args.Bool("mold") {
+		s = NewMoldable(s, args.Float("moldmax"))
+	}
+	return s, nil
+}
+
+// New constructs a scheduler from a spec string or legacy name: it is
+// Parse followed by Build. Canonical legacy names ("easy", "easy+win",
+// "gang3", ...) construct exactly the schedulers they always did.
+func New(name string) (Scheduler, error) {
+	sp, err := Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return Build(sp)
+}
+
+// Names lists every canonical scheduler name — family names plus
+// registered legacy aliases — sorted. The listing is derived from the
+// registry, so every listed name builds and every buildable family is
+// listed.
 func Names() []string {
-	names := []string{
-		"fcfs", "firstfit", "sjf", "ljf", "smallest", "lxf",
-		"easy", "easy+win", "easy+mold", "cons", "cons+win", "gang",
+	names := make([]string, 0, len(families)+len(aliasTable))
+	for n := range families {
+		names = append(names, n)
+	}
+	for n := range aliasTable {
+		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Families returns the registered families sorted by name. The slices
+// inside are shared; callers must not mutate them.
+func Families() []Family {
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Usage renders a help text describing the spec grammar, every
+// registered family with its parameters, and the legacy aliases —
+// derived from the registry so CLI help can never go stale.
+func Usage() string {
+	var b strings.Builder
+	shared := map[string]bool{}
+	for _, p := range decoratorParams {
+		shared[p.Name] = true
+	}
+	b.WriteString("scheduler specs: family(param, key=value, ...); a bare param is a boolean flag\n")
+	b.WriteString("families:\n")
+	for _, f := range Families() {
+		fmt.Fprintf(&b, "  %-10s %s\n", f.Name, f.Doc)
+		for _, p := range f.Params {
+			if shared[p.Name] {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-12s %-6s default %-6s %s\n", p.Name, p.Kind, p.defaultValue(), p.Doc)
+		}
+	}
+	b.WriteString("shared parameters (every family):\n")
+	for _, p := range decoratorParams {
+		fmt.Fprintf(&b, "    %-12s %-6s default %-6s %s\n", p.Name, p.Kind, p.defaultValue(), p.Doc)
+	}
+	aliases := make([]string, 0, len(aliasTable))
+	for a := range aliasTable {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	b.WriteString("legacy names:\n")
+	for _, a := range aliases {
+		fmt.Fprintf(&b, "  %-10s = %s\n", a, aliasTable[a])
+	}
+	return b.String()
 }

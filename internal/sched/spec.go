@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the scheduler spec grammar — the standard,
+// parameterized way to name a system under test that the paper's
+// methodology calls for. A spec is
+//
+//	spec   = family | family "(" args ")" | legacy-name
+//	args   = arg { "," arg }
+//	arg    = param | param "=" value
+//
+// e.g. "easy", "gang(mpl=5)", "easy(reserve=2, window)". A bare param
+// is a boolean flag (equivalent to param=true). Legacy names such as
+// "easy+win" or "gang3" are aliases registered by their family and
+// resolve to canonical specs during Parse. Families, their parameters,
+// and their aliases live in the registry (registry.go); Parse and
+// Build both validate against it, so a Spec that parses is a Spec
+// that names a constructible scheduler.
+
+// Spec is a parsed scheduler specification: a registered family name
+// plus raw parameter values (validated against the family's typed
+// parameter declarations). The zero Spec is invalid.
+type Spec struct {
+	Family string
+	// Params maps parameter name to its raw value; boolean flags given
+	// bare parse as "true". Nil when the spec has no parameters.
+	Params map[string]string
+}
+
+// Parse parses a scheduler spec (or a legacy scheduler name) into its
+// canonical Spec: aliases are expanded, values are rendered in their
+// canonical typed form, and parameters equal to their declared default
+// are dropped — so every spelling of the same scheduler parses to the
+// same Spec ("easy(reserve=1)" ≡ "easy", "gang3" ≡ "gang(mpl=3)" ≡
+// "gang"). The result round-trips: Parse(sp.String()) yields an equal
+// Spec.
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("sched: empty scheduler spec")
+	}
+	name, argstr, hasArgs := s, "", false
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Spec{}, fmt.Errorf("sched: spec %q: missing closing parenthesis", s)
+		}
+		name, argstr, hasArgs = strings.TrimSpace(s[:i]), s[i+1:len(s)-1], true
+	}
+	var sp Spec
+	if target, ok := aliasTable[name]; ok {
+		// Aliases expand to canonical specs ("easy+win" →
+		// "easy(window)"), registered next to their family; extra
+		// parameters compose on top ("easy+win(mold)").
+		base, err := Parse(target)
+		if err != nil {
+			return Spec{}, fmt.Errorf("sched: legacy name %q: %w", name, err)
+		}
+		sp = base
+	} else {
+		fam, ok := families[name]
+		if !ok {
+			return Spec{}, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+		}
+		sp = Spec{Family: fam.Name}
+	}
+	if !hasArgs || strings.TrimSpace(argstr) == "" {
+		return sp, nil
+	}
+	fam := families[sp.Family]
+	seen := map[string]bool{}
+	for _, arg := range strings.Split(argstr, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			return Spec{}, fmt.Errorf("sched: spec %q: empty parameter", s)
+		}
+		key, val := arg, "true"
+		if j := strings.IndexByte(arg, '='); j >= 0 {
+			key, val = strings.TrimSpace(arg[:j]), strings.TrimSpace(arg[j+1:])
+		}
+		if !validToken(key) || !validToken(val) {
+			return Spec{}, fmt.Errorf("sched: spec %q: malformed parameter %q", s, arg)
+		}
+		if _, set := sp.Params[key]; set || seen[key] {
+			return Spec{}, fmt.Errorf("sched: spec %q: duplicate parameter %q", s, key)
+		}
+		seen[key] = true
+		p := fam.param(key)
+		if p == nil {
+			return Spec{}, fam.checkParam(key, val) // unknown-parameter error
+		}
+		canon, isDefault, err := p.canon(val)
+		if err != nil {
+			return Spec{}, err
+		}
+		if isDefault {
+			continue
+		}
+		if sp.Params == nil {
+			sp.Params = map[string]string{}
+		}
+		sp.Params[key] = canon
+	}
+	return sp, nil
+}
+
+// MustParse is Parse for specs known good at compile time; it panics
+// on error (tests, examples, default tables).
+func MustParse(s string) Spec {
+	sp, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// String renders the canonical spelling of the spec: the bare family
+// name, or family(p1, k=v, ...) with parameters in sorted order and
+// boolean "true" values rendered as bare flags. Parse(sp.String())
+// round-trips for any spec Parse produced.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Family
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		if v := s.Params[k]; v == "true" {
+			parts[i] = k
+		} else {
+			parts[i] = k + "=" + v
+		}
+	}
+	return s.Family + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// MarshalText makes a Spec serialize as its canonical string — JSON
+// run configurations carry "easy(window)" rather than a nested object.
+func (s Spec) MarshalText() ([]byte, error) {
+	if s.Family == "" {
+		return nil, fmt.Errorf("sched: cannot marshal zero Spec")
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses the canonical (or legacy) spelling.
+func (s *Spec) UnmarshalText(text []byte) error {
+	sp, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*s = sp
+	return nil
+}
+
+// SplitList splits a comma-separated list of specs, respecting
+// parentheses: "easy(reserve=2, window),gang(mpl=5)" is two specs.
+// Empty elements are dropped.
+func SplitList(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if part := strings.TrimSpace(s[start:end]); part != "" {
+			out = append(out, part)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// validToken reports whether s is a well-formed parameter key or
+// value: nonempty, made of letters, digits, and . + - _ only.
+func validToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '+' || r == '-' || r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseCanonicalForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"easy", Spec{Family: "easy"}},
+		{"  easy  ", Spec{Family: "easy"}},
+		{"easy()", Spec{Family: "easy"}},
+		{"easy(window)", Spec{Family: "easy", Params: map[string]string{"window": "true"}}},
+		{"easy(window=true)", Spec{Family: "easy", Params: map[string]string{"window": "true"}}},
+		{"easy(reserve=2, window)", Spec{Family: "easy",
+			Params: map[string]string{"reserve": "2", "window": "true"}}},
+		{"gang(mpl=5)", Spec{Family: "gang", Params: map[string]string{"mpl": "5"}}},
+		{"fcfs(drain)", Spec{Family: "fcfs", Params: map[string]string{"drain": "true"}}},
+		{"sjf(mold, moldmax=2.5)", Spec{Family: "sjf",
+			Params: map[string]string{"mold": "true", "moldmax": "2.5"}}},
+		// Legacy names resolve to canonical specs.
+		{"easy+win", Spec{Family: "easy", Params: map[string]string{"window": "true"}}},
+		{"easy+mold", Spec{Family: "easy", Params: map[string]string{"mold": "true"}}},
+		{"cons+win", Spec{Family: "cons", Params: map[string]string{"window": "true"}}},
+		{"gang2", Spec{Family: "gang", Params: map[string]string{"mpl": "2"}}},
+		{"gang5", Spec{Family: "gang", Params: map[string]string{"mpl": "5"}}},
+		// Legacy names compose with extra parameters.
+		{"easy+win(mold)", Spec{Family: "easy",
+			Params: map[string]string{"window": "true", "mold": "true"}}},
+		{"gang5(mold)", Spec{Family: "gang",
+			Params: map[string]string{"mpl": "5", "mold": "true"}}},
+		// Normalization: default-valued parameters vanish and values
+		// render canonically, so every spelling of the same scheduler
+		// is one Spec.
+		{"gang3", Spec{Family: "gang"}},
+		{"gang(mpl=3)", Spec{Family: "gang"}},
+		{"easy(reserve=1)", Spec{Family: "easy"}},
+		{"fcfs(drain=0)", Spec{Family: "fcfs"}},
+		{"easy(window=1)", Spec{Family: "easy", Params: map[string]string{"window": "true"}}},
+		{"sjf(moldmax=4.0)", Spec{Family: "sjf"}},
+		{"gang(mpl=05)", Spec{Family: "gang", Params: map[string]string{"mpl": "5"}}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		substrs []string
+	}{
+		{"", []string{"empty scheduler spec"}},
+		{"bogus", []string{"unknown scheduler", "easy"}}, // lists the catalogue
+		{"easy(frobnicate)", []string{`no parameter "frobnicate"`, "reserve"}},
+		{"gang(mpl=abc)", []string{`"mpl"`, "int value required", `"abc"`}},
+		{"easy(window=7q)", []string{`"window"`, "bool value required"}},
+		{"gang(mpl=0.5)", []string{"int value required"}},
+		{"sjf(moldmax=big)", []string{"float value required"}},
+		{"easy(window", []string{"missing closing parenthesis"}},
+		{"easy(window, window)", []string{"duplicate parameter"}},
+		{"easy(reserve=1, reserve=1)", []string{"duplicate parameter"}},
+		{"easy+win(window)", []string{"duplicate parameter"}},
+		{"gang5(mpl=2)", []string{"duplicate parameter"}},
+		{"easy(,)", []string{"empty parameter"}},
+		{"easy(a b=c)", []string{"malformed parameter"}},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.in)
+			continue
+		}
+		for _, sub := range c.substrs {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("Parse(%q) error %q missing %q", c.in, err, sub)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Spec{Family: "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheduler") {
+		t.Errorf("Build(unknown family) = %v", err)
+	}
+	// Build re-validates hand-constructed specs.
+	if _, err := Build(Spec{Family: "gang", Params: map[string]string{"mpl": "x"}}); err == nil {
+		t.Error("Build with ill-typed param accepted")
+	}
+	if _, err := Build(Spec{Family: "easy", Params: map[string]string{"nope": "1"}}); err == nil {
+		t.Error("Build with unknown param accepted")
+	}
+	if _, err := New("gang(mpl=0)"); err == nil || !strings.Contains(err.Error(), "mpl must be >= 1") {
+		t.Errorf("gang(mpl=0) = %v", err)
+	}
+	if _, err := New("easy(reserve=0)"); err == nil || !strings.Contains(err.Error(), "reserve must be >= 1") {
+		t.Errorf("easy(reserve=0) = %v", err)
+	}
+	if _, err := New("easy(moldmax=2)"); err == nil || !strings.Contains(err.Error(), "moldmax") {
+		t.Errorf("moldmax without mold = %v", err)
+	}
+}
+
+// TestRoundTripProperty: randomized well-formed spec strings — in any
+// legal spelling, including default values and alternate bool/float
+// renderings — parse to a Spec whose String() re-parses to the same
+// Spec, with no parameter left at its declared default.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fams := Families()
+	value := func(k ParamKind) string {
+		switch k {
+		case BoolParam:
+			return []string{"true", "false", "1", "0", "T", "F"}[rng.Intn(6)]
+		case IntParam:
+			return strconv.Itoa(rng.Intn(9))
+		default:
+			return []string{"0.5", "2", "2.5", "4", "4.0"}[rng.Intn(5)]
+		}
+	}
+	for i := 0; i < 500; i++ {
+		f := fams[rng.Intn(len(fams))]
+		var args []string
+		for _, p := range f.Params {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			args = append(args, p.Name+"="+value(p.Kind))
+		}
+		in := f.Name
+		if len(args) > 0 {
+			in += "(" + strings.Join(args, ", ") + ")"
+		}
+		sp, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		// Normalization invariant: no stored parameter equals its
+		// declared default.
+		for name, raw := range sp.Params {
+			canon, isDefault, err := f.param(name).canon(raw)
+			if err != nil || isDefault || canon != raw {
+				t.Fatalf("Parse(%q) stored non-canonical %s=%q (canon %q, default %v, err %v)",
+					in, name, raw, canon, isDefault, err)
+			}
+		}
+		back, err := Parse(sp.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", in, sp.String(), err)
+		}
+		if !reflect.DeepEqual(back, sp) {
+			t.Fatalf("round trip %q via %q: got %+v, want %+v", in, sp.String(), back, sp)
+		}
+		if back.String() != sp.String() {
+			t.Fatalf("String not stable: %q vs %q", back.String(), sp.String())
+		}
+	}
+}
+
+func TestSpecJSON(t *testing.T) {
+	sp := MustParse("easy(reserve=2, window)")
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"easy(reserve=2, window)"` {
+		t.Fatalf("marshal: %s", data)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, sp) {
+		t.Fatalf("json round trip: %+v != %+v", back, sp)
+	}
+	if err := json.Unmarshal([]byte(`"no-such-family"`), &back); err == nil {
+		t.Error("unmarshal of unknown family accepted")
+	}
+	if _, err := json.Marshal(Spec{}); err == nil {
+		t.Error("marshal of zero Spec accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"easy,cons", []string{"easy", "cons"}},
+		{"easy(reserve=2, window),gang(mpl=5)", []string{"easy(reserve=2, window)", "gang(mpl=5)"}},
+		{" easy , ,cons ", []string{"easy", "cons"}},
+		{"", nil},
+		{"gang3", []string{"gang3"}},
+	}
+	for _, c := range cases {
+		if got := SplitList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzParseSpec: anything that parses must render canonically and
+// re-parse to the same Spec, and must never panic Parse or Build.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+	}
+	f.Add("easy(reserve=2, window)")
+	f.Add("gang(mpl=5)")
+	f.Add("sjf(mold, moldmax=2.5)")
+	f.Add("fcfs(drain)")
+	f.Add("easy(window=false)")
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := Parse(in)
+		if err != nil {
+			return
+		}
+		s := sp.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, in, err)
+		}
+		if !reflect.DeepEqual(back, sp) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", in, s, back, sp)
+		}
+		// Build must never panic; family factories may still reject
+		// out-of-range values (e.g. mpl=0) with an error.
+		_, _ = Build(sp)
+	})
+}

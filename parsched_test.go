@@ -76,12 +76,65 @@ func TestFacadeLists(t *testing.T) {
 	if len(Models()) != 5 {
 		t.Fatalf("models: %v", Models())
 	}
-	if len(Schedulers()) != 12 {
+	// 9 families + 6 legacy aliases, derived from the registry (the
+	// pre-registry listing omitted gang2/gang3/gang5).
+	if len(Schedulers()) != 15 {
 		t.Fatalf("schedulers: %v", Schedulers())
+	}
+	// Every listed scheduler must build — the facade-level view of the
+	// anti-drift regression.
+	w, _ := Generate("naive", ModelConfig{MaxNodes: 8, Jobs: 5, Seed: 1})
+	for _, name := range Schedulers() {
+		if _, err := Simulate(w, name, SimOptions{}); err != nil {
+			t.Errorf("listed scheduler %q: %v", name, err)
+		}
 	}
 	exps := Experiments()
 	if len(exps) != 10 || exps["E1"] == "" {
 		t.Fatalf("experiments: %v", exps)
+	}
+}
+
+func TestFacadeSpecAPI(t *testing.T) {
+	sp, err := ParseSchedulerSpec("easy(reserve=2, window)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != "easy(reserve=2, window)" {
+		t.Fatalf("canonical form: %q", sp.String())
+	}
+	if !strings.Contains(SchedulerUsage(), "reserve") {
+		t.Fatal("usage text missing parameters")
+	}
+	results, err := Run(RunSpec{
+		Scheduler: sp,
+		Source:    ParseWorkloadSource("model:lublin99"),
+		Jobs:      200, Nodes: 32, Seed: 9,
+		Loads: []float64{0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Report.Finished != 200 {
+		t.Fatalf("run results: %+v", results)
+	}
+}
+
+func TestFacadeConfigEntryPoints(t *testing.T) {
+	tables, err := RunExperimentConfig("E3", QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatal("E3 produced no rows")
+	}
+	// The deprecated shim must agree with the explicit-config path.
+	legacy, err := RunExperiment("E3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].String() != legacy[0].String() {
+		t.Fatal("deprecated shim diverges from RunExperimentConfig")
 	}
 }
 
