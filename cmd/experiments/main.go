@@ -11,6 +11,11 @@
 //	experiments -sched easy,cons   # restrict the scheduler comparisons
 //	experiments -json out.json     # machine-readable batch result
 //	experiments -csv results/      # long-form metric and summary CSVs
+//	experiments -warmup 500        # steady state: drop the first 500 jobs
+//	experiments -warmup 2h         # ... or everything before 2 simulated hours
+//	experiments -bsld-tau 60       # bounded-slowdown runtime floor (default 10s)
+//	experiments -percentiles       # add P50/P99 wait columns to E1 (and the
+//	                               # typed metric stream -json/-csv export)
 //
 // -sched takes scheduler specs in the internal/sched grammar
 // (family(param, key=value); run -h for the derived catalogue) and
@@ -68,6 +73,9 @@ func main() {
 	jsonOut := flag.String("json", "", "write the full batch result as JSON to this file")
 	csvOut := flag.String("csv", "", "write metrics.csv/cells.csv (and summary.csv) into this directory")
 	showTables := flag.Bool("tables", false, "print per-replication tables even when -reps > 1")
+	warmup := flag.String("warmup", "", "steady-state truncation: drop the first N finished jobs (e.g. 500) or everything before a duration (e.g. 3600s, 2h)")
+	bsldTau := flag.Int64("bsld-tau", 0, "bounded-slowdown runtime floor in seconds (0 = default 10)")
+	percentiles := flag.Bool("percentiles", false, "add P50/P99 wait columns to the scheduler-comparison tables")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags]")
 		flag.PrintDefaults()
@@ -115,6 +123,18 @@ func main() {
 		}
 		cfg.Scheds = specs
 	}
+	if *warmup != "" {
+		jobs, secs, err := experiments.ParseWarmup(*warmup)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Metrics.WarmupJobs, cfg.Metrics.WarmupTime = jobs, secs
+	}
+	if *bsldTau < 0 {
+		fatal(fmt.Errorf("-bsld-tau: %d is not a positive duration", *bsldTau))
+	}
+	cfg.Metrics.Tau = *bsldTau
+	cfg.Percentiles = *percentiles
 
 	runners := experiments.All()
 	if *runID != "" {

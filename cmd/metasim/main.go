@@ -96,13 +96,14 @@ func main() {
 	r := metrics.Compute(policy.Name(), "grid", outs, g.TotalNodes())
 	fmt.Printf("grid: %d sites x %d nodes, policy %s\n", *sites, *nodes, policy.Name())
 	fmt.Printf("meta jobs: %d dispatched, %d infeasible\n", len(outs), lost)
-	fmt.Printf("  mean wait %.0fs  p90 wait %.0fs  mean bounded slowdown %.2f\n",
-		r.Wait.Mean, r.Wait.P90, r.BSLD.Mean)
 
-	for name, outs := range g.LocalOutcomes() {
-		lr := metrics.Compute("local", name, outs, *nodes)
-		fmt.Printf("local %s: %d jobs, mean wait %.0fs, util %.3f\n",
-			name, lr.Finished, lr.Wait.Mean, lr.Utilization)
+	// The meta report and the per-site local reports share the metrics
+	// table renderer, so every column the Report grows (percentiles)
+	// shows up here without bespoke formatting.
+	fmt.Println(metrics.TableHeader())
+	fmt.Println(r.TableRow())
+	for _, row := range metrics.SortedTableRows("local", g.LocalOutcomes(), *nodes) {
+		fmt.Println(row)
 	}
 
 	if *coalloc > 0 {

@@ -66,15 +66,15 @@ func main() {
 
 	outs, lost := grid.MetaOutcomes()
 	r := metrics.Compute("predicted-wait", "grid", outs, grid.TotalNodes())
-	fmt.Println("meta-scheduler (predicted-wait policy):")
-	fmt.Printf("  %d meta jobs dispatched (%d infeasible), mean wait %.0fs, p90 %.0fs\n",
-		len(outs), lost, r.Wait.Mean, r.Wait.P90)
+	fmt.Printf("meta-scheduler: %d meta jobs dispatched (%d infeasible)\n", len(outs), lost)
 
-	fmt.Println("machine schedulers:")
-	for name, locals := range grid.LocalOutcomes() {
-		lr := metrics.Compute("easy+win", name, locals, 64)
-		fmt.Printf("  %s: %4d local jobs, mean wait %6.0fs, utilization %.3f\n",
-			name, lr.Finished, lr.Wait.Mean, lr.Utilization)
+	// One shared metrics table for the meta view and every machine
+	// scheduler — the renderer lives on Report, so new columns (the
+	// wait percentiles) appear here automatically.
+	fmt.Println(metrics.TableHeader())
+	fmt.Println(r.TableRow())
+	for _, row := range metrics.SortedTableRows("easy+win", grid.LocalOutcomes(), 64) {
+		fmt.Println(row)
 	}
 
 	for _, ca := range grid.CoAllocations() {

@@ -29,6 +29,10 @@ const (
 	PriorityArrival = 2
 	// PrioritySchedule orders deferred scheduler passes last.
 	PrioritySchedule = 3
+	// PrioritySample orders instrumentation snapshots after everything
+	// else at the same instant, so a sample observes the post-event
+	// state of the simulation.
+	PrioritySample = 4
 )
 
 // Handle identifies a scheduled event and allows cancellation. A
@@ -121,6 +125,13 @@ func (e *Engine) Cancel(h Handle) {
 // Pending returns the number of events still queued (including
 // cancelled events not yet drained).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Live reports whether any uncancelled event is still queued. It
+// drains cancelled events from the head of the queue as a side effect
+// (the same funnel Step uses), so the answer is exact: recurring
+// instrumentation events use it to decide whether to reschedule
+// without keeping an otherwise-finished simulation alive.
+func (e *Engine) Live() bool { return e.peek() != nil }
 
 // Step fires the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {

@@ -39,27 +39,40 @@ func E1SchedulerComparison(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		header := []string{"sched", "meanWait(s)", "meanResp(s)", "meanBSLD", "geoBSLD", "p95Wait", "util"}
+		if cfg.Percentiles {
+			header = append(header, "p50Wait", "p99Wait")
+		}
 		t := Table{
 			ID:     "E1/" + modelName,
 			Title:  fmt.Sprintf("schedulers on %s (load %.2g, %d jobs, %d nodes)", modelName, load, cfg.Jobs, cfg.Nodes),
-			Header: []string{"sched", "meanWait(s)", "meanResp(s)", "meanBSLD", "geoBSLD", "p95Wait", "util"},
+			Header: header,
 		}
 		noteLoadShortfall(&t, cfg, w, load)
 		for _, sn := range scheds {
-			r, err := runOn(w, sn, sim.Options{})
+			r, err := runOn(cfg, w, sn, sim.Options{})
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(sn, f0(r.Wait.Mean), f0(r.Response.Mean), f(r.BSLD.Mean),
-				f(r.GeoBSLD), f0(r.Wait.P90), f3(r.Utilization))
+			row := []string{sn, f0(r.Wait.Mean), f0(r.Response.Mean), f(r.BSLD.Mean),
+				f(r.GeoBSLD), f0(r.Wait.P90), f3(r.Utilization)}
+			if cfg.Percentiles {
+				row = append(row, f0(r.Wait.Median), f0(r.Wait.P99))
+			}
+			t.AddRow(row...)
 			// The rendered header says "p95Wait" (kept verbatim for
 			// output compatibility) but the value is the 90th
 			// percentile; the typed metric carries the truthful name.
-			t.Observe(map[string]string{"model": modelName, "sched": sn}, map[string]float64{
+			values := map[string]float64{
 				"meanWait": r.Wait.Mean, "meanResp": r.Response.Mean,
 				"meanBSLD": r.BSLD.Mean, "geoBSLD": r.GeoBSLD,
 				"p90Wait": r.Wait.P90, "util": r.Utilization,
-			})
+			}
+			if cfg.Percentiles {
+				values["p50Wait"] = r.Wait.Median
+				values["p99Wait"] = r.Wait.P99
+			}
+			t.Observe(map[string]string{"model": modelName, "sched": sn}, values)
 		}
 		t.Note("expected shape: easy/cons dominate fcfs on wait and slowdown; firstfit best raw wait but starves large jobs")
 		tables = append(tables, t)
@@ -99,7 +112,7 @@ func E2MetricConflict(cfg Config) ([]Table, error) {
 		names := filtered
 		var reports []metrics.Report
 		for _, sn := range names {
-			r, err := runOn(w, sn, sim.Options{})
+			r, err := runOn(cfg, w, sn, sim.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -183,7 +196,7 @@ func E3ObjectiveWeights(cfg Config) ([]Table, error) {
 	}
 	var reports []metrics.Report
 	for _, sn := range names {
-		r, err := runOn(w, sn, sim.Options{})
+		r, err := runOn(cfg, w, sn, sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -276,11 +289,11 @@ func E4Feedback(cfg Config) ([]Table, error) {
 		}
 		noteLoadShortfall(&t, cfg, w, load)
 		rep := core.InferFeedback(w, 3600)
-		open, err := runOn(w, "easy", sim.Options{})
+		open, err := runOn(cfg, w, "easy", sim.Options{})
 		if err != nil {
 			return nil, err
 		}
-		closed, err := runOn(w, "easy", sim.Options{Feedback: true})
+		closed, err := runOn(cfg, w, "easy", sim.Options{Feedback: true})
 		if err != nil {
 			return nil, err
 		}

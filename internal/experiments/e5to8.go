@@ -5,7 +5,6 @@ import (
 
 	"parsched/internal/core"
 	"parsched/internal/meta"
-	"parsched/internal/metrics"
 	"parsched/internal/outage"
 	"parsched/internal/predict"
 	"parsched/internal/sched"
@@ -59,7 +58,7 @@ func E5Outages(cfg Config) ([]Table, error) {
 		}
 		olog := outage.Generate(gcfg, cfg.Seed+7)
 		for _, sn := range scheds {
-			r, err := runOn(w, sn, sim.Options{Outages: olog})
+			r, err := runOn(cfg, w, sn, sim.Options{Outages: olog})
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +117,7 @@ func E6Reservations(cfg Config) ([]Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("simulating %q: %w", sn, err)
 			}
-			r := res.Report(w.MaxNodes)
+			r := cfg.report(res.Scheduler, res.Workload, res.Outcomes, w.MaxNodes)
 			granted := 0
 			for _, ro := range res.Reservations {
 				if ro.Granted {
@@ -234,7 +233,7 @@ func E7Prediction(cfg Config) ([]Table, error) {
 		g.SubmitMeta(metaJobs, policy)
 		g.Run(0)
 		outs, lost := g.MetaOutcomes()
-		r := metrics.Compute(policy.Name(), "grid", outs, g.TotalNodes())
+		r := cfg.report(policy.Name(), "grid", outs, g.TotalNodes())
 		gain.AddRow(policy.Name(), f0(r.Wait.Mean), f0(r.Wait.P90), fmt.Sprintf("%d", lost))
 		gain.Observe(map[string]string{"policy": policy.Name()}, map[string]float64{
 			"meanWait": r.Wait.Mean, "p90Wait": r.Wait.P90, "lost": float64(lost),
@@ -329,7 +328,7 @@ func E8CoAllocation(cfg Config) ([]Table, error) {
 		var localBSLD float64
 		var localN int
 		for _, outs := range g.LocalOutcomes() {
-			r := metrics.Compute("", "", outs, cfg.Nodes/2)
+			r := cfg.report("", "", outs, cfg.Nodes/2)
 			if r.Finished > 0 {
 				localBSLD += r.BSLD.Mean * float64(r.Finished)
 				localN += r.Finished

@@ -60,6 +60,15 @@ type Config struct {
 	// experiment's list is an error — a comparison with no subjects is
 	// not a run.
 	Scheds []string
+	// Metrics configures the collector every experiment reports
+	// through: tau override (-bsld-tau), warmup/cooldown truncation
+	// (-warmup), sketch mode. The zero value keeps full-population
+	// default-tau measurement, byte-identically.
+	Metrics MetricsSpec
+	// Percentiles adds wait-percentile columns (P50/P99) to the
+	// scheduler-comparison tables (-percentiles). Off keeps classic
+	// output byte-identical.
+	Percentiles bool
 }
 
 // Default returns the EXPERIMENTS.md configuration.
@@ -427,10 +436,37 @@ func substrateLabel(cfg Config) string {
 	return arg
 }
 
+// report aggregates outcomes under the configuration's metric options
+// (tau override, warmup truncation) — the one funnel every experiment
+// uses so a -warmup or -bsld-tau flag reaches all of them. The
+// MetricsSpec→CollectorOptions mapping is shared with RunSpec
+// execution, so the battery and the RunSpec path cannot drift.
+//
+// Count-based warmup/cooldown is defined over completion order ("the
+// first/last K jobs to finish"), matching what a live collector fed by
+// the simulator sees; retained outcome slices arrive in submission
+// order, so they are re-sorted by completion before feeding whenever
+// such a policy is active. Time-based truncation is order-independent.
+func (c Config) report(scheduler, workload string, outs []metrics.Outcome, procs int) metrics.Report {
+	if c.Metrics.WarmupJobs > 0 || c.Metrics.CooldownJobs > 0 {
+		sorted := append([]metrics.Outcome(nil), outs...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			ea, eb := sorted[a].End, sorted[b].End
+			if ea != eb {
+				return ea < eb
+			}
+			return sorted[a].JobID < sorted[b].JobID
+		})
+		outs = sorted
+	}
+	return metrics.ComputeWith(outs, c.Metrics.collectorOptions(scheduler, workload, procs))
+}
+
 // runOn simulates a workload under a scheduler named by a spec string
 // (or legacy name) in the internal/sched grammar — the in-memory form
-// of a RunSpec whose workload is already resolved.
-func runOn(w *core.Workload, schedName string, opts sim.Options) (metrics.Report, error) {
+// of a RunSpec whose workload is already resolved. The report honours
+// the configuration's metric options.
+func runOn(cfg Config, w *core.Workload, schedName string, opts sim.Options) (metrics.Report, error) {
 	s, err := sched.New(schedName)
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("scheduler %q: %w", schedName, err)
@@ -439,7 +475,7 @@ func runOn(w *core.Workload, schedName string, opts sim.Options) (metrics.Report
 	if err != nil {
 		return metrics.Report{}, fmt.Errorf("simulating %q: %w", schedName, err)
 	}
-	return res.Report(w.MaxNodes), nil
+	return cfg.report(res.Scheduler, res.Workload, res.Outcomes, w.MaxNodes), nil
 }
 
 // f formats a float compactly.

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -42,6 +44,80 @@ type RunSpec struct {
 	Loads []float64 `json:"loads,omitempty"`
 	// Sim carries the serializable simulation options.
 	Sim SimSpec `json:"sim,omitempty"`
+	// Metrics configures the streaming collector each run reports
+	// through: tau override, warmup/cooldown truncation, quantile
+	// sketches, time-series sampling. The zero value reproduces the
+	// classic full-population batch report bit for bit.
+	Metrics MetricsSpec `json:"metrics,omitempty"`
+}
+
+// MetricsSpec is the serializable configuration of the streaming
+// metrics collector a run reports through.
+type MetricsSpec struct {
+	// Tau is the bounded-slowdown runtime floor in seconds (0 = the
+	// default 10 s).
+	Tau int64 `json:"tau,omitempty"`
+	// WarmupJobs drops the first K finished jobs from the statistics.
+	WarmupJobs int `json:"warmupJobs,omitempty"`
+	// CooldownJobs drops the last K finished jobs.
+	CooldownJobs int `json:"cooldownJobs,omitempty"`
+	// WarmupTime drops completions before this simulation time (s).
+	WarmupTime int64 `json:"warmupTime,omitempty"`
+	// CooldownTime drops completions after this simulation time (s).
+	CooldownTime int64 `json:"cooldownTime,omitempty"`
+	// Sketch switches to O(1)-memory quantile sketches (P²) instead of
+	// exact retained samples.
+	Sketch bool `json:"sketch,omitempty"`
+	// SampleEvery records a utilization/queue/backlog sample every
+	// this many seconds (0 = no time series).
+	SampleEvery int64 `json:"sampleEvery,omitempty"`
+}
+
+// ParseWarmup parses a -warmup CLI argument shared by cmd/experiments
+// and cmd/simsched: a bare integer is a finished-job count; a value
+// with an s/m/h suffix is a simulation-time threshold in seconds.
+func ParseWarmup(s string) (jobs int, secs int64, err error) {
+	s = strings.TrimSpace(s)
+	unit := int64(0)
+	switch {
+	case strings.HasSuffix(s, "h"):
+		unit = 3600
+	case strings.HasSuffix(s, "m"):
+		unit = 60
+	case strings.HasSuffix(s, "s"):
+		unit = 1
+	}
+	if unit > 0 {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(s[:len(s)-1]), 64)
+		// The bounds reject durations whose int64 conversion would
+		// overflow (implementation-defined) or truncate to zero — both
+		// would silently disable the truncation the user asked for.
+		if perr != nil || !(v > 0) || v*float64(unit) >= math.MaxInt64 {
+			return 0, 0, fmt.Errorf("-warmup: %q is not a positive duration", s)
+		}
+		secs = int64(v * float64(unit))
+		if secs <= 0 {
+			return 0, 0, fmt.Errorf("-warmup: %q is shorter than one second", s)
+		}
+		return 0, secs, nil
+	}
+	n, perr := strconv.Atoi(s)
+	if perr != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("-warmup: %q is neither a job count nor a duration (500, 3600s, 2h)", s)
+	}
+	return n, 0, nil
+}
+
+// collectorOptions materializes the spec for a labelled run.
+func (ms MetricsSpec) collectorOptions(scheduler, workload string, procs int) metrics.CollectorOptions {
+	return metrics.CollectorOptions{
+		Scheduler: scheduler, Workload: workload, Procs: procs,
+		Tau:        ms.Tau,
+		WarmupJobs: ms.WarmupJobs, CooldownJobs: ms.CooldownJobs,
+		WarmupTime: ms.WarmupTime, CooldownTime: ms.CooldownTime,
+		Sketch:      ms.Sketch,
+		SampleEvery: ms.SampleEvery,
+	}
 }
 
 // Source names a workload substrate: a statistical model
@@ -142,8 +218,12 @@ type RunResult struct {
 	Load float64 `json:"load"`
 	// Workload describes the substrate the run actually simulated.
 	Workload WorkloadInfo `json:"workload"`
-	// Report is the full metric battery.
+	// Report is the full metric battery, streamed through the run's
+	// collector (so it honours the RunSpec's MetricsSpec).
 	Report metrics.Report `json:"report"`
+	// Series is the sampled utilization/queue/backlog time series
+	// (nil unless Metrics.SampleEvery was set).
+	Series *metrics.TimeSeries `json:"series,omitempty"`
 }
 
 // WorkloadInfo identifies the simulated workload.
@@ -211,6 +291,11 @@ func ExecuteSource(src *trace.Source, rs RunSpec) ([]RunResult, error) {
 	})
 }
 
+// execute runs the spec's load points through the streaming pipeline:
+// each run attaches a fresh metrics.Collector as a sim observer, the
+// simulator feeds it one completion at a time (and time-series samples
+// at the configured cadence), and the RunResult's Report comes from
+// the collector — no post-hoc pass over the outcome slice.
 func execute(rs RunSpec, workload func(load float64) (*core.Workload, error)) ([]RunResult, error) {
 	opts, err := rs.Sim.Options()
 	if err != nil {
@@ -230,8 +315,17 @@ func execute(rs RunSpec, workload func(load float64) (*core.Workload, error)) ([
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(w, s, opts)
-		if err != nil {
+		col := metrics.NewCollector(rs.Metrics.collectorOptions(s.Name(), w.Name, w.MaxNodes))
+		runOpts := opts
+		runOpts.Observers = []sim.Observer{col}
+		runOpts.SampleEvery = rs.Metrics.SampleEvery
+		// The collector is the only consumer: skip retaining the
+		// per-job outcome slice. Metric state is then three float64s
+		// per finished job (exact percentiles), or O(1) total when the
+		// spec selects sketch mode — either way far below O(jobs)
+		// Outcome structs.
+		runOpts.DiscardOutcomes = true
+		if _, err := sim.Run(w, s, runOpts); err != nil {
 			return nil, fmt.Errorf("runspec: simulating %s: %w", rs.Scheduler, err)
 		}
 		out = append(out, RunResult{
@@ -240,7 +334,8 @@ func execute(rs RunSpec, workload func(load float64) (*core.Workload, error)) ([
 				Name: w.Name, Jobs: len(w.Jobs), Nodes: w.MaxNodes,
 				OfferedLoad: w.OfferedLoad(),
 			},
-			Report: res.Report(w.MaxNodes),
+			Report: col.Report(),
+			Series: col.Series(),
 		})
 	}
 	return out, nil

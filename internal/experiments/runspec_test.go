@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"parsched/internal/sched"
+	"parsched/internal/sim"
 )
 
 func TestParseSourceForms(t *testing.T) {
@@ -47,6 +48,13 @@ func TestRunSpecJSONRoundTrip(t *testing.T) {
 			DropKilled:       true,
 			Horizon:          86400,
 			OutagePath:       "machine.outages",
+		},
+		Metrics: MetricsSpec{
+			Tau:        60,
+			WarmupJobs: 100, CooldownJobs: 50,
+			WarmupTime: 3600, CooldownTime: 864000,
+			Sketch:      true,
+			SampleEvery: 600,
 		},
 	}
 	data, err := json.Marshal(rs)
@@ -134,6 +142,112 @@ func TestExecuteTraceSource(t *testing.T) {
 	}
 	if results[0].Load != 0 {
 		t.Fatal("default load point should be 0 (as recorded)")
+	}
+}
+
+// TestExecuteMetricsSpec: the RunSpec's metric options reach the
+// streaming collector — tau is recorded, warmup truncates, and the
+// sampler produces a time series.
+func TestExecuteMetricsSpec(t *testing.T) {
+	base := RunSpec{
+		Scheduler: sched.MustParse("easy"),
+		Source:    ParseSource("model:lublin99"),
+		Jobs:      300, Nodes: 32, Seed: 5,
+		Loads: []float64{0.8},
+	}
+	plain, err := Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := plain[0].Report
+	if r0.Tau != 10 || r0.Truncated != 0 {
+		t.Fatalf("default metrics spec: %+v", r0)
+	}
+	if plain[0].Series != nil {
+		t.Fatal("series without SampleEvery")
+	}
+
+	rich := base
+	rich.Metrics = MetricsSpec{Tau: 60, WarmupJobs: 50, SampleEvery: 3600}
+	got, err := Execute(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got[0].Report
+	if r.Tau != 60 {
+		t.Fatalf("tau not recorded: %+v", r)
+	}
+	if r.Truncated != 50 || r.Finished != r0.Finished-50 {
+		t.Fatalf("warmup not applied: truncated %d, finished %d (full run %d)",
+			r.Truncated, r.Finished, r0.Finished)
+	}
+	if got[0].Series == nil || len(got[0].Series.Samples) == 0 || got[0].Series.Interval != 3600 {
+		t.Fatalf("series = %+v", got[0].Series)
+	}
+	// Determinism holds with the enriched pipeline too.
+	again, err := Execute(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("metrics-spec run not deterministic")
+	}
+}
+
+func TestParseWarmup(t *testing.T) {
+	cases := []struct {
+		in   string
+		jobs int
+		secs int64
+		ok   bool
+	}{
+		{"500", 500, 0, true},
+		{" 42 ", 42, 0, true},
+		{"3600s", 0, 3600, true},
+		{"2h", 0, 7200, true},
+		{"1.5h", 0, 5400, true},
+		{"30m", 0, 1800, true},
+		{"0", 0, 0, false},
+		{"-5", 0, 0, false},
+		{"abc", 0, 0, false},
+		{"-2h", 0, 0, false},
+		{"", 0, 0, false},
+		{"1e19h", 0, 0, false}, // int64 overflow must error, not wrap
+		{"0.5s", 0, 0, false},  // sub-second durations must error, not truncate to 0
+	}
+	for _, c := range cases {
+		jobs, secs, err := ParseWarmup(c.in)
+		if (err == nil) != c.ok || jobs != c.jobs || secs != c.secs {
+			t.Errorf("ParseWarmup(%q) = (%d, %d, %v), want (%d, %d, ok=%v)",
+				c.in, jobs, secs, err, c.jobs, c.secs, c.ok)
+		}
+	}
+}
+
+// TestConfigMetricOptionsReachRunOn: the battery-level -warmup and
+// -bsld-tau knobs flow through the shared report funnel.
+func TestConfigMetricOptionsReachRunOn(t *testing.T) {
+	cfg := QuickConfig()
+	w, err := substrateWorkload(cfg, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := runOn(cfg, w, "easy", sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg
+	warm.Metrics.WarmupJobs = 100
+	warm.Metrics.Tau = 3600
+	r, err := runOn(warm, w, "easy", sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated != 100 || r.Finished != def.Finished-100 {
+		t.Fatalf("warmup not threaded: %+v", r)
+	}
+	if r.Tau != 3600 || r.BSLD.Mean >= def.BSLD.Mean {
+		t.Fatalf("tau=3600 should shrink mean BSLD: %v -> %v", def.BSLD.Mean, r.BSLD.Mean)
 	}
 }
 

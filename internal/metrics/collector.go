@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"parsched/internal/stats"
+)
+
+// Collector is the streaming counterpart of Compute: an observer fed
+// one Outcome at a time (by the simulator, at event time) that
+// maintains the whole metric battery incrementally. It is what makes
+// percentiles, steady-state truncation, and utilization-over-time
+// available without materializing an []Outcome per run — the batch
+// Compute is now a thin adapter over it.
+//
+// Determinism: all integer aggregates (counts, makespan, useful work)
+// and — in exact mode — every Summary are independent of feed order;
+// GeoBSLD folds logarithms in feed order and so can differ in the last
+// floating-point bits between orders.
+type Collector struct {
+	opts CollectorOptions
+	tau  int64
+
+	jobs, finished, unfinished int
+	dropped, truncated         int
+	restarts                   int
+	lostWork                   int64
+
+	firstSubmit, lastEnd int64
+	usefulWork           int64
+
+	wait, resp, bsld *stats.Stream
+	geoBSLD          stats.LogMean
+
+	// cooldown ring buffer: the last CooldownJobs finished outcomes are
+	// held back and only committed once pushed out by a newer one, so
+	// the trailing drain of a run can be excluded without knowing in
+	// advance when the stream ends.
+	cool     []Outcome
+	coolN    int
+	coolHead int
+
+	// seenFinished counts finished outcomes observed, including ones
+	// the warmup policy truncates.
+	seenFinished int
+
+	series TimeSeries
+}
+
+// CollectorOptions configure a Collector.
+type CollectorOptions struct {
+	// Scheduler and Workload label the resulting Report.
+	Scheduler, Workload string
+	// Procs is the machine size utilization is computed against.
+	Procs int
+	// Tau overrides the bounded-slowdown runtime floor in seconds
+	// (<= 0 means DefaultBoundedSlowdownTau).
+	Tau int64
+	// WarmupJobs drops the first K finished outcomes observed — the
+	// transient the paper's steady-state methodology excludes.
+	WarmupJobs int
+	// CooldownJobs drops the last K finished outcomes observed (the
+	// drain at the end of a replay).
+	CooldownJobs int
+	// WarmupTime drops finished outcomes completing before this
+	// simulation time (seconds; workloads are rebased to start at 0).
+	WarmupTime int64
+	// CooldownTime, when > 0, drops finished outcomes completing after
+	// this simulation time.
+	CooldownTime int64
+	// Sketch switches the per-metric accumulators to O(1)-memory
+	// Welford moments + P² quantile sketches instead of retained exact
+	// samples. Means stay exact to ~1 ulp; quantiles become estimates.
+	Sketch bool
+	// SampleEvery declares the cadence (seconds) the feeder will call
+	// ObserveSample at, so the recorded TimeSeries carries the right
+	// Interval even when a short run yields a single sample. Unset,
+	// the interval is inferred from the first two samples.
+	SampleEvery int64
+}
+
+// NewCollector returns a Collector ready to observe outcomes.
+func NewCollector(opts CollectorOptions) *Collector {
+	c := &Collector{
+		opts:        opts,
+		tau:         opts.Tau,
+		firstSubmit: 1<<62 - 1,
+		wait:        stats.NewStream(opts.Sketch),
+		resp:        stats.NewStream(opts.Sketch),
+		bsld:        stats.NewStream(opts.Sketch),
+	}
+	if c.tau <= 0 {
+		c.tau = DefaultBoundedSlowdownTau
+	}
+	if opts.CooldownJobs > 0 {
+		c.cool = make([]Outcome, opts.CooldownJobs)
+	}
+	c.series.Interval = opts.SampleEvery
+	return c
+}
+
+// Observe folds one job outcome into the collector. The simulator
+// calls it at termination time; the batch adapter calls it per slice
+// element.
+func (c *Collector) Observe(o Outcome) {
+	c.jobs++
+	if o.Dropped {
+		c.dropped++
+	}
+	c.restarts += o.Restarts
+	c.lostWork += o.LostWork
+	if !o.Finished() {
+		c.unfinished++
+		return
+	}
+	c.seenFinished++
+	if c.seenFinished <= c.opts.WarmupJobs ||
+		(c.opts.WarmupTime > 0 && o.End < c.opts.WarmupTime) ||
+		(c.opts.CooldownTime > 0 && o.End > c.opts.CooldownTime) {
+		c.truncated++
+		return
+	}
+	if c.cool != nil {
+		if c.coolN < len(c.cool) {
+			c.cool[(c.coolHead+c.coolN)%len(c.cool)] = o
+			c.coolN++
+			return
+		}
+		o, c.cool[c.coolHead] = c.cool[c.coolHead], o
+		c.coolHead = (c.coolHead + 1) % len(c.cool)
+	}
+	c.commit(o)
+}
+
+// commit accounts one finished outcome that survived truncation.
+func (c *Collector) commit(o Outcome) {
+	c.finished++
+	if o.Submit < c.firstSubmit {
+		c.firstSubmit = o.Submit
+	}
+	if o.End > c.lastEnd {
+		c.lastEnd = o.End
+	}
+	c.usefulWork += int64(o.Size) * o.Runtime
+	c.wait.Add(float64(o.Wait()))
+	c.resp.Add(float64(o.Response()))
+	b := o.BoundedSlowdownWith(c.tau)
+	c.bsld.Add(b)
+	c.geoBSLD.Add(b)
+}
+
+// ObserveSample records one time-series sample (the simulator emits
+// them at its configured cadence).
+func (c *Collector) ObserveSample(s Sample) {
+	if c.series.Interval == 0 && len(c.series.Samples) == 1 {
+		c.series.Interval = s.Time - c.series.Samples[0].Time
+	}
+	c.series.Samples = append(c.series.Samples, s)
+}
+
+// Series returns the recorded time series, or nil when no samples were
+// fed (sampling disabled).
+func (c *Collector) Series() *TimeSeries {
+	if len(c.series.Samples) == 0 {
+		return nil
+	}
+	return &c.series
+}
+
+// Report renders the current state as a Report. It can be called
+// mid-stream (a progress snapshot) or at the end; it does not mutate
+// the collector. Outcomes still held in the cooldown window count as
+// truncated until newer completions push them out.
+func (c *Collector) Report() Report {
+	r := Report{
+		Scheduler:  c.opts.Scheduler,
+		Workload:   c.opts.Workload,
+		Tau:        c.tau,
+		Jobs:       c.jobs,
+		Finished:   c.finished,
+		Unfinished: c.unfinished,
+		Dropped:    c.dropped,
+		Truncated:  c.truncated + c.coolN,
+		Restarts:   c.restarts,
+		LostWork:   c.lostWork,
+	}
+	if c.finished == 0 {
+		return r
+	}
+	r.Makespan = c.lastEnd - c.firstSubmit
+	if r.Makespan > 0 && c.opts.Procs > 0 {
+		r.Utilization = float64(c.usefulWork) / (float64(r.Makespan) * float64(c.opts.Procs))
+		r.Throughput = float64(c.finished) / (float64(r.Makespan) / 3600)
+	}
+	r.Wait = c.wait.Summary()
+	r.Response = c.resp.Summary()
+	r.BSLD = c.bsld.Summary()
+	r.GeoBSLD = c.geoBSLD.Mean()
+	return r
+}
+
+// Sample is one instant of the machine-level time series: the
+// utilization-over-time and backlog standards the paper asks
+// evaluations to report alongside end-of-run aggregates.
+type Sample struct {
+	// Time is the simulation instant (seconds).
+	Time int64 `json:"time"`
+	// Utilization is in-use processors over up processors at Time.
+	Utilization float64 `json:"utilization"`
+	// Queued is the scheduler's backlog length.
+	Queued int `json:"queued"`
+	// Running is the number of jobs executing.
+	Running int `json:"running"`
+	// Backlog is the estimated processor-seconds of work waiting in
+	// the queue plus remaining in running jobs.
+	Backlog int64 `json:"backlog"`
+}
+
+// TimeSeries is a regularly sampled sequence of machine snapshots.
+type TimeSeries struct {
+	// Interval is the sampling cadence in seconds.
+	Interval int64 `json:"interval"`
+	// Samples are the snapshots in time order.
+	Samples []Sample `json:"samples"`
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// outcomeSynth generates a deterministic outcome stream on the fly —
+// no []Outcome is ever materialized, which is the point: the streaming
+// collector must produce a full Report from a 100k-job replay while
+// the benchmark's working set stays O(1).
+type outcomeSynth struct {
+	state uint64
+	t     int64
+	id    int64
+}
+
+func (g *outcomeSynth) next() Outcome {
+	// xorshift64* keeps the generator allocation- and branch-cheap.
+	g.state ^= g.state << 13
+	g.state ^= g.state >> 7
+	g.state ^= g.state << 17
+	r := g.state * 0x2545F4914F6CDD1D
+	g.t += int64(r % 240)
+	g.id++
+	wait := int64((r >> 8) % 30000)
+	run := int64(1 + (r>>24)%7200)
+	return Outcome{
+		JobID:   g.id,
+		User:    int64(1 + (r>>40)%16),
+		Submit:  g.t,
+		Start:   g.t + wait,
+		End:     g.t + wait + run,
+		Size:    1 << ((r >> 56) % 7),
+		Runtime: run,
+	}
+}
+
+// streamWorkload is the benchmark's nominal replay size.
+const streamWorkload = 100_000
+
+// BenchmarkCollector measures the streaming metrics pipeline on a
+// 100k-job workload. The sketch case is the O(1)-memory configuration
+// (quantile sketches, warmup truncation, cooldown ring): steady-state
+// cost must be ~0 B and ~0 allocs per outcome. The exact case retains
+// one float64 per metric per outcome for exact order statistics —
+// still far below materializing the outcomes themselves.
+func BenchmarkCollector(b *testing.B) {
+	bench := func(b *testing.B, opts CollectorOptions) {
+		b.ReportAllocs()
+		g := &outcomeSynth{state: 2026}
+		c := NewCollector(opts)
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Observe(g.next())
+			n++
+			if n == streamWorkload {
+				// One full report per completed workload, so the
+				// aggregate cost (including Report) is in the figure.
+				if r := c.Report(); r.Finished == 0 {
+					b.Fatal("degenerate report")
+				}
+				g = &outcomeSynth{state: 2026}
+				c = NewCollector(opts)
+				n = 0
+			}
+		}
+	}
+	b.Run("sketch", func(b *testing.B) {
+		bench(b, CollectorOptions{Procs: 512, Sketch: true, WarmupJobs: 1000, CooldownJobs: 1000})
+	})
+	b.Run("exact", func(b *testing.B) {
+		bench(b, CollectorOptions{Procs: 512})
+	})
+}

@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"parsched/internal/stats"
+)
+
+// syntheticOutcomes builds a deterministic mixed population: finished
+// jobs with heavy-tailed waits, some unfinished, some dropped with
+// restarts — the shapes a real replay produces.
+func syntheticOutcomes(n int, seed int64) []Outcome {
+	rng := stats.NewRNG(seed)
+	outs := make([]Outcome, 0, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(rng.Intn(300))
+		o := Outcome{
+			JobID:  int64(i + 1),
+			User:   int64(1 + rng.Intn(7)),
+			Submit: t,
+			Size:   1 << rng.Intn(7),
+		}
+		switch rng.Intn(12) {
+		case 0: // never started
+			o.Start, o.End = -1, -1
+		case 1: // dropped after kills
+			o.Start, o.End = -1, -1
+			o.Dropped = true
+			o.Restarts = 1 + rng.Intn(3)
+			o.LostWork = int64(rng.Intn(5000))
+		default:
+			wait := int64(rng.Intn(20000))
+			run := int64(1 + rng.Intn(7200))
+			o.Start = t + wait
+			o.Runtime = run
+			o.End = o.Start + run
+			if rng.Intn(10) == 0 {
+				o.Restarts = 1
+				o.LostWork = int64(rng.Intn(1000))
+			}
+		}
+		outs = append(outs, o)
+	}
+	return outs
+}
+
+// TestStreamingBatchEquivalence is the tentpole guarantee: feeding a
+// Collector one outcome at a time produces the identical Report —
+// every field, bit for bit — that the batch Compute produces for the
+// same outcome set at default settings.
+func TestStreamingBatchEquivalence(t *testing.T) {
+	outs := syntheticOutcomes(2000, 11)
+	c := NewCollector(CollectorOptions{Scheduler: "easy", Workload: "synth", Procs: 128})
+	for _, o := range outs {
+		c.Observe(o)
+	}
+	streamed := c.Report()
+	batch := Compute("easy", "synth", outs, 128)
+	if !reflect.DeepEqual(streamed, batch) {
+		t.Fatalf("streaming report diverges from batch:\n stream %+v\n batch  %+v", streamed, batch)
+	}
+}
+
+// TestCollectorOrderInvariance: every aggregate except the geometric
+// mean is independent of feed order (exact-mode summaries sort before
+// folding); the geometric mean agrees to floating-point noise.
+func TestCollectorOrderInvariance(t *testing.T) {
+	outs := syntheticOutcomes(1500, 12)
+	forward := NewCollector(CollectorOptions{Procs: 128})
+	for _, o := range outs {
+		forward.Observe(o)
+	}
+	backward := NewCollector(CollectorOptions{Procs: 128})
+	for i := len(outs) - 1; i >= 0; i-- {
+		backward.Observe(outs[i])
+	}
+	f, b := forward.Report(), backward.Report()
+	if math.Abs(f.GeoBSLD-b.GeoBSLD) > 1e-9*f.GeoBSLD {
+		t.Fatalf("geo BSLD order-sensitive beyond noise: %v vs %v", f.GeoBSLD, b.GeoBSLD)
+	}
+	f.GeoBSLD, b.GeoBSLD = 0, 0
+	if !reflect.DeepEqual(f, b) {
+		t.Fatalf("report depends on feed order:\n fwd %+v\n bwd %+v", f, b)
+	}
+}
+
+func TestCollectorWarmupJobs(t *testing.T) {
+	outs := syntheticOutcomes(400, 13)
+	const k = 50
+	c := NewCollector(CollectorOptions{Procs: 128, WarmupJobs: k})
+	for _, o := range outs {
+		c.Observe(o)
+	}
+	r := c.Report()
+	if r.Truncated != k {
+		t.Fatalf("truncated = %d, want %d", r.Truncated, k)
+	}
+	if r.Jobs != len(outs) {
+		t.Fatalf("jobs = %d, want all %d observed", r.Jobs, len(outs))
+	}
+	// The measured population must equal a batch Compute over the
+	// outcomes with the first k finished ones removed.
+	var tail []Outcome
+	finished := 0
+	for _, o := range outs {
+		if o.Finished() {
+			finished++
+			if finished <= k {
+				continue
+			}
+		}
+		tail = append(tail, o)
+	}
+	want := Compute("", "", tail, 128)
+	if r.Finished != want.Finished || !reflect.DeepEqual(r.Wait, want.Wait) || r.Makespan != want.Makespan {
+		t.Fatalf("warmup stats:\n got  %+v\n want %+v", r, want)
+	}
+}
+
+func TestCollectorWarmupAndCooldownTime(t *testing.T) {
+	outs := []Outcome{
+		{JobID: 1, Submit: 0, Start: 0, End: 100, Size: 1, Runtime: 100},       // in warmup
+		{JobID: 2, Submit: 500, Start: 500, End: 900, Size: 1, Runtime: 400},   // measured
+		{JobID: 3, Submit: 800, Start: 900, End: 1500, Size: 1, Runtime: 600},  // measured
+		{JobID: 4, Submit: 900, Start: 2000, End: 2500, Size: 1, Runtime: 500}, // past cooldown
+	}
+	c := NewCollector(CollectorOptions{Procs: 4, WarmupTime: 200, CooldownTime: 1800})
+	for _, o := range outs {
+		c.Observe(o)
+	}
+	r := c.Report()
+	if r.Finished != 2 || r.Truncated != 2 {
+		t.Fatalf("time truncation: %+v", r)
+	}
+	if r.Wait.N != 2 || r.Makespan != 1000 { // submits 500..end 1500
+		t.Fatalf("measured window wrong: %+v", r)
+	}
+}
+
+func TestCollectorCooldownJobs(t *testing.T) {
+	outs := syntheticOutcomes(300, 14)
+	const k = 40
+	c := NewCollector(CollectorOptions{Procs: 128, CooldownJobs: k})
+	for _, o := range outs {
+		c.Observe(o)
+	}
+	r := c.Report()
+	if r.Truncated != k {
+		t.Fatalf("truncated = %d, want last %d held back", r.Truncated, k)
+	}
+	// Equivalent batch: drop the last k finished outcomes (in feed order).
+	var finishedIdx []int
+	for i, o := range outs {
+		if o.Finished() {
+			finishedIdx = append(finishedIdx, i)
+		}
+	}
+	cut := map[int]bool{}
+	for _, i := range finishedIdx[len(finishedIdx)-k:] {
+		cut[i] = true
+	}
+	var kept []Outcome
+	for i, o := range outs {
+		if !cut[i] {
+			kept = append(kept, o)
+		}
+	}
+	want := Compute("", "", kept, 128)
+	if r.Finished != want.Finished || !reflect.DeepEqual(r.BSLD, want.BSLD) {
+		t.Fatalf("cooldown stats:\n got  %+v\n want %+v", r, want)
+	}
+	// Report is a snapshot: observing more outcomes afterwards commits
+	// the held-back ones.
+	more := syntheticOutcomes(100, 15)
+	for _, o := range more {
+		c.Observe(o)
+	}
+	if r2 := c.Report(); r2.Finished <= r.Finished {
+		t.Fatalf("cooldown window did not slide: %d -> %d", r.Finished, r2.Finished)
+	}
+}
+
+func TestCollectorTau(t *testing.T) {
+	// A 5-second job with a 95-second response: bsld is 95/10 = 9.5 at
+	// the default tau, 95/60 -> 1.58.. at tau=60.
+	o := Outcome{Submit: 0, Start: 90, End: 95, Size: 1, Runtime: 5}
+	def := NewCollector(CollectorOptions{Procs: 1})
+	def.Observe(o)
+	if r := def.Report(); r.Tau != DefaultBoundedSlowdownTau || r.BSLD.Mean != 9.5 {
+		t.Fatalf("default tau report: %+v", r)
+	}
+	wide := NewCollector(CollectorOptions{Procs: 1, Tau: 60})
+	wide.Observe(o)
+	if r := wide.Report(); r.Tau != 60 || math.Abs(r.BSLD.Mean-95.0/60) > 1e-12 {
+		t.Fatalf("tau=60 report: %+v", r)
+	}
+	// Everything but the slowdown family is tau-independent.
+	rd, rw := def.Report(), wide.Report()
+	if !reflect.DeepEqual(rd.Wait, rw.Wait) || rd.Utilization != rw.Utilization {
+		t.Fatal("tau leaked into non-slowdown metrics")
+	}
+}
+
+func TestCollectorSketchApproximatesExact(t *testing.T) {
+	outs := syntheticOutcomes(20000, 16)
+	exact := NewCollector(CollectorOptions{Procs: 128})
+	sk := NewCollector(CollectorOptions{Procs: 128, Sketch: true})
+	for _, o := range outs {
+		exact.Observe(o)
+		sk.Observe(o)
+	}
+	re, rs := exact.Report(), sk.Report()
+	if re.Jobs != rs.Jobs || re.Finished != rs.Finished || re.Makespan != rs.Makespan {
+		t.Fatalf("sketch counters diverge: %+v vs %+v", re, rs)
+	}
+	if re.Utilization != rs.Utilization {
+		t.Fatalf("sketch utilization diverges: %v vs %v", re.Utilization, rs.Utilization)
+	}
+	if math.Abs(re.Wait.Mean-rs.Wait.Mean) > 1e-6*re.Wait.Mean {
+		t.Fatalf("sketch mean wait: %v vs %v", rs.Wait.Mean, re.Wait.Mean)
+	}
+	for _, q := range []struct {
+		name     string
+		ex, sket float64
+	}{
+		{"p50 wait", re.Wait.Median, rs.Wait.Median},
+		{"p90 wait", re.Wait.P90, rs.Wait.P90},
+		{"p99 resp", re.Response.P99, rs.Response.P99},
+	} {
+		if math.Abs(q.ex-q.sket) > 0.05*q.ex {
+			t.Errorf("%s: sketch %v vs exact %v", q.name, q.sket, q.ex)
+		}
+	}
+}
+
+// TestCollectorSketchSteadyStateAllocs proves the O(1)-memory claim:
+// once warm, a sketch-mode collector performs zero allocations per
+// observed outcome, so a Report never requires materializing the
+// outcome stream.
+func TestCollectorSketchSteadyStateAllocs(t *testing.T) {
+	outs := syntheticOutcomes(1000, 17)
+	c := NewCollector(CollectorOptions{Procs: 128, Sketch: true, CooldownJobs: 16})
+	for _, o := range outs {
+		c.Observe(o)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		c.Observe(outs[i%len(outs)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("sketch-mode Observe allocates %.3f allocs/outcome in steady state", avg)
+	}
+}
+
+func TestCollectorTimeSeries(t *testing.T) {
+	c := NewCollector(CollectorOptions{Procs: 8})
+	if c.Series() != nil {
+		t.Fatal("series should be nil before any sample")
+	}
+	for i := int64(0); i < 5; i++ {
+		c.ObserveSample(Sample{Time: i * 600, Utilization: 0.5, Queued: int(i)})
+	}
+	s := c.Series()
+	if s == nil || len(s.Samples) != 5 || s.Interval != 600 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.Samples[3].Queued != 3 {
+		t.Fatalf("sample order lost: %+v", s.Samples)
+	}
+}
+
+func TestCollectorEmptyMatchesCompute(t *testing.T) {
+	c := NewCollector(CollectorOptions{Scheduler: "s", Workload: "w", Procs: 16})
+	if got, want := c.Report(), Compute("s", "w", nil, 16); !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty collector %+v, batch %+v", got, want)
+	}
+	// Unfinished-only input: counts recorded, no time statistics.
+	o := Outcome{Submit: 3, Start: -1, End: -1}
+	c.Observe(o)
+	if got, want := c.Report(), Compute("s", "w", []Outcome{o}, 16); !reflect.DeepEqual(got, want) {
+		t.Fatalf("unfinished-only collector %+v, batch %+v", got, want)
+	}
+}

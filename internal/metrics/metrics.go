@@ -8,20 +8,27 @@
 // The paper warns that "measurement using different metrics may lead to
 // conflicting results" [30]; this package therefore computes the whole
 // battery at once so experiments can compare rankings across metrics.
+// Collection is streaming: a Collector observes one outcome at a time
+// (optionally truncating the warmup/cooldown transient and sampling a
+// utilization time series), and the batch Compute is a thin adapter
+// that feeds one.
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"parsched/internal/stats"
 )
 
-// BoundedSlowdownTau is the runtime floor (seconds) of the bounded
-// slowdown metric, which prevents very short jobs from dominating the
-// average. 10 seconds is the customary value.
-const BoundedSlowdownTau = 10
+// DefaultBoundedSlowdownTau is the default runtime floor (seconds) of
+// the bounded slowdown metric, which prevents very short jobs from
+// dominating the average. 10 seconds is the customary value; the
+// community uses several thresholds, so collectors take tau as a
+// parameter and every Report records the value it was computed with.
+const DefaultBoundedSlowdownTau int64 = 10
 
 // Outcome is the scheduling result of one job.
 type Outcome struct {
@@ -59,14 +66,24 @@ func (o Outcome) Response() int64 {
 	return o.End - o.Submit
 }
 
-// BoundedSlowdown returns max(1, response / max(runtime, tau)).
+// BoundedSlowdown returns max(1, response / max(runtime, tau)) at the
+// default tau.
 func (o Outcome) BoundedSlowdown() float64 {
+	return o.BoundedSlowdownWith(DefaultBoundedSlowdownTau)
+}
+
+// BoundedSlowdownWith returns max(1, response / max(runtime, tau)) for
+// an explicit runtime floor tau (<= 0 means the default).
+func (o Outcome) BoundedSlowdownWith(tau int64) float64 {
 	if o.End < 0 {
 		return -1
 	}
+	if tau <= 0 {
+		tau = DefaultBoundedSlowdownTau
+	}
 	rt := o.Runtime
-	if rt < BoundedSlowdownTau {
-		rt = BoundedSlowdownTau
+	if rt < tau {
+		rt = tau
 	}
 	s := float64(o.Response()) / float64(rt)
 	if s < 1 {
@@ -80,10 +97,17 @@ type Report struct {
 	Scheduler string
 	Workload  string
 
+	// Tau is the bounded-slowdown runtime floor (seconds) this report
+	// was computed with.
+	Tau int64
+
 	Jobs       int // total outcomes
-	Finished   int
+	Finished   int // finished jobs inside the measured (post-truncation) population
 	Unfinished int // never started or never finished within the horizon
 	Dropped    int // abandoned after restart cap
+	// Truncated counts finished jobs excluded from the statistics by
+	// the warmup/cooldown truncation policy (steady-state measurement).
+	Truncated int
 
 	Makespan    int64   // last completion - first submittal
 	Utilization float64 // useful processor-seconds / (procs * makespan)
@@ -101,54 +125,28 @@ type Report struct {
 // Compute aggregates outcomes for a machine of procs processors.
 // Unfinished jobs contribute to counts but not to time statistics —
 // report them, don't hide them.
+//
+// Compute is a thin adapter over the streaming Collector: it feeds the
+// outcomes one at a time and returns the collector's Report, so batch
+// and streaming aggregation cannot drift. The makespan spans the
+// finished population only: firstSubmit and lastEnd must cover the
+// same jobs, otherwise an early-submitted job that never finishes
+// inflates the makespan and deflates utilization and throughput on
+// partially-completed runs.
 func Compute(scheduler, workload string, outs []Outcome, procs int) Report {
-	r := Report{Scheduler: scheduler, Workload: workload, Jobs: len(outs)}
-	if len(outs) == 0 {
-		return r
-	}
+	return ComputeWith(outs, CollectorOptions{
+		Scheduler: scheduler, Workload: workload, Procs: procs,
+	})
+}
 
-	var waits, resps, bslds []float64
-	var firstSubmit, lastEnd int64 = 1<<62 - 1, 0
-	var usefulWork int64
+// ComputeWith aggregates outcomes under explicit collector options
+// (tau override, warmup/cooldown truncation, sketch mode).
+func ComputeWith(outs []Outcome, opts CollectorOptions) Report {
+	c := NewCollector(opts)
 	for _, o := range outs {
-		if o.Dropped {
-			r.Dropped++
-		}
-		r.Restarts += o.Restarts
-		r.LostWork += o.LostWork
-		if !o.Finished() {
-			r.Unfinished++
-			continue
-		}
-		r.Finished++
-		// Makespan spans the finished population only: firstSubmit and
-		// lastEnd must cover the same jobs, otherwise an early-submitted
-		// job that never finishes inflates the makespan and deflates
-		// utilization and throughput on partially-completed runs.
-		if o.Submit < firstSubmit {
-			firstSubmit = o.Submit
-		}
-		if o.End > lastEnd {
-			lastEnd = o.End
-		}
-		usefulWork += int64(o.Size) * o.Runtime
-		waits = append(waits, float64(o.Wait()))
-		resps = append(resps, float64(o.Response()))
-		bslds = append(bslds, o.BoundedSlowdown())
+		c.Observe(o)
 	}
-	if r.Finished == 0 {
-		return r
-	}
-	r.Makespan = lastEnd - firstSubmit
-	if r.Makespan > 0 && procs > 0 {
-		r.Utilization = float64(usefulWork) / (float64(r.Makespan) * float64(procs))
-		r.Throughput = float64(r.Finished) / (float64(r.Makespan) / 3600)
-	}
-	r.Wait = stats.Summarize(waits)
-	r.Response = stats.Summarize(resps)
-	r.BSLD = stats.Summarize(bslds)
-	r.GeoBSLD = stats.GeoMean(bslds)
-	return r
+	return c.Report()
 }
 
 // PerUser splits outcomes by user and computes a report per user —
@@ -203,8 +201,14 @@ type Objective struct {
 	Scale float64 // seconds that count as "wait = 1.0"; default 3600
 }
 
-// Score evaluates the objective on a report (lower is better).
+// Score evaluates the objective on a report (lower is better). A
+// report with no finished jobs scores +Inf: its zero mean wait and
+// zero utilization describe a scheduler that ran nothing, not one that
+// ran perfectly, so it must rank behind every report that finished work.
 func (ob Objective) Score(r Report) float64 {
+	if r.Finished == 0 {
+		return math.Inf(1)
+	}
 	scale := ob.Scale
 	if scale <= 0 {
 		scale = 3600
@@ -235,17 +239,37 @@ func (ob Objective) Rank(reports []Report) []string {
 }
 
 // TableRow renders the headline measures as a fixed-width row; Header
-// gives the matching header. These feed the experiment harness tables.
+// gives the matching header. The wait percentiles ride along so every
+// consumer of the shared table (simsched, metasim, the examples) shows
+// the distribution the paper warns means alone conceal.
 func (r Report) TableRow() string {
-	return fmt.Sprintf("%-10s %-12s %6d %6d %8.0f %8.0f %8.2f %8.2f %6.3f %9.1f",
+	return fmt.Sprintf("%-10s %-12s %6d %6d %8.0f %8.0f %8.0f %8.0f %8.0f %8.2f %8.2f %6.3f %9.1f",
 		r.Scheduler, r.Workload, r.Jobs, r.Finished,
-		r.Wait.Mean, r.Response.Mean, r.BSLD.Mean, r.GeoBSLD,
+		r.Wait.Mean, r.Wait.Median, r.Wait.P90, r.Wait.P99,
+		r.Response.Mean, r.BSLD.Mean, r.GeoBSLD,
 		r.Utilization, r.Throughput)
+}
+
+// SortedTableRows computes one report per entry of byName (outcomes
+// grouped by workload/site name) and renders each as a TableRow in
+// sorted-name order — the shared rendering the grid CLIs use for
+// per-site tables, so they cannot drift from the main metrics table.
+func SortedTableRows(scheduler string, byName map[string][]Outcome, procs int) []string {
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]string, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, Compute(scheduler, name, byName[name], procs).TableRow())
+	}
+	return rows
 }
 
 // TableHeader is the header matching TableRow.
 func TableHeader() string {
-	h := fmt.Sprintf("%-10s %-12s %6s %6s %8s %8s %8s %8s %6s %9s",
-		"sched", "workload", "jobs", "done", "wait", "resp", "bsld", "gbsld", "util", "jobs/h")
+	h := fmt.Sprintf("%-10s %-12s %6s %6s %8s %8s %8s %8s %8s %8s %8s %6s %9s",
+		"sched", "workload", "jobs", "done", "wait", "p50w", "p90w", "p99w", "resp", "bsld", "gbsld", "util", "jobs/h")
 	return h + "\n" + strings.Repeat("-", len(h))
 }

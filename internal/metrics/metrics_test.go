@@ -126,6 +126,31 @@ func TestPerUser(t *testing.T) {
 	if rs[1].Finished != 2 || rs[2].Finished != 1 {
 		t.Fatalf("per-user split wrong: %+v", rs)
 	}
+	// Each sub-report is a full Compute over that user's outcomes:
+	// labels carry through and statistics cover only that user.
+	if rs[2].Scheduler != "s" || rs[2].Workload != "w" {
+		t.Fatalf("labels lost: %+v", rs[2])
+	}
+	if rs[2].Wait.Mean != 0 || rs[2].Jobs != 1 {
+		t.Fatalf("user 2 stats: %+v", rs[2])
+	}
+	if rs[1].Wait.Mean != 50 { // waits 0 and 100
+		t.Fatalf("user 1 mean wait = %v", rs[1].Wait.Mean)
+	}
+}
+
+func TestPerUserUnfinishedAndEmpty(t *testing.T) {
+	if rs := PerUser("s", "w", nil, 16); len(rs) != 0 {
+		t.Fatalf("empty outcomes should give no per-user reports: %+v", rs)
+	}
+	outs := []Outcome{
+		{JobID: 1, User: 7, Submit: 0, Start: -1, End: -1},
+		{JobID: 2, User: 7, Submit: 5, Start: 10, End: 20, Size: 2, Runtime: 10},
+	}
+	rs := PerUser("s", "w", outs, 16)
+	if len(rs) != 1 || rs[7].Jobs != 2 || rs[7].Finished != 1 || rs[7].Unfinished != 1 {
+		t.Fatalf("per-user unfinished accounting: %+v", rs)
+	}
 }
 
 func TestPerClass(t *testing.T) {
@@ -135,6 +160,46 @@ func TestPerClass(t *testing.T) {
 	}
 	if rs["small(2-8)"].Finished != 2 {
 		t.Fatalf("small class wrong: %+v", rs)
+	}
+}
+
+// TestPerClassBucketEdges pins the size-class boundaries (1, 8, 64):
+// each boundary size must land in its own bucket and the per-class
+// reports must partition the outcome set exactly.
+func TestPerClassBucketEdges(t *testing.T) {
+	mk := func(id int64, size int) Outcome {
+		return Outcome{JobID: id, Submit: 0, Start: 0, End: 60, Size: size, Runtime: 60}
+	}
+	outs := []Outcome{
+		mk(1, 1),           // serial
+		mk(2, 2), mk(3, 8), // small
+		mk(4, 9), mk(5, 64), // medium
+		mk(6, 65), mk(7, 1024), // large
+	}
+	rs := PerClass("s", "w", outs, 2048)
+	want := map[string]int{"serial": 1, "small(2-8)": 2, "medium(9-64)": 2, "large(>64)": 2}
+	if len(rs) != len(want) {
+		t.Fatalf("classes = %v", rs)
+	}
+	total := 0
+	for class, n := range want {
+		r, ok := rs[class]
+		if !ok || r.Finished != n || r.Jobs != n {
+			t.Fatalf("class %q: got %+v, want %d jobs", class, r, n)
+		}
+		total += r.Jobs
+	}
+	if total != len(outs) {
+		t.Fatalf("classes cover %d of %d outcomes", total, len(outs))
+	}
+}
+
+func TestPerClassEmpty(t *testing.T) {
+	if rs := PerClass("s", "w", nil, 16); len(rs) != 0 {
+		t.Fatalf("empty outcomes should give no per-class reports: %+v", rs)
+	}
+	if rs := PerClass("s", "w", []Outcome{}, 16); len(rs) != 0 {
+		t.Fatalf("zero-length outcomes should give no per-class reports: %+v", rs)
 	}
 }
 
@@ -150,10 +215,10 @@ func TestSizeClass(t *testing.T) {
 
 func TestObjectiveScoreAndRank(t *testing.T) {
 	// Scheduler A: low wait, low utilization. B: high wait, high util.
-	a := Report{Scheduler: "A"}
+	a := Report{Scheduler: "A", Finished: 10}
 	a.Wait.Mean = 360 // 0.1 normalized
 	a.Utilization = 0.5
-	b := Report{Scheduler: "B"}
+	b := Report{Scheduler: "B", Finished: 10}
 	b.Wait.Mean = 7200 // 2.0 normalized
 	b.Utilization = 0.95
 
@@ -174,11 +239,36 @@ func TestObjectiveScoreAndRank(t *testing.T) {
 }
 
 func TestObjectiveDefaultScale(t *testing.T) {
-	r := Report{}
+	r := Report{Finished: 1}
 	r.Wait.Mean = 3600
 	r.Utilization = 1
 	if s := (Objective{W: 1}).Score(r); s != 1 {
 		t.Fatalf("score = %v, want 1 (default scale)", s)
+	}
+}
+
+// TestObjectiveRanksUnfinishedLast is the regression test for the
+// degenerate-report bug: a report with zero finished jobs has
+// Wait.Mean == 0 and used to score as the *best* scheduler. It must
+// rank behind every scheduler that actually completed work.
+func TestObjectiveRanksUnfinishedLast(t *testing.T) {
+	dead := Report{Scheduler: "dead", Jobs: 50, Unfinished: 50}
+	slow := Report{Scheduler: "slow", Finished: 50}
+	slow.Wait.Mean = 20 * 3600 // dreadful, but it finished the work
+	slow.Utilization = 0.2
+	for _, ob := range []Objective{{W: 0}, {W: 0.5}, {W: 1}} {
+		if !math.IsInf(ob.Score(dead), 1) {
+			t.Fatalf("W=%v: unfinished-only report scored %v, want +Inf", ob.W, ob.Score(dead))
+		}
+		order := ob.Rank([]Report{dead, slow})
+		if order[len(order)-1] != "dead" {
+			t.Fatalf("W=%v: unfinished-only report not ranked last: %v", ob.W, order)
+		}
+	}
+	// Two degenerate reports still order deterministically by name.
+	dead2 := Report{Scheduler: "alsodead", Jobs: 5, Unfinished: 5}
+	if order := (Objective{W: 0.5}).Rank([]Report{dead, dead2}); order[0] != "alsodead" {
+		t.Fatalf("degenerate tie-break: %v", order)
 	}
 }
 
@@ -188,7 +278,34 @@ func TestTableRendering(t *testing.T) {
 	if !strings.Contains(row, "easy") || !strings.Contains(row, "lublin") {
 		t.Fatalf("row = %q", row)
 	}
-	if !strings.Contains(TableHeader(), "bsld") {
-		t.Fatal("header missing columns")
+	header := TableHeader()
+	for _, col := range []string{"bsld", "p50w", "p90w", "p99w"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header missing %q: %s", col, header)
+		}
+	}
+	// Header and row columns stay aligned: same field count.
+	if h, rw := len(strings.Fields(strings.SplitN(header, "\n", 2)[0])), len(strings.Fields(row)); h != rw {
+		t.Fatalf("header has %d columns, row has %d", h, rw)
+	}
+}
+
+func TestSortedTableRows(t *testing.T) {
+	byName := map[string][]Outcome{
+		"site1": sampleOutcomes(),
+		"site0": sampleOutcomes()[:1],
+	}
+	rows := SortedTableRows("local", byName, 16)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !strings.Contains(rows[0], "site0") || !strings.Contains(rows[1], "site1") {
+		t.Fatalf("rows not in sorted name order: %v", rows)
+	}
+	if rows[0] != Compute("local", "site0", byName["site0"], 16).TableRow() {
+		t.Fatal("row diverges from the per-name Compute rendering")
+	}
+	if got := SortedTableRows("local", nil, 16); len(got) != 0 {
+		t.Fatalf("empty map should render no rows: %v", got)
 	}
 }

@@ -234,6 +234,33 @@ func (sm *Instance) submit(j *core.Job, effective int64) {
 // tracing or invariant checks can be attached in one place).
 func (sm *Instance) callback(f func()) { f() }
 
+// emit streams one outcome to the registered observers. finishJob and
+// the permanent-drop path call it at event time; collect flushes the
+// residual (never-terminated) outcomes at the end of the run.
+func (sm *Instance) emit(o metrics.Outcome) {
+	for _, ob := range sm.opts.Observers {
+		ob.Observe(o)
+	}
+}
+
+// recordSample snapshots the machine for the time-series observers.
+func (sm *Instance) recordSample(obs []SampleObserver) {
+	util := 0.0
+	if up := sm.machine.Up(); up > 0 {
+		util = float64(sm.machine.InUse()) / float64(up)
+	}
+	s := metrics.Sample{
+		Time:        sm.engine.Now(),
+		Utilization: util,
+		Queued:      sm.QueueLen(),
+		Running:     len(sm.running),
+		Backlog:     sm.QueuedWork(),
+	}
+	for _, ob := range obs {
+		ob.ObserveSample(s)
+	}
+}
+
 func (sm *Instance) notifyChange() {
 	sm.callback(func() { sm.schedule.OnChange(sm) })
 }
@@ -295,6 +322,7 @@ func (sm *Instance) killJob(id int64) {
 		o.Dropped = true
 		o.Start, o.End = -1, -1
 		sm.releaseDependents(job)
+		sm.emit(*o)
 		if sm.FinishHook != nil {
 			sm.FinishHook(job, *o)
 		}
@@ -562,6 +590,7 @@ func (sm *Instance) finishJob(id int64) {
 	job := rs.job
 	sm.recycleRunState(rs)
 	sm.releaseDependents(job)
+	sm.emit(*o)
 	if sm.FinishHook != nil {
 		sm.FinishHook(job, *o)
 	}

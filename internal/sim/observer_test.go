@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/metrics"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/sched"
+)
+
+func observerWorkload(t *testing.T, jobs int, load float64) *core.Workload {
+	t.Helper()
+	return lublin.Default().Generate(model.Config{
+		MaxNodes: 64, Jobs: jobs, Seed: 7, Load: load, EstimateFactor: 2,
+	})
+}
+
+// TestObserverStreamsEveryOutcome: a collector attached as an observer
+// sees exactly the outcome population the batch path retains, so its
+// streaming Report matches the post-hoc one (order-insensitive fields
+// exactly; the order-folded geometric mean to floating-point noise).
+func TestObserverStreamsEveryOutcome(t *testing.T) {
+	w := observerWorkload(t, 400, 0.8)
+	col := metrics.NewCollector(metrics.CollectorOptions{
+		Scheduler: "easy", Workload: w.Name, Procs: w.MaxNodes,
+	})
+	var streamed []metrics.Outcome
+	tap := observerFunc(func(o metrics.Outcome) { streamed = append(streamed, o) })
+
+	s, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, s, Options{Observers: []Observer{col, tap}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Outcomes) {
+		t.Fatalf("observer saw %d outcomes, result retained %d", len(streamed), len(res.Outcomes))
+	}
+	batch := res.Report(w.MaxNodes)
+	stream := col.Report()
+	if math.Abs(stream.GeoBSLD-batch.GeoBSLD) > 1e-9*batch.GeoBSLD {
+		t.Fatalf("geo BSLD: stream %v vs batch %v", stream.GeoBSLD, batch.GeoBSLD)
+	}
+	stream.GeoBSLD, batch.GeoBSLD = 0, 0
+	if !reflect.DeepEqual(stream, batch) {
+		t.Fatalf("streaming report diverges from batch:\n stream %+v\n batch  %+v", stream, batch)
+	}
+}
+
+// TestObserverSeesResidualOutcomes: with a tight horizon, jobs cut off
+// mid-queue or mid-run are flushed to observers at collection, so the
+// streamed population still matches the retained one.
+func TestObserverSeesResidualOutcomes(t *testing.T) {
+	w := observerWorkload(t, 300, 1.2)
+	horizon := w.Jobs[len(w.Jobs)/2].Submit // stop halfway through arrivals
+	col := metrics.NewCollector(metrics.CollectorOptions{Procs: w.MaxNodes})
+	s, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, s, Options{Horizon: horizon, Observers: []Observer{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := col.Report()
+	if r.Jobs != len(res.Outcomes) {
+		t.Fatalf("collector observed %d jobs, result has %d", r.Jobs, len(res.Outcomes))
+	}
+	if r.Unfinished == 0 {
+		t.Fatal("horizon cut should leave unfinished jobs for the observer to see")
+	}
+	batch := res.Report(w.MaxNodes)
+	if r.Finished != batch.Finished || r.Unfinished != batch.Unfinished {
+		t.Fatalf("population mismatch: stream %+v vs batch %+v", r, batch)
+	}
+}
+
+// TestDiscardOutcomes: the O(1)-memory pipeline — no outcome slice on
+// the Result, full Report from the collector alone.
+func TestDiscardOutcomes(t *testing.T) {
+	w := observerWorkload(t, 300, 0.7)
+	s1, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained, err := Run(w, s1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := metrics.NewCollector(metrics.CollectorOptions{
+		Scheduler: "easy", Workload: w.Name, Procs: w.MaxNodes,
+	})
+	s2, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, s2, Options{DiscardOutcomes: true, Observers: []Observer{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes != nil {
+		t.Fatalf("DiscardOutcomes retained %d outcomes", len(res.Outcomes))
+	}
+	want := retained.Report(w.MaxNodes)
+	got := col.Report()
+	if got.Finished != want.Finished || got.Wait.Mean != want.Wait.Mean || got.Utilization != want.Utilization {
+		t.Fatalf("collector report diverges without retention:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestTimeSeriesSampling: the engine-driven sampler covers the run at
+// the configured cadence with monotone timestamps and sane values.
+func TestTimeSeriesSampling(t *testing.T) {
+	w := observerWorkload(t, 300, 0.9)
+	col := metrics.NewCollector(metrics.CollectorOptions{Procs: w.MaxNodes})
+	s, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const every = int64(3600)
+	res, err := Run(w, s, Options{Observers: []Observer{col}, SampleEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := col.Series()
+	if ts == nil || ts.Interval != every {
+		t.Fatalf("series missing or wrong cadence: %+v", ts)
+	}
+	r := res.Report(w.MaxNodes)
+	span := r.Makespan
+	if n := int64(len(ts.Samples)); n < span/every {
+		t.Fatalf("only %d samples across a %ds run at %ds cadence", n, span, every)
+	}
+	var sawWork bool
+	for i, sp := range ts.Samples {
+		if sp.Time != int64(i)*every {
+			t.Fatalf("sample %d at t=%d, want %d", i, sp.Time, int64(i)*every)
+		}
+		if sp.Utilization < 0 || sp.Utilization > 1 {
+			t.Fatalf("utilization out of range: %+v", sp)
+		}
+		if sp.Running > 0 || sp.Queued > 0 {
+			sawWork = true
+		}
+		if sp.Backlog < 0 {
+			t.Fatalf("negative backlog: %+v", sp)
+		}
+	}
+	if !sawWork {
+		t.Fatal("time series never saw the machine busy")
+	}
+	// No sampling requested -> no series, and byte-identical outcomes.
+	s2, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(w, s2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Outcomes, res.Outcomes) {
+		t.Fatal("sampling perturbed the simulation")
+	}
+}
+
+// observerFunc adapts a func to the Observer interface.
+type observerFunc func(metrics.Outcome)
+
+func (f observerFunc) Observe(o metrics.Outcome) { f(o) }

@@ -55,6 +55,34 @@ type Options struct {
 	DropKilled bool
 	// Horizon stops the simulation at this time (0 = run to drain).
 	Horizon int64
+	// Observers receive every job outcome exactly once: final outcomes
+	// (completion or permanent drop) at the instant they happen, and
+	// residual outcomes (jobs still queued or running when the run
+	// ends) during collection. A metrics.Collector is the canonical
+	// observer; attaching one makes a full Report available without
+	// retaining the outcome slice.
+	Observers []Observer
+	// SampleEvery, when > 0, records a time-series snapshot
+	// (utilization, queue length, backlog) every SampleEvery seconds
+	// to each observer that implements SampleObserver.
+	SampleEvery int64
+	// DiscardOutcomes skips retaining per-job outcomes on the Result —
+	// observers become the only consumers, which keeps memory O(1) on
+	// million-job replays. Result.Report is meaningless in this mode;
+	// use an attached Collector's Report instead.
+	DiscardOutcomes bool
+}
+
+// Observer receives job outcomes as the simulation produces them —
+// the streaming alternative to reading Result.Outcomes after the run.
+type Observer interface {
+	Observe(o metrics.Outcome)
+}
+
+// SampleObserver is implemented by observers that also want the
+// machine-level time series (metrics.Collector is one).
+type SampleObserver interface {
+	ObserveSample(s metrics.Sample)
 }
 
 // ReservationOutcome records how an advance reservation fared.
@@ -78,7 +106,9 @@ type Result struct {
 	Events uint64
 }
 
-// Report computes the aggregate metrics for the run.
+// Report computes the aggregate metrics for the run from the retained
+// outcomes. Under Options.DiscardOutcomes there is nothing retained —
+// attach a metrics.Collector observer and use its Report instead.
 func (r *Result) Report(procs int) metrics.Report {
 	return metrics.Compute(r.Scheduler, r.Workload, r.Outcomes, procs)
 }
@@ -145,6 +175,8 @@ func Run(w *core.Workload, s sched.Scheduler, opts Options) (*Result, error) {
 		engine.At(announce, des.PriorityOutage, func() { sm.Reserve(r) })
 	}
 
+	scheduleSampling(engine, sm, opts)
+
 	if opts.Horizon > 0 {
 		engine.RunUntil(opts.Horizon)
 	} else {
@@ -152,6 +184,34 @@ func Run(w *core.Workload, s sched.Scheduler, opts Options) (*Result, error) {
 	}
 
 	return collect(sm, w, engine), nil
+}
+
+// scheduleSampling installs the recurring instrumentation event that
+// feeds SampleObservers. The tick reschedules itself only while live
+// events remain, so sampling covers the whole run without keeping the
+// engine alive afterwards.
+func scheduleSampling(engine *des.Engine, sm *Instance, opts Options) {
+	if opts.SampleEvery <= 0 {
+		return
+	}
+	var samplers []SampleObserver
+	for _, ob := range opts.Observers {
+		if so, ok := ob.(SampleObserver); ok {
+			samplers = append(samplers, so)
+		}
+	}
+	if len(samplers) == 0 {
+		return
+	}
+	interval := opts.SampleEvery
+	var tick func()
+	tick = func() {
+		sm.recordSample(samplers)
+		if engine.Live() {
+			engine.After(interval, des.PrioritySample, tick)
+		}
+	}
+	engine.At(0, des.PrioritySample, tick)
 }
 
 // scheduleOutages wires an outage log into an instance: announcement
@@ -190,7 +250,11 @@ func scheduleOutages(engine *des.Engine, sm *Instance, log *outage.Log) {
 	}
 }
 
-// collect assembles the result after the event loop drains.
+// collect assembles the result after the event loop drains. Jobs that
+// never reached a final termination (still queued or running at the
+// horizon) are flushed to the observers here — final outcomes were
+// already delivered at event time — so observers see every submitted
+// job exactly once.
 func collect(sm *Instance, w *core.Workload, engine *des.Engine) *Result {
 	res := &Result{Scheduler: sm.schedule.Name(), Workload: w.Name, Events: engine.Processed}
 	for _, j := range w.Jobs {
@@ -206,8 +270,13 @@ func collect(sm *Instance, w *core.Workload, engine *des.Engine) *Result {
 			if rs, running := sm.running[j.ID]; running {
 				oo.Start = rs.start
 			}
+			if !oo.Dropped {
+				sm.emit(oo)
+			}
 		}
-		res.Outcomes = append(res.Outcomes, oo)
+		if !sm.opts.DiscardOutcomes {
+			res.Outcomes = append(res.Outcomes, oo)
+		}
 	}
 	res.Reservations = sm.resvResults
 	return res

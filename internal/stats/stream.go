@@ -1,0 +1,289 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the incremental (one-observation-at-a-time)
+// counterparts of the batch descriptive statistics: Welford moments, a
+// P² quantile estimator, a streaming log-mean, and a Stream that
+// composes them into the same Summary a batch Summarize would produce.
+// They are what lets the metrics layer report on million-job replays
+// without materializing the sample.
+
+// Moments is a Welford accumulator of running moments: mean and
+// variance in one numerically stable pass, plus min/max/sum. The zero
+// value is ready to use.
+type Moments struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	sum, sumSq float64
+}
+
+// Add folds one observation into the moments.
+func (m *Moments) Add(v float64) {
+	if m.n == 0 {
+		m.min, m.max = v, v
+	} else {
+		if v < m.min {
+			m.min = v
+		}
+		if v > m.max {
+			m.max = v
+		}
+	}
+	m.n++
+	d := v - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (v - m.mean)
+	m.sum += v
+	m.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Std returns the sample standard deviation (n-1 denominator).
+func (m *Moments) Std() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return math.Sqrt(m.m2 / float64(m.n-1))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 when empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// Sum returns the running sum.
+func (m *Moments) Sum() float64 { return m.sum }
+
+// SecondMoment returns E[X²] (0 when empty).
+func (m *Moments) SecondMoment() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sumSq / float64(m.n)
+}
+
+// LogMean accumulates a geometric mean incrementally with the same
+// non-positive clamping convention as the batch GeoMean.
+type LogMean struct {
+	n   int
+	sum float64
+}
+
+// Add folds one observation into the log-sum.
+func (g *LogMean) Add(v float64) {
+	if v < 1e-12 {
+		v = 1e-12
+	}
+	g.sum += math.Log(v)
+	g.n++
+}
+
+// N returns the number of observations.
+func (g *LogMean) N() int { return g.n }
+
+// Mean returns the geometric mean (0 when empty).
+func (g *LogMean) Mean() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return math.Exp(g.sum / float64(g.n))
+}
+
+// P2Quantile estimates a single quantile in O(1) memory with the P²
+// algorithm of Jain & Chlamtac (CACM 1985): five markers whose heights
+// approximate the quantile curve are nudged toward their ideal
+// positions with parabolic interpolation as observations stream in.
+// The estimate is exact for the first five observations and typically
+// within a fraction of a percent of the true quantile for unimodal
+// samples afterwards.
+type P2Quantile struct {
+	p     float64
+	count int
+	q     [5]float64 // marker heights
+	n     [5]int     // actual marker positions (1-based)
+	np    [5]float64 // desired marker positions
+	dn    [5]float64 // desired position increments
+}
+
+// NewP2 returns an estimator for the p-quantile (0 < p < 1).
+func NewP2(p float64) P2Quantile {
+	return P2Quantile{p: p}
+}
+
+// Add folds one observation into the estimate.
+func (e *P2Quantile) Add(v float64) {
+	if e.count < 5 {
+		e.q[e.count] = v
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			p := e.p
+			e.n = [5]int{1, 2, 3, 4, 5}
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	e.count++
+
+	// Locate the cell k containing v, extending the extremes.
+	var k int
+	switch {
+	case v < e.q[0]:
+		e.q[0] = v
+		k = 0
+	case v >= e.q[4]:
+		e.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - float64(e.n[i])
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1
+			if d < 0 {
+				sign = -1
+			}
+			qn := e.parabolic(i, sign)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, sign)
+			}
+			e.q[i] = qn
+			e.n[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2Quantile) parabolic(i, d int) float64 {
+	df := float64(d)
+	ni, nm, npl := float64(e.n[i]), float64(e.n[i-1]), float64(e.n[i+1])
+	return e.q[i] + df/(npl-nm)*
+		((ni-nm+df)*(e.q[i+1]-e.q[i])/(npl-ni)+
+			(npl-ni-df)*(e.q[i]-e.q[i-1])/(ni-nm))
+}
+
+// linear is the fallback update when the parabola is non-monotone.
+func (e *P2Quantile) linear(i, d int) float64 {
+	return e.q[i] + float64(d)*(e.q[i+d]-e.q[i])/float64(e.n[i+d]-e.n[i])
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.count }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it is the exact interpolated quantile of what was seen.
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		var buf [5]float64
+		copy(buf[:], e.q[:e.count])
+		sorted := buf[:e.count]
+		sort.Float64s(sorted)
+		return Quantile(sorted, e.p)
+	}
+	return e.q[2]
+}
+
+// Stream accumulates one measure incrementally and yields a Summary.
+//
+// In exact mode (the default) it retains the observations — one
+// float64 each — and Summary() defers to the batch Summarize, so the
+// result is bit-identical to summarizing the same sample in any
+// insertion order. In sketch mode it holds Welford moments plus P²
+// estimators for the Summary's quantiles in O(1) memory, trading exact
+// order statistics for constant footprint on unbounded streams.
+type Stream struct {
+	sketch             bool
+	xs                 []float64
+	mom                Moments
+	q10, q50, q90, q99 P2Quantile
+}
+
+// NewStream returns a Stream; sketch selects the O(1)-memory mode.
+func NewStream(sketch bool) *Stream {
+	s := &Stream{sketch: sketch}
+	if sketch {
+		s.q10 = NewP2(0.10)
+		s.q50 = NewP2(0.50)
+		s.q90 = NewP2(0.90)
+		s.q99 = NewP2(0.99)
+	}
+	return s
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(v float64) {
+	if !s.sketch {
+		s.xs = append(s.xs, v)
+		return
+	}
+	s.mom.Add(v)
+	s.q10.Add(v)
+	s.q50.Add(v)
+	s.q90.Add(v)
+	s.q99.Add(v)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int {
+	if !s.sketch {
+		return len(s.xs)
+	}
+	return s.mom.N()
+}
+
+// Summary renders the accumulated sample as a Summary. Exact mode is
+// bit-identical to Summarize over the same observations; sketch mode
+// substitutes P² estimates for the order statistics (Min/Max stay
+// exact via the moments).
+func (s *Stream) Summary() Summary {
+	if !s.sketch {
+		return Summarize(s.xs)
+	}
+	var sum Summary
+	sum.N = s.mom.N()
+	if sum.N == 0 {
+		return sum
+	}
+	sum.Mean = s.mom.Mean()
+	sum.Std = s.mom.Std()
+	if sum.Mean != 0 {
+		sum.CV = sum.Std / sum.Mean
+	}
+	sum.Min = s.mom.Min()
+	sum.Max = s.mom.Max()
+	sum.Sum = s.mom.Sum()
+	sum.SecondMomentum = s.mom.SecondMoment()
+	sum.Median = s.q50.Value()
+	sum.P10 = s.q10.Value()
+	sum.P90 = s.q90.Value()
+	sum.P99 = s.q99.Value()
+	return sum
+}

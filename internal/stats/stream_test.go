@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// lognormalish produces a deterministic heavy-tailed sample, the shape
+// wait-time and slowdown distributions actually have.
+func lognormalish(n int, seed int64) []float64 {
+	rng := NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(2 + 1.5*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestMomentsMatchBatch(t *testing.T) {
+	xs := lognormalish(500, 1)
+	var m Moments
+	for _, v := range xs {
+		m.Add(v)
+	}
+	want := Summarize(xs)
+	if m.N() != want.N {
+		t.Fatalf("n = %d, want %d", m.N(), want.N)
+	}
+	close := func(got, want, tol float64, name string) {
+		if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	close(m.Mean(), want.Mean, 1e-12, "mean")
+	close(m.Std(), want.Std, 1e-9, "std")
+	close(m.Sum(), want.Sum, 1e-12, "sum")
+	close(m.SecondMoment(), want.SecondMomentum, 1e-12, "second moment")
+	if m.Min() != want.Min || m.Max() != want.Max {
+		t.Errorf("min/max = %v/%v, want %v/%v", m.Min(), m.Max(), want.Min, want.Max)
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.N() != 0 || m.Mean() != 0 || m.Std() != 0 || m.SecondMoment() != 0 {
+		t.Fatal("empty moments should be all zero")
+	}
+}
+
+func TestLogMeanMatchesGeoMean(t *testing.T) {
+	xs := append(lognormalish(200, 2), 0, -3) // exercise the clamp
+	var g LogMean
+	for _, v := range xs {
+		g.Add(v)
+	}
+	if want := GeoMean(xs); g.Mean() != want {
+		t.Fatalf("log mean = %v, want %v (same fold order must be identical)", g.Mean(), want)
+	}
+	var empty LogMean
+	if empty.Mean() != 0 {
+		t.Fatal("empty log mean should be 0")
+	}
+}
+
+func TestP2SmallSamplesExact(t *testing.T) {
+	// Below five observations the estimator must be the exact
+	// interpolated quantile of what it has seen.
+	xs := []float64{5, 1, 4}
+	e := NewP2(0.5)
+	for _, v := range xs {
+		e.Add(v)
+	}
+	sorted := []float64{1, 4, 5}
+	if got, want := e.Value(), Quantile(sorted, 0.5); got != want {
+		t.Fatalf("median of 3 = %v, want %v", got, want)
+	}
+	if empty := NewP2(0.9); empty.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+}
+
+func TestP2Accuracy(t *testing.T) {
+	xs := lognormalish(20000, 3)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		e := NewP2(p)
+		for _, v := range xs {
+			e.Add(v)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		exact := Quantile(sorted, p)
+		// Heavy-tailed 20k sample: a few percent of relative error is
+		// the documented regime for P².
+		if rel := math.Abs(e.Value()-exact) / exact; rel > 0.05 {
+			t.Errorf("p=%v: estimate %v vs exact %v (rel err %.3f)", p, e.Value(), exact, rel)
+		}
+	}
+}
+
+func TestP2MonotoneAcrossQuantiles(t *testing.T) {
+	xs := lognormalish(5000, 4)
+	e10, e50, e90 := NewP2(0.1), NewP2(0.5), NewP2(0.9)
+	for _, v := range xs {
+		e10.Add(v)
+		e50.Add(v)
+		e90.Add(v)
+	}
+	if !(e10.Value() < e50.Value() && e50.Value() < e90.Value()) {
+		t.Fatalf("quantile estimates not monotone: %v %v %v", e10.Value(), e50.Value(), e90.Value())
+	}
+}
+
+// TestStreamExactBitIdentical is the stats-layer half of the
+// streaming ≡ batch guarantee: an exact-mode Stream yields the very
+// Summary Summarize computes, regardless of insertion order.
+func TestStreamExactBitIdentical(t *testing.T) {
+	xs := lognormalish(777, 5)
+	s := NewStream(false)
+	for _, v := range xs {
+		s.Add(v)
+	}
+	if got, want := s.Summary(), Summarize(xs); !reflect.DeepEqual(got, want) {
+		t.Fatalf("exact stream summary diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// Reversed insertion order: Summarize sorts, so still identical.
+	r := NewStream(false)
+	for i := len(xs) - 1; i >= 0; i-- {
+		r.Add(xs[i])
+	}
+	if got, want := r.Summary(), Summarize(xs); !reflect.DeepEqual(got, want) {
+		t.Fatal("exact stream summary is insertion-order dependent")
+	}
+}
+
+func TestStreamSketchApproximates(t *testing.T) {
+	xs := lognormalish(20000, 6)
+	s := NewStream(true)
+	for _, v := range xs {
+		s.Add(v)
+	}
+	want := Summarize(xs)
+	got := s.Summary()
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("sketch n/min/max should be exact: %+v vs %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-9*want.Mean {
+		t.Fatalf("sketch mean %v vs %v", got.Mean, want.Mean)
+	}
+	relOK := func(g, w float64, name string) {
+		if math.Abs(g-w) > 0.05*w {
+			t.Errorf("sketch %s = %v, exact %v", name, g, w)
+		}
+	}
+	relOK(got.Median, want.Median, "median")
+	relOK(got.P90, want.P90, "p90")
+	relOK(got.P99, want.P99, "p99")
+	relOK(got.Std, want.Std, "std")
+}
+
+func TestStreamEmpty(t *testing.T) {
+	for _, sketch := range []bool{false, true} {
+		s := NewStream(sketch)
+		if s.N() != 0 {
+			t.Fatal("fresh stream not empty")
+		}
+		if got := s.Summary(); !reflect.DeepEqual(got, Summary{}) {
+			t.Fatalf("empty summary (sketch=%v) = %+v", sketch, got)
+		}
+	}
+}

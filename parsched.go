@@ -100,7 +100,27 @@ type (
 	SourceSpec = experiments.Source
 	// SimSpec is the serializable subset of the simulation options.
 	SimSpec = experiments.SimSpec
+	// Collector is the streaming metrics observer: feed it one Outcome
+	// at a time (or attach it to a simulation via SimOptions.Observers)
+	// and read the full Report without retaining the outcome slice.
+	Collector = metrics.Collector
+	// CollectorOptions configure a Collector: labels, bounded-slowdown
+	// tau, warmup/cooldown truncation, O(1)-memory quantile sketches.
+	CollectorOptions = metrics.CollectorOptions
+	// MetricsSpec is the serializable collector configuration a
+	// RunSpec carries.
+	MetricsSpec = experiments.MetricsSpec
+	// TimeSeries is the sampled utilization/queue/backlog series a
+	// Collector records when the simulator samples.
+	TimeSeries = metrics.TimeSeries
+	// TimeSample is one instant of a TimeSeries.
+	TimeSample = metrics.Sample
+	// SimObserver receives outcomes as the simulation produces them.
+	SimObserver = sim.Observer
 )
+
+// NewCollector returns a streaming metrics collector.
+func NewCollector(opts CollectorOptions) *Collector { return metrics.NewCollector(opts) }
 
 // Models lists the available workload model names.
 func Models() []string { return registry.Names() }

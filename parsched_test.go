@@ -24,6 +24,52 @@ func TestFacadeGenerateSimulateReport(t *testing.T) {
 	}
 }
 
+// TestFacadeStreamingCollector drives the whole streaming pipeline
+// through the public surface: a collector attached as a simulation
+// observer, with warmup truncation and time-series sampling, matching
+// the batch report where it should.
+func TestFacadeStreamingCollector(t *testing.T) {
+	w, err := Generate("lublin99", ModelConfig{MaxNodes: 64, Jobs: 300, Seed: 1, Load: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(CollectorOptions{Scheduler: "easy", Workload: w.Name, Procs: 64})
+	res, err := Simulate(w, "easy", SimOptions{
+		Observers:   []SimObserver{col},
+		SampleEvery: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := res.Report(64)
+	stream := col.Report()
+	if stream.Finished != batch.Finished || stream.Wait.Mean != batch.Wait.Mean ||
+		stream.Wait.P99 != batch.Wait.P99 || stream.Utilization != batch.Utilization {
+		t.Fatalf("streamed report diverges:\n stream %+v\n batch  %+v", stream, batch)
+	}
+	if ts := col.Series(); ts == nil || len(ts.Samples) == 0 {
+		t.Fatal("no time series recorded")
+	}
+	// A RunSpec carries the same collector configuration.
+	spec, err := ParseSchedulerSpec("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(RunSpec{
+		Scheduler: spec,
+		Source:    ParseWorkloadSource("model:lublin99"),
+		Jobs:      300, Nodes: 64, Seed: 1,
+		Loads:   []float64{0.7},
+		Metrics: MetricsSpec{WarmupJobs: 50, Tau: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0].Report; r.Truncated != 50 || r.Tau != 60 {
+		t.Fatalf("metrics spec not honoured: %+v", r)
+	}
+}
+
 func TestFacadeUnknownNames(t *testing.T) {
 	if _, err := Generate("nope", ModelConfig{}); err == nil {
 		t.Fatal("unknown model accepted")
