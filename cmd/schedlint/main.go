@@ -1,0 +1,97 @@
+// Command schedlint runs the repository's custom static-analysis
+// suite — the determinism and invariant contracts every reported
+// result depends on — over the given packages.
+//
+// Usage:
+//
+//	schedlint [-list] [-only check,...] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 1 when any finding survives the //schedlint:allow
+// directives, 2 on usage or load errors, so CI fails on findings.
+//
+// The suite is built on internal/analysis/framework, a stdlib-only
+// mirror of golang.org/x/tools/go/analysis (the build environment is
+// hermetic: no module proxy, no vendored x/tools). Each analyzer's doc
+// string describes the contract it enforces; see README "Static
+// analysis & invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parsched/internal/analysis"
+	"parsched/internal/analysis/framework"
+	"parsched/internal/analysis/load"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of checks to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only check,...] [packages]\n\nchecks:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var subset []*framework.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "schedlint: unknown check %q\n", name)
+				os.Exit(2)
+			}
+			subset = append(subset, a)
+		}
+		analyzers = subset
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.Packages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "schedlint: %s: type error: %v\n", p.Path, terr)
+		}
+	}
+	diags, fset, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"parsched/internal/core"
 	"parsched/internal/model"
@@ -105,10 +106,18 @@ func printStats(path string) error {
 	fmt.Printf("offered load:  %.3f\n", w.OfferedLoad())
 	fmt.Printf("pow2 sizes:    %.1f%%\n", 100*model.Pow2Fraction(w))
 	fmt.Printf("serial jobs:   %.1f%%\n", 100*model.SerialFraction(w))
-	for name, xs := range map[string][]float64{
+	// Iterate the named series in sorted-name order: ranging the map
+	// directly printed the three lines in a different order per run.
+	series := map[string][]float64{
 		"interarrival": gaps, "size": sizes, "runtime": rts,
-	} {
-		s := stats.Summarize(xs)
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := stats.Summarize(series[name])
 		fmt.Printf("%-13s mean %.1f  median %.1f  p90 %.1f  max %.0f\n",
 			name+":", s.Mean, s.Median, s.P90, s.Max)
 	}

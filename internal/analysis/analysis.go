@@ -1,0 +1,26 @@
+// Package analysis aggregates the schedlint analyzer suite: the five
+// machine-checked contracts (determinism, maporder, handles, registry,
+// floatsum) that keep the simulator's results reproducible. The
+// cmd/schedlint multichecker and the per-analyzer tests both draw the
+// canonical list from here.
+package analysis
+
+import (
+	"parsched/internal/analysis/determinism"
+	"parsched/internal/analysis/floatsum"
+	"parsched/internal/analysis/framework"
+	"parsched/internal/analysis/handles"
+	"parsched/internal/analysis/maporder"
+	"parsched/internal/analysis/registry"
+)
+
+// Analyzers returns the full schedlint suite in reporting order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		determinism.Analyzer,
+		maporder.Analyzer,
+		handles.Analyzer,
+		registry.Analyzer,
+		floatsum.Analyzer,
+	}
+}

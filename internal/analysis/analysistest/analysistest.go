@@ -1,0 +1,119 @@
+// Package analysistest runs a schedlint analyzer over fixture
+// packages and matches its findings against expectations written in
+// the fixture source — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// repository's stdlib-only framework.
+//
+// Fixtures live under <testdata>/src/<import path>/, and a line that
+// should be flagged carries a comment of the form
+//
+//	code() // want "regexp"
+//
+// (multiple quoted regexps for multiple findings on one line). Every
+// finding must be matched by a want on its line, and every want must
+// be matched by a finding: unexpected and missing findings both fail
+// the test. Suppression directives are honored before matching, so a
+// line with a violation, a well-formed //schedlint:allow comment, and
+// no want is exactly how fixtures prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"parsched/internal/analysis/framework"
+	"parsched/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package below testdata/src, applies the
+// analyzer, and matches findings against the // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
+	t.Helper()
+	fl := load.NewFixtureLoader(testdata)
+	var pkgs []*load.Package
+	for _, path := range paths {
+		p, err := fl.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		for _, terr := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", path, terr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags, fset, err := framework.Run(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	found := map[key][]string{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found[k] = append(found[k], fmt.Sprintf("%s: %s", d.Check, d.Message))
+	}
+
+	// Collect the want expectations from the fixture sources.
+	wants := map[key][]*regexp.Regexp{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for k, res := range wants {
+		got := found[k]
+		if len(got) != len(res) {
+			t.Errorf("%s:%d: want %d finding(s), got %d: %s",
+				k.file, k.line, len(res), len(got), strings.Join(got, "; "))
+			continue
+		}
+		// Match greedily: each want regexp must match a distinct finding.
+		used := make([]bool, len(got))
+		for _, re := range res {
+			ok := false
+			for i, g := range got {
+				if !used[i] && re.MatchString(g) {
+					used[i] = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("%s:%d: no finding matches %q (got: %s)",
+					k.file, k.line, re, strings.Join(got, "; "))
+			}
+		}
+		delete(found, k)
+	}
+	for k, got := range found {
+		t.Errorf("%s:%d: unexpected finding(s): %s", k.file, k.line, strings.Join(got, "; "))
+	}
+	_ = token.NoPos
+}

@@ -1,0 +1,109 @@
+// Package determinism forbids wall-clock time and the global
+// math/rand generator inside the simulated subsystems.
+//
+// Every reported result — the committed battery golden, the
+// streaming≡batch metrics equivalence, the derived-seed replication
+// CIs — assumes two runs with the same inputs produce identical
+// output. Wall-clock reads (time.Now, time.Since, time.Sleep) and the
+// process-global math/rand functions break that silently: the code
+// still works, the numbers just stop being reproducible. Inside the
+// simulation packages, time comes from the event engine
+// (des.Engine.Now) and randomness from an injected, seeded *rand.Rand.
+//
+// Sanctioned wall-clock uses (e.g. per-cell elapsed timing in the
+// experiment batch layer, which is diagnostic output rather than
+// simulation state) carry a //schedlint:allow determinism <reason>
+// directive.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time and global math/rand in simulated code; " +
+		"use engine time and injected seeded *rand.Rand",
+	Run: run,
+}
+
+// scope lists the module-relative subsystems where simulated time and
+// seeded randomness are the law. Subpackages (internal/workload/trace)
+// are covered by the component-boundary match.
+var scope = []string{
+	"internal/sim",
+	"internal/des",
+	"internal/sched",
+	"internal/cluster",
+	"internal/workload",
+	"internal/metrics",
+	"internal/stats",
+	"internal/experiments",
+}
+
+// timeForbidden are the wall-clock entry points of package time. The
+// pure-value helpers (time.Duration arithmetic, time.Unix, ...) are
+// fine: they do not observe the host clock.
+var timeForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// generators rather than draw from the shared global one.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func inScope(path string) bool {
+	for _, s := range scope {
+		if framework.PathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if timeForbidden[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulated code; use engine time (des.Engine.Now) or annotate //schedlint:allow determinism <reason>",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s breaks seeded replay; draw from an injected *rand.Rand",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"example.com/internal/sim", "example.com/internal/model")
+}

@@ -1,0 +1,9 @@
+// Package model is a determinism fixture outside the simulated scope:
+// the same wall-clock read that is flagged in internal/sim is legal
+// here, proving the analyzer's path scoping.
+package model
+
+import "time"
+
+// Timestamp may read the wall clock: internal/model is not simulated.
+func Timestamp() int64 { return time.Now().Unix() }

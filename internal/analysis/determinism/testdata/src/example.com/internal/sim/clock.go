@@ -1,0 +1,40 @@
+// Package sim is a determinism fixture: it sits inside the simulated
+// scope, so wall-clock and global-rand uses must be flagged while
+// engine time and injected generators pass.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Engine stands in for the event engine's virtual clock.
+type Engine struct{ now int64 }
+
+// Now returns virtual time.
+func (e *Engine) Now() int64 { return e.now }
+
+func stamp(e *Engine) int64 {
+	return e.Now() // engine time: fine
+}
+
+func wall() int64 {
+	return time.Now().Unix() // want "wall-clock time.Now"
+}
+
+func jitter() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // injected seeded generator: fine
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func harness() int64 {
+	return time.Now().Unix() //schedlint:allow determinism fixture: diagnostic timing outside simulation state
+}

@@ -1,0 +1,100 @@
+// Package floatsum flags naive floating-point accumulation loops
+// outside internal/stats.
+//
+// Summing a population of float64 job metrics with `sum += x` loses
+// precision as the running sum dwarfs the increments — on million-job
+// traces the error reaches the digits the paper's tables report. The
+// stats package owns the numerically careful primitives: the Welford
+// Moments accumulator, the P² quantile sketch, the Stream combinator,
+// and the batch helpers (Mean, Summarize) that centralize even the
+// plain-sum cases behind one audited implementation.
+//
+// The analyzer flags `+=` (and `-=`) of scalar float variables and
+// fields inside `for range` loops over slices and maps in every
+// package except internal/stats itself. Indexed element updates
+// (load[i] += w — histogram and bin-packing state, not a population
+// statistic) are not flagged. Accumulations that are deliberate —
+// weighted partial sums feeding a ratio, prefix sums, golden-locked
+// arithmetic that must not change — carry a //schedlint:allow
+// floatsum <reason> directive.
+package floatsum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the float-accumulation check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatsum",
+	Doc: "flag naive float64 += accumulation over ranged collections outside " +
+		"internal/stats; use the stats accumulators",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if framework.PathMatches(pass.Path, "internal/stats") {
+		return nil // the stats package is where careful sums live
+	}
+	for _, f := range pass.Files {
+		var rangeDepth int
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if isCollectionRange(pass, top) {
+					rangeDepth--
+				}
+				return true
+			}
+			stack = append(stack, n)
+			if isCollectionRange(pass, n) {
+				rangeDepth++
+				return true
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || rangeDepth == 0 {
+				return true
+			}
+			if as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			if _, indexed := as.Lhs[0].(*ast.IndexExpr); indexed {
+				return true // vector/histogram element update, not a running sum
+			}
+			t := pass.TypesInfo.TypeOf(as.Lhs[0])
+			if t == nil {
+				return true
+			}
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.TokPos,
+					"naive float accumulation inside a range loop; use stats.Moments/stats.Stream or a stats batch helper (or annotate //schedlint:allow floatsum <reason>)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectionRange reports whether n is a range statement over a
+// slice, array, or map — a population, as opposed to range-over-int
+// counters or channels.
+func isCollectionRange(pass *framework.Pass, n ast.Node) bool {
+	rs, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package floatsum_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/floatsum"
+)
+
+func TestFloatSum(t *testing.T) {
+	analysistest.Run(t, "testdata", floatsum.Analyzer,
+		"example.com/internal/metrics", "example.com/internal/stats")
+}

@@ -1,0 +1,56 @@
+// Package metrics is the floatsum fixture: scalar float accumulation
+// over ranged collections is flagged; integer reductions, indexed
+// element updates, and annotated deliberate sums are not.
+package metrics
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // want "naive float accumulation"
+	}
+	return sum / float64(len(xs))
+}
+
+func total(by map[string]float64) float64 {
+	t := 0.0
+	for _, v := range by {
+		t += v // want "naive float accumulation"
+	}
+	return t
+}
+
+// intSum reduces integers: not a float precision hazard.
+func intSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// histogram updates indexed elements — bin state, not a running sum:
+// not flagged.
+func histogram(xs []float64, bins []float64) {
+	for _, x := range xs {
+		i := int(x) % len(bins)
+		bins[i] += x
+	}
+}
+
+// outside accumulates but not over a ranged collection: not flagged.
+func outside(a, b, c float64) float64 {
+	s := a
+	s += b
+	s += c
+	return s
+}
+
+func prefix(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	acc := 0.0
+	for i, x := range xs {
+		acc += x //schedlint:allow floatsum fixture: deliberate sequential prefix sum
+		out[i] = acc
+	}
+	return out
+}

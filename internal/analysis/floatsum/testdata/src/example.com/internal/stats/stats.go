@@ -1,0 +1,13 @@
+// Package stats is the floatsum fixture for the path exemption: the
+// stats package is where the audited plain sums live, so the same loop
+// that is flagged in internal/metrics passes here.
+package stats
+
+// Sum is the audited ordered sum.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+// Package handles enforces the des.Handle usage contract.
+//
+// The event engine pools event structs and stamps each Handle with a
+// generation number, so a stale handle is memory-safe — but only as an
+// inert no-op. Code that keeps using a handle after cancelling it is
+// confused about event lifetimes even when it happens to be harmless,
+// and the confusion turns into real bugs the moment the pooled struct
+// is recycled into a new event. Likewise, comparing two Handle values
+// with == conflates (event, generation) identity across recycling —
+// and across engines, where the comparison is meaningless.
+//
+// The analyzer flags, within a statement block:
+//
+//   - any use of a handle variable after it was passed to Cancel,
+//     until the variable is reassigned (calling Cancelled() on it is
+//     fine: that query is the documented way to inspect a dead handle);
+//   - any ==/!= comparison of two des.Handle values (use Cancelled()
+//     or track liveness explicitly).
+package handles
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the handle-lifetime check.
+var Analyzer = &framework.Analyzer{
+	Name: "handles",
+	Doc:  "flag des.Handle reuse after Cancel and ==/!= comparison of handles",
+	Run:  run,
+}
+
+// isHandle reports whether t is the des package's Handle type (real
+// tree or fixture: any package whose path's last component is "des").
+func isHandle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Handle" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "des" || strings.HasSuffix(path, "/des")
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					tx, ty := pass.TypesInfo.TypeOf(n.X), pass.TypesInfo.TypeOf(n.Y)
+					if tx != nil && ty != nil && isHandle(tx) && isHandle(ty) {
+						pass.Reportf(n.OpPos,
+							"des.Handle comparison conflates (event, generation) identity across recycling and engines; use Cancelled() or track liveness explicitly")
+					}
+				}
+			case *ast.BlockStmt:
+				checkBlock(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock scans one statement list for handle uses after a Cancel
+// of the same variable.
+func checkBlock(pass *framework.Pass, block *ast.BlockStmt) {
+	// cancelled maps a handle variable to the position of its Cancel.
+	cancelled := map[types.Object]token.Pos{}
+	for _, stmt := range block.List {
+		// A reassignment of a cancelled handle revives the variable.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						delete(cancelled, obj)
+					}
+				}
+			}
+		}
+		if len(cancelled) > 0 {
+			reportUses(pass, stmt, cancelled)
+		}
+		// Record Cancels that happen in this statement (after scanning
+		// it for uses, so the Cancel argument itself is not flagged).
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Cancel" || len(call.Args) != 1 {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(arg); t == nil || !isHandle(t) {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(arg); obj != nil {
+				cancelled[obj] = call.Pos()
+			}
+			return true
+		})
+	}
+}
+
+// reportUses flags reads of cancelled handle variables inside stmt,
+// excluding Cancelled() queries. If the statement reassigns the
+// variable somewhere in a nested block, tracking stops conservatively.
+func reportUses(pass *framework.Pass, stmt ast.Stmt, cancelled map[types.Object]token.Pos) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						delete(cancelled, obj)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// h.Cancelled() is the sanctioned post-cancel query.
+			if n.Sel.Name == "Cancelled" {
+				if id, ok := n.X.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						if _, dead := cancelled[obj]; dead {
+							return false
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if _, dead := cancelled[obj]; dead {
+				pass.Reportf(n.Pos(),
+					"handle %s used after Cancel; a cancelled handle is inert — drop it or reassign before reuse", n.Name)
+				delete(cancelled, obj) // one report per cancellation
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package handles_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/handles"
+)
+
+func TestHandles(t *testing.T) {
+	analysistest.Run(t, "testdata", handles.Analyzer, "example.com/internal/sim")
+}

@@ -1,0 +1,29 @@
+// Package des is a handles-fixture stub of the event engine: just
+// enough surface (Handle, Cancelled, Engine.At/Cancel) for the
+// analyzer's type-based matching, which accepts any package whose
+// path ends in "/des".
+package des
+
+// Event is a pooled event record.
+type Event struct{ gen uint64 }
+
+// Handle names a scheduled event with a generation stamp.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// Cancelled reports whether the handle no longer names a live event.
+func (h Handle) Cancelled() bool { return h.ev == nil || h.ev.gen != h.gen }
+
+// Engine is the event engine stub.
+type Engine struct{ now int64 }
+
+// Now returns virtual time.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn and returns its handle.
+func (e *Engine) At(t int64, fn func()) Handle { _ = t; _ = fn; return Handle{} }
+
+// Cancel revokes the event named by h.
+func (e *Engine) Cancel(h Handle) bool { return !h.Cancelled() }

@@ -1,0 +1,41 @@
+// Package sim is the handles fixture: use-after-Cancel and handle
+// comparison are flagged; Cancelled() queries and reassignment are the
+// sanctioned patterns.
+package sim
+
+import "example.com/internal/des"
+
+func useAfterCancel(e *des.Engine) {
+	h := e.At(10, func() {})
+	e.Cancel(h)
+	_ = h // want "handle h used after Cancel"
+}
+
+func compare(a, b des.Handle) bool {
+	return a == b // want "des.Handle comparison"
+}
+
+func compareNeq(a, b des.Handle) bool {
+	return a != b // want "des.Handle comparison"
+}
+
+// query uses the sanctioned post-cancel inspection: not flagged.
+func query(e *des.Engine) bool {
+	h := e.At(10, func() {})
+	e.Cancel(h)
+	return h.Cancelled()
+}
+
+// revive reassigns before reuse: not flagged.
+func revive(e *des.Engine) des.Handle {
+	h := e.At(5, func() {})
+	e.Cancel(h)
+	h = e.At(6, func() {})
+	return h
+}
+
+func allowed(e *des.Engine) {
+	h := e.At(7, func() {})
+	e.Cancel(h)
+	_ = h //schedlint:allow handles fixture: proves the escape hatch works
+}

@@ -1,0 +1,348 @@
+// Package load turns Go packages into type-checked syntax trees for
+// the schedlint analyzers. It is the repository's stdlib-only stand-in
+// for golang.org/x/tools/go/packages: package discovery goes through
+// `go list`, and type information is reconstructed by checking every
+// package — including standard-library dependencies — from source, so
+// the analyzers run in a hermetic build environment with no module
+// proxy and no pre-built export data.
+//
+// Two entry points exist. Packages loads module packages by build
+// pattern ("./...") for the real lint run. NewFixtureLoader loads
+// analysistest-style fixture trees rooted at testdata/src, where the
+// directory below src is the package's import path and fixture imports
+// shadow real packages — the same layout x/tools' analysistest uses.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the analyzers see. Fixture packages get
+	// their testdata-relative path, so path-scoped analyzers behave
+	// identically on fixtures and on the real tree.
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Fset is the file set all Files positions resolve through.
+	Fset *token.FileSet
+	// Files holds the parsed source files, with comments.
+	Files []*ast.File
+	// Types is the checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps for the package's syntax.
+	Info *types.Info
+	// TypeErrors collects soft type-check errors. Analysis proceeds on
+	// a best-effort tree; callers decide whether errors are fatal.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// loader checks packages from source in dependency order, caching by
+// import path so shared dependencies (fmt, sort, ...) are checked once
+// per process.
+type loader struct {
+	fset    *token.FileSet
+	dir     string // directory go list runs in (module root for real loads)
+	listed  map[string]*listedPackage
+	order   []string // listed packages in go list -deps (topological) order
+	checked map[string]*Package
+	// targets marks packages that need full checking (function bodies
+	// and Info maps); everything else is checked export-shape only.
+	targets map[string]bool
+	sizes   types.Sizes
+}
+
+func newLoader(dir string) *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		listed:  map[string]*listedPackage{},
+		checked: map[string]*Package{},
+		targets: map[string]bool{},
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Packages loads and type-checks the packages matching the build
+// patterns (run from dir; empty means the current directory), plus
+// everything they transitively import. Only the matched packages are
+// returned, sorted by import path; dependencies are checked with
+// function bodies skipped, which is all their export shape needs.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := newLoader(dir)
+	if err := ld.list(patterns); err != nil {
+		return nil, err
+	}
+	// A second, bare `go list` names the matched packages; -deps above
+	// mixed them with their dependency closure. Targets must be known
+	// before any checking starts: a target that is also a dependency of
+	// another target would otherwise be cached body-less.
+	out, err := ld.goList(append([]string{"list", "-e"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	targets := strings.Fields(string(out))
+	for _, path := range targets {
+		ld.targets[path] = true
+	}
+	// Check in topological order so imports resolve from the cache.
+	for _, path := range ld.order {
+		if _, err := ld.check(path); err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+	}
+	var pkgs []*Package
+	for _, path := range targets {
+		p, err := ld.check(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// list populates the listed map with the dependency closure of the
+// given patterns or import paths.
+func (ld *loader) list(patterns []string) error {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	out, err := ld.goList(args)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return fmt.Errorf("go list output: %w", err)
+		}
+		if _, dup := ld.listed[lp.ImportPath]; !dup {
+			p := lp
+			ld.listed[lp.ImportPath] = &p
+			ld.order = append(ld.order, lp.ImportPath)
+		}
+	}
+	return nil
+}
+
+func (ld *loader) goList(args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0", "GOFLAGS=-mod=mod")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// check type-checks one listed package (and, recursively, its
+// imports). Target packages get body checking and Info collection;
+// transitive dependencies skip bodies, which is faster and sidesteps
+// low-level runtime constructs the checker has no business revisiting.
+func (ld *loader) check(path string) (*Package, error) {
+	if p, ok := ld.checked[path]; ok {
+		return p, nil
+	}
+	full := ld.targets[path]
+	lp, ok := ld.listed[path]
+	if !ok {
+		// An import outside the already-listed closure (possible for
+		// fixture imports of real packages): list it on demand.
+		if err := ld.list([]string{path}); err != nil {
+			return nil, err
+		}
+		if lp, ok = ld.listed[path]; !ok {
+			return nil, fmt.Errorf("package %s not found by go list", path)
+		}
+	}
+	if lp.Error != nil && len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("go list: %s", lp.Error.Err)
+	}
+	files := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, f)
+	}
+	return ld.checkFiles(path, lp.Dir, files, lp.ImportMap, full)
+}
+
+// checkFiles parses and type-checks one package from explicit file
+// paths. importMap rewrites import paths (vendored std dependencies).
+func (ld *loader) checkFiles(path, dir string, files []string, importMap map[string]string, full bool) (*Package, error) {
+	p := &Package{Path: path, Dir: dir, Fset: ld.fset}
+	// Install the entry before recursing so import cycles (which go
+	// list would have rejected anyway) cannot hang the loader.
+	ld.checked[path] = p
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	cfg := types.Config{
+		Importer:         importerFunc(func(imp string) (*types.Package, error) { return ld.importPkg(imp, importMap) }),
+		Sizes:            ld.sizes,
+		IgnoreFuncBodies: !full,
+		Error:            func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	if full {
+		p.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	// Errors are soft: the checker recovers and the analyzers run on
+	// whatever typed best-effort — the driver surfaces the errors.
+	p.Types, _ = cfg.Check(path, ld.fset, p.Files, p.Info)
+	return p, nil
+}
+
+// importPkg resolves one import for the type checker.
+func (ld *loader) importPkg(path string, importMap map[string]string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := importMap[path]; ok {
+		path = mapped
+	}
+	p, err := ld.check(path)
+	if err != nil {
+		return nil, err
+	}
+	if p.Types == nil {
+		return nil, fmt.Errorf("package %s failed to check", path)
+	}
+	return p.Types, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// FixtureLoader loads analysistest-style fixture packages from a
+// testdata/src tree. Import paths that exist under root/src resolve to
+// the fixture (shadowing any real package of the same path); anything
+// else falls back to the regular source loader, so fixtures import the
+// standard library freely.
+type FixtureLoader struct {
+	root string // the testdata directory
+	ld   *loader
+}
+
+// NewFixtureLoader returns a loader rooted at the given testdata
+// directory.
+func NewFixtureLoader(testdata string) *FixtureLoader {
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		abs = testdata
+	}
+	return &FixtureLoader{root: abs, ld: newLoader(abs)}
+}
+
+// Load type-checks the fixture package at root/src/<path> and returns
+// it with Path set to <path>.
+func (fl *FixtureLoader) Load(path string) (*Package, error) {
+	return fl.load(path, true)
+}
+
+func (fl *FixtureLoader) load(path string, full bool) (*Package, error) {
+	if p, ok := fl.ld.checked[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fl.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	sort.Strings(files)
+	p := &Package{Path: path, Dir: dir, Fset: fl.ld.fset}
+	fl.ld.checked[path] = p
+	for _, name := range files {
+		f, err := parser.ParseFile(fl.ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	cfg := types.Config{
+		Importer:         importerFunc(fl.importPkg),
+		Sizes:            fl.ld.sizes,
+		IgnoreFuncBodies: !full,
+		Error:            func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	if full {
+		p.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	p.Types, _ = cfg.Check(path, fl.ld.fset, p.Files, p.Info)
+	return p, nil
+}
+
+// importPkg prefers fixture packages, then real ones.
+func (fl *FixtureLoader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(fl.root, "src", filepath.FromSlash(path)); dirExists(dir) {
+		p, err := fl.load(path, false)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return fl.ld.importPkg(path, nil)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "example.com/mapout")
+}

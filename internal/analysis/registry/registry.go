@@ -1,0 +1,189 @@
+// Package registry enforces the scheduler registry's self-registration
+// contract in internal/sched.
+//
+// PR 4 made the registry the single source of truth: every listing,
+// usage text, and error message derives from what constructor files
+// Register from their init functions, so the catalogue cannot drift
+// from what Build constructs. That only holds if the registrations
+// themselves follow the rules this analyzer checks:
+//
+//   - Register must be called from an init function, so the registry
+//     is complete before any Parse/Build runs;
+//   - a Family literal's Name must be a literal string that satisfies
+//     the spec grammar's token rules, so the registered name is
+//     statically known to round-trip sched.Parse;
+//   - a file that defines a scheduler family constructor (a top-level
+//     NewXxx returning a Scheduler, not a decorator consuming one)
+//     must self-register a family in an init in that same file.
+//
+// The file declaring Register itself (the registry infrastructure) is
+// exempt from the constructor rule.
+package registry
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the registry self-registration check.
+var Analyzer = &framework.Analyzer{
+	Name: "registry",
+	Doc: "scheduler families must self-register from init with literal, " +
+		"Parse-compatible names",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathMatches(pass.Path, "internal/sched") {
+		return nil
+	}
+	// The Scheduler interface anchors constructor detection; without
+	// it (e.g. a support file set) there is nothing to check.
+	var schedIface *types.Interface
+	if obj, ok := pass.Pkg.Scope().Lookup("Scheduler").(*types.TypeName); ok {
+		schedIface, _ = obj.Type().Underlying().(*types.Interface)
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f, schedIface)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, f *ast.File, schedIface *types.Interface) {
+	registersInInit := false
+	infraFile := false // the file declaring Register itself
+	var constructors []*ast.FuncDecl
+
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Name.Name == "Register" && fd.Recv == nil {
+			infraFile = true
+		}
+		isInit := fd.Name.Name == "init" && fd.Recv == nil
+		// Find Register calls and Family literals inside this function.
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "Register" {
+					if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+						if isInit {
+							registersInInit = true
+						} else {
+							pass.Reportf(n.Pos(),
+								"Register called outside init: the registry must be complete before any Parse/Build runs")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				checkFamilyLit(pass, n)
+			}
+			return true
+		})
+		if fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "New") &&
+			isFamilyConstructor(pass, fd, schedIface) {
+			constructors = append(constructors, fd)
+		}
+	}
+
+	if infraFile || registersInInit {
+		return
+	}
+	for _, fd := range constructors {
+		pass.Reportf(fd.Pos(),
+			"file defines scheduler constructor %s but no init here registers a family; "+
+				"self-register (or annotate //schedlint:allow registry <reason> for decorators)",
+			fd.Name.Name)
+	}
+}
+
+// checkFamilyLit validates the Name field of a sched.Family composite
+// literal: it must be a literal string that the spec grammar accepts,
+// so the registered name round-trips sched.Parse by construction.
+func checkFamilyLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Family" || named.Obj().Pkg() != pass.Pkg {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Name" {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Value]
+		if !ok || tv.Value == nil {
+			pass.Reportf(kv.Value.Pos(),
+				"family Name must be a constant string so schedlint can verify it round-trips sched.Parse")
+			return
+		}
+		name := strings.Trim(tv.Value.String(), `"`)
+		if !parseToken(name) {
+			pass.Reportf(kv.Value.Pos(),
+				"family name %q does not satisfy the spec grammar (lowercase letters, digits, '.', '_', '-'); it cannot round-trip sched.Parse", name)
+		}
+		return
+	}
+}
+
+// parseToken mirrors the spec grammar's family-name rule: non-empty,
+// lowercase letters and digits plus '.', '_', '-'. ('+' is legal in
+// legacy aliases but not in family names: Parse canonicalizes specs
+// through Family(...) rendering, and a '+' would re-parse as an
+// alias.)
+func parseToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isFamilyConstructor reports whether fd is a scheduler family
+// constructor: no parameter implements Scheduler (those are
+// decorators) and the first result does.
+func isFamilyConstructor(pass *framework.Pass, fd *ast.FuncDecl, iface *types.Interface) bool {
+	if iface == nil || fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if implementsScheduler(sig.Params().At(i).Type(), iface) {
+			return false // consumes a Scheduler: a decorator, exempt
+		}
+	}
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	return implementsScheduler(sig.Results().At(0).Type(), iface)
+}
+
+func implementsScheduler(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}

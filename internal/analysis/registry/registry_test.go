@@ -1,0 +1,12 @@
+package registry_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/registry"
+)
+
+func TestRegistry(t *testing.T) {
+	analysistest.Run(t, "testdata", registry.Analyzer, "example.com/internal/sched")
+}

@@ -1,0 +1,19 @@
+package sched
+
+// greedy exercises the misuse cases: Register outside init, a name the
+// spec grammar rejects, and a non-constant name.
+type greedy struct{}
+
+// Name implements Scheduler.
+func (g *greedy) Name() string { return "greedy" }
+
+var badName = "greedy"
+
+func setup() {
+	Register(Family{Name: "Greedy+Bad"}) // want "outside init" "does not satisfy the spec grammar"
+}
+
+func init() {
+	_ = setup
+	Register(Family{Name: badName}) // want "must be a constant string"
+}

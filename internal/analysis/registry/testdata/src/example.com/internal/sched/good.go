@@ -1,0 +1,17 @@
+package sched
+
+// fcfs is a well-behaved family: its constructor file registers it
+// from init with a literal, grammar-clean name. Nothing here is
+// flagged.
+type fcfs struct{}
+
+// Name implements Scheduler.
+func (f *fcfs) Name() string { return "fcfs" }
+
+// NewFCFS constructs the family; the init below registers it.
+func NewFCFS() *fcfs { return &fcfs{} }
+
+func init() {
+	Register(Family{Name: "fcfs", Doc: "first-come first-served",
+		New: func() Scheduler { return NewFCFS() }})
+}

@@ -1,0 +1,11 @@
+package sched
+
+// orphan implements Scheduler but its constructor file never
+// registers a family: the drift the analyzer exists to catch.
+type orphan struct{}
+
+// Name implements Scheduler.
+func (o *orphan) Name() string { return "orphan" }
+
+// NewOrphan constructs the family but nothing registers it.
+func NewOrphan() *orphan { return &orphan{} } // want "no init here registers"

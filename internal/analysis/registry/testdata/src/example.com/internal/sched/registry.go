@@ -1,0 +1,24 @@
+// Package sched is the registry fixture: a miniature of the real
+// scheduler registry (Family, Scheduler, Register) plus well-behaved,
+// misbehaving, and suppressed constructor files.
+//
+// This file declares Register, which exempts it from the
+// constructor-must-self-register rule (it is the infrastructure).
+package sched
+
+// Scheduler is the minimal scheduling interface.
+type Scheduler interface {
+	Name() string
+}
+
+// Family describes one scheduler family.
+type Family struct {
+	Name string
+	Doc  string
+	New  func() Scheduler
+}
+
+var families = map[string]Family{}
+
+// Register records a family in the catalogue.
+func Register(f Family) { families[f.Name] = f }

@@ -1,0 +1,11 @@
+package sched
+
+// mold is a shared decorator configuration whose alias is registered
+// elsewhere; the directive suppresses the constructor finding.
+type mold struct{}
+
+// Name implements Scheduler.
+func (m *mold) Name() string { return "mold" }
+
+//schedlint:allow registry fixture: shared configuration, alias registered elsewhere
+func NewMold() *mold { return &mold{} }

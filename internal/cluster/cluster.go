@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"parsched/internal/debugchecks"
 )
 
 // NoOwner marks a free node.
@@ -31,9 +33,11 @@ const NoOwner int64 = 0
 
 // debugCheck, when true, makes every mutating operation cross-validate
 // the cached counters and free lists against a from-scratch scan.
-// Enabled by tests (see EnableDebugChecks); off in production because
+// Defaults to the debugchecks build tag (so `go test -tags debugchecks`
+// validates every machine in the whole test load); tests can also flip
+// it at runtime via EnableDebugChecks. Off in production builds because
 // it restores the O(N)-per-event cost the cache exists to remove.
-var debugCheck bool
+var debugCheck = debugchecks.Enabled
 
 // EnableDebugChecks toggles scan-based cross-validation of the cached
 // state after every mutation. Returns the previous setting. Not safe

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"parsched/internal/stats"
+)
 
 // This file implements the feedback methodology of Section 2.2 of the
 // paper: "we identify sequences of dependent jobs (e.g. all those
@@ -44,7 +48,7 @@ func InferFeedback(w *Workload, window int64) InferReport {
 	}
 	sort.Slice(users, func(i, k int) bool { return users[i] < users[k] })
 
-	var thinkSum float64
+	var thinks stats.Moments
 	for _, u := range users {
 		idxs := byUser[u]
 		chainLen := 1
@@ -60,7 +64,7 @@ func InferFeedback(w *Workload, window int64) InferReport {
 				cur.PrecedingJob = prev.ID
 				cur.ThinkTime = think
 				rep.LinkedJobs++
-				thinkSum += float64(think)
+				thinks.Add(float64(cur.ThinkTime))
 				chainLen++
 				if chainLen == 2 {
 					rep.Chains++
@@ -73,9 +77,7 @@ func InferFeedback(w *Workload, window int64) InferReport {
 			}
 		}
 	}
-	if rep.LinkedJobs > 0 {
-		rep.MeanThink = thinkSum / float64(rep.LinkedJobs)
-	}
+	rep.MeanThink = thinks.Mean()
 	return rep
 }
 

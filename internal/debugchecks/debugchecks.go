@@ -1,0 +1,23 @@
+// Package debugchecks gates the repository's expensive invariant
+// assertions behind one build tag.
+//
+// Building (or testing) with -tags debugchecks turns Enabled into the
+// constant true, compiling in the O(n) cross-validation passes that
+// the hot simulation paths cannot afford by default: the event
+// engine's full heap-order and handle-generation checks
+// (internal/des), the running-set/runOrder mirror check
+// (internal/sim), and the cluster's scan-based counter
+// cross-validation (internal/cluster, whose runtime toggle defaults
+// to this constant). Without the tag, Enabled is the constant false
+// and every `if debugchecks.Enabled { ... }` block is eliminated at
+// compile time — the assertions cost nothing in production builds.
+//
+// CI runs the tier-1 simulation packages under the tag (the
+// "debugchecks" job), so every invariant is exercised by the full
+// test load on every change.
+package debugchecks
+
+// Enabled reports whether the debugchecks build tag is set. It is a
+// constant, so guarded assertion blocks compile away entirely in
+// default builds.
+const Enabled = enabled

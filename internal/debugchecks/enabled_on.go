@@ -1,0 +1,5 @@
+//go:build debugchecks
+
+package debugchecks
+
+const enabled = true

@@ -1,0 +1,46 @@
+package des
+
+import (
+	"fmt"
+
+	"parsched/internal/debugchecks"
+)
+
+// verifyHeap re-validates the complete binary-heap invariant on
+// (time, priority, seq). It is called from every push and popHead
+// when the debugchecks build tag is set; the O(n)-per-event cost is
+// why it is not on by default.
+func (e *Engine) verifyHeap() {
+	for i := 1; i < len(e.queue); i++ {
+		parent := (i - 1) / 2
+		if less(e.queue[i], e.queue[parent]) {
+			panic(fmt.Sprintf(
+				"des: heap order violated at index %d: (%d,%d,%d) sorts before its parent (%d,%d,%d)",
+				i,
+				e.queue[i].time, e.queue[i].priority, e.queue[i].seq,
+				e.queue[parent].time, e.queue[parent].priority, e.queue[parent].seq))
+		}
+	}
+}
+
+// verifyHandle checks that a handle's generation is not ahead of its
+// event's: the engine only ever bumps generations on recycle, so a
+// handle from the future means the handle crossed engines or its
+// memory was corrupted. Stale handles (gen behind the event) are the
+// normal, legal case and pass.
+func verifyHandle(h Handle) {
+	if h.ev != nil && h.gen > h.ev.gen {
+		panic(fmt.Sprintf(
+			"des: handle generation %d ahead of its event's %d (cross-engine or corrupted handle)",
+			h.gen, h.ev.gen))
+	}
+}
+
+// assertInvariants is the shared guard: a no-op unless the
+// debugchecks build tag is set (Enabled is a constant, so the guarded
+// calls compile away).
+func (e *Engine) assertInvariants() {
+	if debugchecks.Enabled {
+		e.verifyHeap()
+	}
+}

@@ -1,0 +1,65 @@
+//go:build debugchecks
+
+package des
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests only compile under -tags debugchecks: they corrupt
+// internal state on purpose and require the invariant assertions to
+// catch it. The CI debugchecks job runs them alongside the regular
+// suite, which exercises the same assertions on the happy path.
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v; want one containing %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestDebugHeapOrderViolationCaught(t *testing.T) {
+	e := NewEngine(0)
+	for i := int64(1); i <= 7; i++ {
+		e.At(i*10, PriorityArrival, func() {})
+	}
+	// Swap the root with a leaf: the next push must detect the
+	// violated heap order.
+	last := len(e.queue) - 1
+	e.queue[0], e.queue[last] = e.queue[last], e.queue[0]
+	mustPanic(t, "heap order violated", func() {
+		e.At(100, PriorityArrival, func() {})
+	})
+}
+
+func TestDebugForeignHandleCaught(t *testing.T) {
+	e := NewEngine(0)
+	h := e.At(10, PriorityArrival, func() {})
+	// A generation from the future can only mean the handle crossed
+	// engines or was corrupted; Cancel must refuse it loudly.
+	h.gen = h.ev.gen + 5
+	mustPanic(t, "handle generation", func() { e.Cancel(h) })
+}
+
+func TestDebugChecksPassOnHealthyEngine(t *testing.T) {
+	e := NewEngine(4)
+	fired := 0
+	var hs []Handle
+	for i := int64(20); i >= 1; i-- {
+		hs = append(hs, e.At(i, PrioritySchedule, func() { fired++ }))
+	}
+	e.Cancel(hs[0]) // time 20, scheduled first
+	e.Run()
+	if fired != 19 {
+		t.Fatalf("fired %d events, want 19", fired)
+	}
+}

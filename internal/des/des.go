@@ -17,6 +17,8 @@
 // occupant.
 package des
 
+import "parsched/internal/debugchecks"
+
 // Priority classes order events that share a timestamp. Finishing jobs
 // before processing arrivals at the same instant is the convention that
 // lets a queued job start the moment another ends.
@@ -117,6 +119,9 @@ func (e *Engine) After(d int64, priority int, action func()) Handle {
 // Cancel prevents a scheduled event from firing. Cancelling an already
 // fired or cancelled event is a no-op.
 func (e *Engine) Cancel(h Handle) {
+	if debugchecks.Enabled {
+		verifyHandle(h)
+	}
 	if h.ev != nil && h.gen == h.ev.gen {
 		h.ev.action = nil
 	}
@@ -233,6 +238,7 @@ func (e *Engine) push(ev *event) {
 		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
 		i = parent
 	}
+	e.assertInvariants()
 }
 
 // popHead removes the root of the heap.
@@ -260,4 +266,5 @@ func (e *Engine) popHead() {
 		e.queue[i], e.queue[smallest] = e.queue[smallest], e.queue[i]
 		i = smallest
 	}
+	e.assertInvariants()
 }

@@ -131,7 +131,9 @@ func Cells(runners []Runner, cfg Config, reps int) []Cell {
 func RunBatch(ctx context.Context, runners []Runner, cfg Config, opt BatchOptions) *BatchResult {
 	opt = opt.withDefaults()
 	cells := Cells(runners, cfg, opt.Reps)
-	start := time.Now()
+	// Wall-clock here times the batch for the human reading the
+	// report; nothing simulated observes it.
+	start := time.Now() //schedlint:allow determinism batch elapsed time is diagnostic output, not simulation state
 
 	results := make([]CellResult, len(cells))
 	idxCh := make(chan int)
@@ -164,7 +166,7 @@ func RunBatch(ctx context.Context, runners []Runner, cfg Config, opt BatchOption
 		Parallel: opt.Parallel,
 		Reps:     opt.Reps,
 		Cells:    results,
-		Elapsed:  time.Since(start),
+		Elapsed:  time.Since(start), //schedlint:allow determinism batch elapsed time is diagnostic output, not simulation state
 	}
 	if opt.Reps > 1 {
 		br.Summaries = summarize(results)
@@ -180,9 +182,9 @@ func runCell(ctx context.Context, c Cell, cfg Config) (out CellResult) {
 		out.Err = err.Error()
 		return out
 	}
-	start := time.Now()
+	start := time.Now() //schedlint:allow determinism per-cell wall-clock timing is diagnostic output, not simulation state
 	defer func() {
-		out.Elapsed = time.Since(start)
+		out.Elapsed = time.Since(start) //schedlint:allow determinism per-cell wall-clock timing is diagnostic output, not simulation state
 		if r := recover(); r != nil {
 			out.Err = fmt.Sprintf("panic: %v", r)
 			out.Tables = nil

@@ -330,7 +330,7 @@ func E8CoAllocation(cfg Config) ([]Table, error) {
 		for _, outs := range g.LocalOutcomes() {
 			r := cfg.report("", "", outs, cfg.Nodes/2)
 			if r.Finished > 0 {
-				localBSLD += r.BSLD.Mean * float64(r.Finished)
+				localBSLD += r.BSLD.Mean * float64(r.Finished) //schedlint:allow floatsum finished-weighted recombination of per-site collector means; golden-locked arithmetic
 				localN += r.Finished
 			}
 		}

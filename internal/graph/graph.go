@@ -129,20 +129,20 @@ func (g *Graph) Preds() map[int][]Edge {
 
 // TotalWork sums module work.
 func (g *Graph) TotalWork() float64 {
-	var w float64
+	var w stats.Moments
 	for _, m := range g.Modules {
-		w += m.Work
+		w.Add(m.Work)
 	}
-	return w
+	return w.Sum()
 }
 
 // TotalBytes sums edge volumes.
 func (g *Graph) TotalBytes() float64 {
-	var b float64
+	var b stats.Moments
 	for _, e := range g.Edges {
-		b += e.Bytes
+		b.Add(e.Bytes)
 	}
-	return b
+	return b.Sum()
 }
 
 // CriticalPath returns the longest compute-only path length in seconds

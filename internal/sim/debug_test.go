@@ -1,0 +1,70 @@
+//go:build debugchecks
+
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/des"
+	"parsched/internal/sched"
+)
+
+// Compiled only under -tags debugchecks: corrupts the runOrder mirror
+// on purpose and requires verifyRunOrder to catch the divergence.
+
+func debugInstance(t *testing.T) *Instance {
+	t.Helper()
+	sm, err := NewInstance(des.NewEngine(0), "debug", 16, sched.NewFCFS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func debugRunState(id, expEnd int64) *runState {
+	return &runState{job: &core.Job{ID: id}, expEnd: expEnd}
+}
+
+func TestDebugRunOrderCorruptionCaught(t *testing.T) {
+	sm := debugInstance(t)
+	for i := int64(1); i <= 4; i++ {
+		rs := debugRunState(i, i*100)
+		sm.running[rs.job.ID] = rs
+		sm.insertRunning(rs)
+	}
+	// Swap two entries: the next membership change must detect the
+	// broken (ExpEnd, job ID) order.
+	sm.runOrder[0], sm.runOrder[3] = sm.runOrder[3], sm.runOrder[0]
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "runOrder not sorted") {
+			t.Fatalf("panic %v; want one containing %q", r, "runOrder not sorted")
+		}
+	}()
+	rs := debugRunState(5, 500)
+	sm.running[rs.job.ID] = rs
+	sm.insertRunning(rs)
+}
+
+func TestDebugRunOrderMembershipDivergenceCaught(t *testing.T) {
+	sm := debugInstance(t)
+	rs := debugRunState(1, 100)
+	sm.running[rs.job.ID] = rs
+	sm.insertRunning(rs)
+	// Drop the job from the map but not the mirror: the next
+	// transition must see the length divergence.
+	delete(sm.running, rs.job.ID)
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "running set has") {
+			t.Fatalf("panic %v; want one containing %q", r, "running set has")
+		}
+	}()
+	other := debugRunState(2, 200)
+	sm.running[other.job.ID] = other
+	sm.insertRunning(other)
+}

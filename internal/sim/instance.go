@@ -500,6 +500,7 @@ func (sm *Instance) insertRunning(rs *runState) {
 	sm.runOrder = append(sm.runOrder, nil)
 	copy(sm.runOrder[i+1:], sm.runOrder[i:])
 	sm.runOrder[i] = rs
+	sm.assertRunOrder()
 }
 
 // removeRunning deletes rs from runOrder. rs must be present; its sort
@@ -512,6 +513,7 @@ func (sm *Instance) removeRunning(rs *runState) {
 	copy(sm.runOrder[i:], sm.runOrder[i+1:])
 	sm.runOrder[len(sm.runOrder)-1] = nil
 	sm.runOrder = sm.runOrder[:len(sm.runOrder)-1]
+	sm.assertRunOrder()
 }
 
 // Estimate implements sched.Context.

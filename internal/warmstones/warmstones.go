@@ -15,6 +15,7 @@ import (
 
 	"parsched/internal/des"
 	"parsched/internal/graph"
+	"parsched/internal/stats"
 )
 
 // Machine is one computer in the canonical metasystem representation:
@@ -261,11 +262,11 @@ func Estimate(g *graph.Graph, sys *System, m Mapping) float64 {
 			makespan = t
 		}
 	}
-	var comm float64
+	var comm stats.Moments
 	for _, e := range g.Edges {
-		comm += sys.CommTime(m[e.From], m[e.To], e.Bytes)
+		comm.Add(sys.CommTime(m[e.From], m[e.To], e.Bytes))
 	}
-	return makespan + comm
+	return makespan + comm.Sum()
 }
 
 // Simulate is the high-fidelity event-driven interpreter: modules
