@@ -52,6 +52,7 @@ func main() {
 	bsldTau := flag.Int64("bsld-tau", 0, "bounded-slowdown runtime floor in seconds (0 = default 10)")
 	sketch := flag.Bool("sketch", false, "O(1)-memory quantile sketches instead of exact percentiles")
 	sample := flag.Int64("sample", 0, "print a utilization/queue/backlog time series sampled every N seconds (0 = off)")
+	stream := flag.Bool("stream", false, "replay a trace file through the O(1)-memory streaming pipeline (faithful replay only: sorted feedback-free log, no -scale-load/-feedback/-jobs rescaling beyond truncation)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: simsched [flags] trace.swf   ('-' or no argument reads stdin)")
 		flag.PrintDefaults()
@@ -60,8 +61,16 @@ func main() {
 	flag.Parse()
 
 	var src *trace.Source
+	var ssrc *trace.StreamSource
 	var err error
 	switch {
+	case *stream:
+		// Streaming needs two passes over the file (statistics, then
+		// replay), so it cannot read stdin.
+		if flag.NArg() != 1 || flag.Arg(0) == "-" {
+			fail(fmt.Errorf("-stream needs a trace file argument"))
+		}
+		ssrc, err = trace.OpenStream(flag.Arg(0))
 	case flag.NArg() == 0 || (flag.NArg() == 1 && flag.Arg(0) == "-"):
 		var log *swf.Log
 		log, err = swf.Read(os.Stdin)
@@ -81,7 +90,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "simsched: cleaned %s: %s\n", src.Name, src.CleanSummary())
+	if ssrc != nil {
+		fmt.Fprintf(os.Stderr, "simsched: scanned %s: %s\n", ssrc.Name, ssrc.CleanSummary())
+	} else {
+		fmt.Fprintf(os.Stderr, "simsched: cleaned %s: %s\n", src.Name, src.CleanSummary())
+	}
 
 	if *bsldTau < 0 {
 		fail(fmt.Errorf("-bsld-tau: %d is not a positive duration", *bsldTau))
@@ -129,7 +142,12 @@ func main() {
 		}
 		rs := base
 		rs.Scheduler = sp
-		results, err := experiments.ExecuteSource(src, rs)
+		var results []experiments.RunResult
+		if ssrc != nil {
+			results, err = experiments.ExecuteStream(ssrc, rs)
+		} else {
+			results, err = experiments.ExecuteSource(src, rs)
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -207,9 +207,24 @@ type Workload struct {
 // Clone returns a deep copy of the workload (job structs are copied;
 // Speedup models and Structures are shared, as they are immutable).
 func (w *Workload) Clone() *Workload {
-	out := &Workload{Name: w.Name, MaxNodes: w.MaxNodes, Jobs: make([]*Job, len(w.Jobs))}
-	for i, j := range w.Jobs {
+	return w.ClonePrefix(len(w.Jobs))
+}
+
+// ClonePrefix deep-copies only the first n jobs (all of them when n is
+// out of range), equivalent to Clone followed by Truncate(n) but
+// without copying the jobs the truncation would discard. Feedback
+// references pointing past the prefix are cleared, as in Truncate.
+func (w *Workload) ClonePrefix(n int) *Workload {
+	if n < 0 || n > len(w.Jobs) {
+		n = len(w.Jobs)
+	}
+	out := &Workload{Name: w.Name, MaxNodes: w.MaxNodes, Jobs: make([]*Job, n)}
+	for i, j := range w.Jobs[:n] {
 		cp := *j
+		if cp.PrecedingJob > int64(n) {
+			cp.PrecedingJob = 0
+			cp.ThinkTime = 0
+		}
 		out.Jobs[i] = &cp
 	}
 	return out
@@ -366,38 +381,10 @@ func FromSWF(log *swf.Log) (*Workload, error) {
 		if r.RunTime < 0 {
 			return nil, fmt.Errorf("job %d: unknown runtime; run swf.Clean first", r.JobID)
 		}
-		size := r.Procs
-		if size <= 0 {
-			size = r.ReqProcs
-		}
-		if size <= 0 {
+		if r.Procs <= 0 && r.ReqProcs <= 0 {
 			return nil, fmt.Errorf("job %d: unknown size; run swf.Clean first", r.JobID)
 		}
-		j := &Job{
-			ID:            r.JobID,
-			Submit:        r.Submit,
-			Size:          int(size),
-			Runtime:       r.RunTime,
-			AvgCPU:        r.AvgCPU,
-			MemPerProc:    r.UsedMem,
-			ReqMemPerProc: r.ReqMem,
-			User:          r.User,
-			Group:         r.Group,
-			App:           r.App,
-			Queue:         r.Queue,
-			Partition:     r.Partition,
-			Killed:        r.Status == swf.StatusKilled,
-		}
-		if r.ReqTime > 0 {
-			j.Estimate = r.ReqTime
-		}
-		if r.PrecedingJob > 0 {
-			j.PrecedingJob = r.PrecedingJob
-			if r.ThinkTime >= 0 {
-				j.ThinkTime = r.ThinkTime
-			}
-		}
-		w.Jobs = append(w.Jobs, j)
+		w.Jobs = append(w.Jobs, JobFromRecord(r))
 	}
 	w.SortBySubmit()
 	return w, nil

@@ -270,7 +270,16 @@ func (rs RunSpec) Validate() error {
 
 // Execute resolves and runs the RunSpec: one result per load point
 // (or a single default-load run when Loads is empty).
+//
+// Faithful replays of large trace files (recorded load, variant 0,
+// open loop) run through the streaming pipeline automatically: the log
+// is never materialized, so memory stays bounded by the jobs in flight
+// rather than the trace length. The results are identical either way —
+// the gate is purely a memory/speed decision (see stream.go).
 func Execute(rs RunSpec) ([]RunResult, error) {
+	if src, ok := rs.streamSource(); ok {
+		return executeStream(rs, src)
+	}
 	if err := rs.Validate(); err != nil {
 		return nil, err
 	}

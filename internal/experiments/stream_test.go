@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parsched/internal/sched"
+	"parsched/internal/swf"
+)
+
+// cleanedTrace writes the cleaned (streamable) form of the trace
+// fixture to a temp file.
+func cleanedTrace(t *testing.T) string {
+	t.Helper()
+	log, err := swf.ReadFile("../workload/trace/testdata/mini.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := swf.Clean(log)
+	path := filepath.Join(t.TempDir(), "mini.cln.swf")
+	if err := swf.WriteFile(path, clean); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func traceSpec(path string) RunSpec {
+	return RunSpec{
+		Scheduler: sched.Spec{Family: "easy"},
+		Source:    Source{Kind: sourceTrace, Arg: path},
+	}
+}
+
+func TestExecuteAutoStreamMatchesMaterialized(t *testing.T) {
+	path := cleanedTrace(t)
+
+	// Force the materialized path first (threshold far above the file),
+	// then the streaming path (threshold at zero), and require identical
+	// results — the auto-stream gate must be invisible in the output.
+	saved := autoStreamBytes
+	defer func() { autoStreamBytes = saved }()
+
+	autoStreamBytes = 1 << 60
+	if _, ok := traceSpec(path).streamSource(); ok {
+		t.Fatal("small file must not trigger streaming")
+	}
+	mat, err := Execute(traceSpec(path))
+	if err != nil {
+		t.Fatalf("materialized Execute: %v", err)
+	}
+
+	autoStreamBytes = 0
+	if _, ok := traceSpec(path).streamSource(); !ok {
+		t.Fatal("streamable trace above threshold must trigger streaming")
+	}
+	str, err := Execute(traceSpec(path))
+	if err != nil {
+		t.Fatalf("streaming Execute: %v", err)
+	}
+
+	if !reflect.DeepEqual(mat, str) {
+		t.Fatalf("results diverge:\nmaterialized %+v\nstreamed     %+v", mat, str)
+	}
+}
+
+func TestAutoStreamGateRespectsRunShape(t *testing.T) {
+	path := cleanedTrace(t)
+	saved := autoStreamBytes
+	defer func() { autoStreamBytes = saved }()
+	autoStreamBytes = 0
+
+	base := traceSpec(path)
+	if _, ok := base.streamSource(); !ok {
+		t.Fatal("baseline spec should stream")
+	}
+
+	cases := map[string]RunSpec{}
+	loaded := base
+	loaded.Loads = []float64{0.8} // rescaling needs the materialized workload
+	cases["rescaled load"] = loaded
+	rep := base
+	rep.Rep = 2 // gap resampling needs the materialized workload
+	cases["replication variant"] = rep
+	fb := base
+	fb.Sim.Feedback = true // closed loop is unsupported in streaming
+	cases["feedback"] = fb
+	model := base
+	model.Source = Source{Kind: sourceModel, Arg: defaultSubstrate}
+	cases["model source"] = model
+
+	for name, rs := range cases {
+		if _, ok := rs.streamSource(); ok {
+			t.Errorf("%s: must fall back to the materialized path", name)
+		}
+	}
+
+	// Truncation is compatible with streaming (a prefix of the stream).
+	trunc := base
+	trunc.Jobs = 5
+	if _, ok := trunc.streamSource(); !ok {
+		t.Error("truncated replay should still stream")
+	}
+	res, err := Execute(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Workload.Jobs != 5 {
+		t.Fatalf("truncated stream run reported %+v", res)
+	}
+}

@@ -70,6 +70,28 @@ type EASY struct {
 	// scratch is the per-pass working profile, reused across scheduling
 	// passes so a pass costs no profile allocations.
 	scratch Profile
+	// Shadow-time cache: the head's reservation recomputes identically
+	// while the profile base is unchanged (same build stamp, no Take
+	// mirrored into it), the head job is the same, and the cached start
+	// has not fallen due. EarliestFit found no earlier hole last pass,
+	// and the profile has only aged, so none can have appeared.
+	shadowOK    bool
+	shadowStamp uint64
+	shadowHead  int64
+	shadowEst   int64
+	shadowSize  int
+	shadowVal   int64
+	// Swept-queue memo: after a phase-2 sweep that started nothing, a
+	// later pass over the same profile base (same stamp, no Take
+	// mirrored into it — a start anywhere would have changed the running
+	// set and forced a new stamp) re-rejects every job it already swept:
+	// now only advances, so now+est <= shadow only gets falser; FitsAt
+	// over an unchanged profile can flip true to false but never back;
+	// and the machine state cannot change without a rebuild. Only jobs
+	// queued behind sweepLen need evaluation.
+	sweepOK    bool
+	sweepStamp uint64
+	sweepLen   int
 }
 
 // NewEASY returns plain EASY backfilling.
@@ -151,26 +173,45 @@ func (e *EASY) schedule(ctx Context) {
 	// Phase 2: the head is blocked. Compute its reservation from the
 	// profile, then backfill later jobs that do not delay it.
 	head := e.queue[0]
-	shadow := p.EarliestFit(now, ctx.Estimate(head), head.Size)
-	if shadow < 0 {
-		// The head can never fit (bigger than the machine after
-		// failures); skip backfill gating against it.
-		shadow = maxFuture
+	headEst := ctx.Estimate(head)
+	var shadow int64
+	if e.shadowOK && !p.Mutated() && e.shadowStamp == p.Stamp() &&
+		e.shadowHead == head.ID && e.shadowEst == headEst &&
+		e.shadowSize == head.Size && e.shadowVal >= now {
+		shadow = e.shadowVal
+	} else {
+		shadow = p.EarliestFit(now, headEst, head.Size)
+		if shadow < 0 {
+			// The head can never fit (bigger than the machine after
+			// failures); skip backfill gating against it.
+			shadow = maxFuture
+		}
+		// Cache only computations against the pristine base — a profile
+		// already carrying this pass's starts is not reproducible next
+		// pass.
+		e.shadowOK = !p.Mutated()
+		if e.shadowOK {
+			e.shadowStamp, e.shadowHead = p.Stamp(), head.ID
+			e.shadowEst, e.shadowSize, e.shadowVal = headEst, head.Size, shadow
+		}
 	}
 	// Processors left over for backfill at the shadow time.
 	extra := p.FreeAt(shadow) - head.Size
 
 	i := 1
+	if e.sweepOK && e.sweepStamp == p.Stamp() && !p.Mutated() && e.sweepLen <= len(e.queue) {
+		i = e.sweepLen
+	}
 	for i < len(e.queue) {
 		j := e.queue[i]
-		if !e.canStartNow(ctx, p, j) {
-			i++
-			continue
-		}
 		est := ctx.Estimate(j)
 		fitsBefore := now+est <= shadow
 		fitsBeside := j.Size <= extra
-		if fitsBefore || fitsBeside {
+		// The shadow gates are integer compares; test them before the
+		// capacity/profile checks so candidates that could not backfill
+		// anyway (the bulk of a congested queue) cost nothing. Pure
+		// predicates both ways, so the conjunction order is free.
+		if (fitsBefore || fitsBeside) && e.canStartNow(ctx, p, j) {
 			ctx.Start(j, j.Size)
 			p.Take(now, now+est, j.Size)
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -180,6 +221,13 @@ func (e *EASY) schedule(ctx Context) {
 			continue
 		}
 		i++
+	}
+	// Record a fruitless sweep (p unmutated means neither this loop nor
+	// phase 1 started anything) so the next pass over the same base only
+	// looks at jobs that arrived after it.
+	if e.sweepOK = !p.Mutated(); e.sweepOK {
+		e.sweepStamp = p.Stamp()
+		e.sweepLen = len(e.queue)
 	}
 }
 
@@ -211,7 +259,7 @@ func (e *EASY) scheduleDeep(ctx Context, p *Profile, now int64) {
 			i++
 			continue
 		}
-		if ctx.CanStart(j, j.Size) && p.EarliestFit(now, est, j.Size) == now {
+		if ctx.CanStart(j, j.Size) && p.FitsAt(now, est, j.Size) {
 			ctx.Start(j, j.Size)
 			p.Take(now, now+est, j.Size)
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -226,15 +274,17 @@ func (e *EASY) scheduleDeep(ctx Context, p *Profile, now int64) {
 // p is the pass's working profile (already reflecting this pass's
 // starts).
 func (e *EASY) canStartNow(ctx Context, p *Profile, j *core.Job) bool {
-	if !ctx.CanStart(j, j.Size) {
+	// In Windows mode the job must fit under the profile for its whole
+	// estimated duration starting now (otherwise it would collide with a
+	// window). FitsAt answers exactly EarliestFit(now, ...) == now, but
+	// bails at the first too-full segment instead of scanning on for a
+	// later hole this check would discard anyway — and it runs before
+	// the machine walk, since in a congested pass it is the commoner
+	// rejection. Both predicates are pure, so the order is free.
+	if e.Windows && !p.FitsAt(ctx.Now(), ctx.Estimate(j), j.Size) {
 		return false
 	}
-	if !e.Windows {
-		return true
-	}
-	// The job must fit under the profile for its whole estimated
-	// duration starting now (otherwise it would collide with a window).
-	return p.EarliestFit(ctx.Now(), ctx.Estimate(j), j.Size) == ctx.Now()
+	return ctx.CanStart(j, j.Size)
 }
 
 const maxFuture = int64(1) << 60

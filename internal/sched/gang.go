@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"parsched/internal/core"
 )
@@ -50,6 +49,13 @@ type Gang struct {
 
 	rows  []*gangRow
 	queue []*core.Job
+	// members mirrors every job in the matrix, kept sorted by job ID:
+	// the deterministic order rebalance applies rates in. Maintained
+	// incrementally on place/remove so a rebalance allocates nothing.
+	members []*core.Job
+	// rowPool recycles emptied rows (their jobs backing arrays included)
+	// so reopening a row costs no allocation in steady state.
+	rowPool []*gangRow
 }
 
 type gangRow struct {
@@ -99,14 +105,49 @@ func (g *Gang) removeJob(j *core.Job) {
 	for ri, row := range g.rows {
 		for k, jj := range row.jobs {
 			if jj.ID == j.ID {
-				row.jobs = append(row.jobs[:k], row.jobs[k+1:]...)
+				copy(row.jobs[k:], row.jobs[k+1:])
+				row.jobs[len(row.jobs)-1] = nil
+				row.jobs = row.jobs[:len(row.jobs)-1]
 				row.used -= j.Size
 				if len(row.jobs) == 0 {
 					g.rows = append(g.rows[:ri], g.rows[ri+1:]...)
+					g.rowPool = append(g.rowPool, row)
 				}
+				g.removeMember(j.ID)
 				return
 			}
 		}
+	}
+}
+
+// memberIndex returns the position of id in the sorted member list (or
+// the insertion point if absent).
+func (g *Gang) memberIndex(id int64) int {
+	lo, hi := 0, len(g.members)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.members[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (g *Gang) addMember(j *core.Job) {
+	i := g.memberIndex(j.ID)
+	g.members = append(g.members, nil)
+	copy(g.members[i+1:], g.members[i:])
+	g.members[i] = j
+}
+
+func (g *Gang) removeMember(id int64) {
+	i := g.memberIndex(id)
+	if i < len(g.members) && g.members[i].ID == id {
+		copy(g.members[i:], g.members[i+1:])
+		g.members[len(g.members)-1] = nil
+		g.members = g.members[:len(g.members)-1]
 	}
 }
 
@@ -127,6 +168,7 @@ func (g *Gang) schedule(ctx Context) {
 		}
 		row.jobs = append(row.jobs, j)
 		row.used += j.Size
+		g.addMember(j)
 		ctx.StartShared(j, 0) // rate set by rebalance below
 	}
 	g.queue = kept
@@ -148,27 +190,32 @@ func (g *Gang) pickRow(size, total int) *gangRow {
 		return best
 	}
 	if len(g.rows) < g.Slots {
-		r := &gangRow{}
+		var r *gangRow
+		if n := len(g.rowPool); n > 0 {
+			r = g.rowPool[n-1]
+			g.rowPool[n-1] = nil
+			g.rowPool = g.rowPool[:n-1]
+			r.used = 0
+			r.jobs = r.jobs[:0]
+		} else {
+			r = &gangRow{}
+		}
 		g.rows = append(g.rows, r)
 		return r
 	}
 	return nil
 }
 
-// rebalance sets every running job's rate to 1/rows.
+// rebalance sets every running job's rate to 1/rows, in ascending job
+// ID order (the member list is maintained sorted, so this is a plain
+// sweep rather than a per-pass sort).
 func (g *Gang) rebalance(ctx Context) {
 	k := len(g.rows)
 	if k == 0 {
 		return
 	}
 	rate := 1 / float64(k)
-	// Deterministic order: by job ID.
-	var all []*core.Job
-	for _, r := range g.rows {
-		all = append(all, r.jobs...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	for _, j := range all {
+	for _, j := range g.members {
 		ctx.SetRate(j, rate)
 	}
 }

@@ -11,6 +11,54 @@ type Profile struct {
 	// extends to infinity.
 	times []int64
 	frees []int
+
+	// winT/winV are scratch buffers for BuildProfileInto's window
+	// deltas, kept on the profile so a rebuild allocates nothing in
+	// steady state.
+	winT []int64
+	winV []int
+
+	// Window-delta cache: cw snapshots the window set winT/winV were
+	// built from, valid while now < cwUntil (the earliest time any
+	// window's ongoing/future classification changes). Window sets
+	// change on announcements and expiries — thousands of scheduling
+	// passes apart — so the sort above almost always amortizes to an
+	// O(windows) equality check.
+	cw      []Window
+	cwUntil int64
+	cwValid bool
+	// cwEpoch mirrors the context's WindowEpoch stamp when it offers
+	// one; equal stamps replace the element-wise cw comparison (and the
+	// window-set reads) entirely.
+	cwEpoch uint64
+
+	// mutated tracks whether times/frees were written since the last
+	// BuildProfileInto (schedulers mirror the starts they make with
+	// Take). An unmutated profile is still the snapshot below, so a
+	// cache-hit rebuild is just re-stamping times[0].
+	mutated bool
+	// buildStamp counts full (non-cache-hit) builds. Schedulers use it
+	// to key derived results — equal stamps plus an unmutated profile
+	// mean every query would answer as it did last pass.
+	buildStamp uint64
+
+	// Built-profile snapshot: baseT/baseF hold the pristine merge
+	// result, baseRun/baseFree the running set and free count it was
+	// built from. While those inputs are unchanged (most passes in a
+	// congested run start nothing, so they are) and no breakpoint has
+	// fallen due, a rebuild is a memcpy restore instead of a re-merge —
+	// the scratch profile itself gets mutated by Take during the pass,
+	// so the snapshot is what makes reuse possible at all.
+	baseT    []int64
+	baseF    []int
+	baseRun  []RunningJob
+	baseFree int
+	// baseRunEpoch mirrors the context's RunEpoch stamp when it offers
+	// one; equal stamps replace the baseRun comparison (and the
+	// Running() read) entirely. baseEpochOK distinguishes which scheme
+	// stamped the current snapshot.
+	baseRunEpoch uint64
+	baseEpochOK  bool
 }
 
 // NewProfile creates a profile that is flat at free processors from
@@ -41,6 +89,11 @@ func (p *Profile) clone() *Profile {
 // — this sits under every split/FreeAt/EarliestFit on the per-event
 // path, where sort.Search's closure calls are measurable.
 func (p *Profile) segmentAt(t int64) int {
+	// Most queries anchor at the profile start (canStartNow, backfill
+	// Take at now): answer those without the search.
+	if len(p.times) == 1 || t < p.times[1] {
+		return 0
+	}
 	lo, hi := 0, len(p.times) // invariant: times[lo-1] <= t < times[hi]
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -84,6 +137,7 @@ func (p *Profile) Take(start, end int64, procs int) {
 	if end <= p.times[0] {
 		return
 	}
+	p.mutated = true
 	si := p.split(start)
 	ei := p.split(end)
 	for i := si; i < ei; i++ {
@@ -94,6 +148,7 @@ func (p *Profile) Take(start, end int64, procs int) {
 // Release adds procs free processors from time `from` onward (a running
 // job's expected completion, or nodes returning after an outage).
 func (p *Profile) Release(from int64, procs int) {
+	p.mutated = true
 	if from < p.times[0] {
 		from = p.times[0]
 	}
@@ -146,6 +201,21 @@ func (p *Profile) EarliestFit(after int64, dur int64, procs int) int64 {
 	return -1
 }
 
+// FitsAt reports whether procs processors are continuously free for
+// dur seconds starting exactly at start — the EarliestFit(start, ...)
+// == start question answered without the full scan: a too-full segment
+// fails immediately instead of sending EarliestFit hunting through the
+// rest of the profile for a later hole nobody will use.
+func (p *Profile) FitsAt(start, dur int64, procs int) bool {
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	return p.fits(start, start+dur, procs)
+}
+
 // fits reports whether procs are free over the whole window [s, e).
 func (p *Profile) fits(s, e int64, procs int) bool {
 	si := p.segmentAt(s)
@@ -180,34 +250,231 @@ func BuildProfile(ctx Context) *Profile {
 
 // BuildProfileInto is BuildProfile writing into a caller-owned scratch
 // profile (reusing its backing arrays across scheduling passes).
+//
+// The build is a single merge of two sorted delta streams: running-job
+// releases (Running() is ordered by expected end, and overdueClamp is
+// monotone, so their breakpoints arrive pre-sorted) and outage/
+// reservation window edges (insertion-sorted into scratch — window
+// counts are small). Appending cumulative breakpoints replaces the old
+// per-window split() inserts, whose memmoves dominated windows-on runs;
+// the resulting times/frees arrays are element-identical to what the
+// Release/Take sequence produced.
 func BuildProfileInto(p *Profile, ctx Context) *Profile {
 	now := ctx.Now()
-	p.Reset(now, ctx.FreeProcs())
-	for _, r := range ctx.Running() {
-		// The base profile (FreeProcs) already excludes the job's
-		// processors; they come back at the expected end.
-		p.Release(overdueClamp(now, r.ExpEnd), r.Size)
+	free := ctx.FreeProcs()
+
+	// Window-set freshness: by stamp when the context offers one (no
+	// window reads at all on a hit), by element comparison otherwise.
+	var outs, resvs []Window
+	var winsOK bool
+	if we, ok := ctx.(WindowEpoch); ok {
+		ep := we.WindowsEpoch()
+		winsOK = p.cwValid && p.cwEpoch == ep && now < p.cwUntil
+		if !winsOK {
+			outs, resvs = ctx.Outages(), ctx.Reservations()
+			p.cwEpoch = ep
+		}
+	} else {
+		outs, resvs = ctx.Outages(), ctx.Reservations()
+		winsOK = p.windowCacheValid(now, outs, resvs)
 	}
-	for _, w := range ctx.Outages() {
-		applyWindow(p, now, w)
+
+	// Base freshness: same free count, no snapshot breakpoint fallen due
+	// (breakpoints are strictly increasing, so baseT[1] bounds them all
+	// and also catches overdue-job clamps going stale — the clamp is
+	// always the earliest breakpoint), and an unchanged running set — by
+	// stamp when the context offers one (no Running() read at all on a
+	// hit), by element comparison otherwise.
+	baseOK := len(p.baseT) > 0 && p.baseFree == free &&
+		!(len(p.baseT) > 1 && p.baseT[1] <= now)
+	var running []RunningJob
+	haveRunning := false
+	re, hasRunEpoch := ctx.(RunEpoch)
+	if hasRunEpoch {
+		ep := re.RunningEpoch()
+		baseOK = baseOK && p.baseEpochOK && p.baseRunEpoch == ep
+		p.baseRunEpoch = ep
+	} else {
+		running = ctx.Running()
+		haveRunning = true
+		baseOK = baseOK && !p.baseEpochOK && p.runningUnchanged(running)
 	}
-	for _, w := range ctx.Reservations() {
-		applyWindow(p, now, w)
+
+	if winsOK && baseOK {
+		if p.mutated {
+			p.times = append(p.times[:0], p.baseT...)
+			p.frees = append(p.frees[:0], p.baseF...)
+			p.mutated = false
+		}
+		p.times[0] = now
+		return p
 	}
+
+	if !haveRunning {
+		running = ctx.Running()
+	}
+	p.Reset(now, free)
+	if !winsOK {
+		p.winT = p.winT[:0]
+		p.winV = p.winV[:0]
+		p.cw = p.cw[:0]
+		p.cwUntil = maxFuture
+		for _, w := range outs {
+			p.addWindow(now, w)
+		}
+		for _, w := range resvs {
+			p.addWindow(now, w)
+		}
+		p.cwValid = true
+	}
+
+	// Two-pointer merge with cached stream heads, so each release is
+	// clamped exactly once. The output is at most one breakpoint per
+	// input delta, so the arrays are pre-sized once and written by index
+	// — the per-element append bookkeeping is measurable at this call
+	// rate.
+	need := 1 + len(running) + len(p.winT)
+	if cap(p.times) < need {
+		p.times = append(p.times[:cap(p.times)], make([]int64, need-cap(p.times))...)
+		p.frees = append(p.frees[:cap(p.frees)], make([]int, need-cap(p.frees))...)
+	}
+	times, frees := p.times[:need], p.frees[:need]
+	n := 1
+	ri, wi := 0, 0
+	rt, wt := int64(maxFuture), int64(maxFuture)
+	if ri < len(running) {
+		rt = overdueClamp(now, running[ri].ExpEnd)
+	}
+	if wi < len(p.winT) {
+		wt = p.winT[wi]
+	}
+	cur := frees[0]
+	for rt != maxFuture || wt != maxFuture {
+		t := rt
+		if wt < t {
+			t = wt
+		}
+		for rt == t {
+			// The base profile (FreeProcs) already excludes the job's
+			// processors; they come back at the expected end.
+			cur += running[ri].Size
+			ri++
+			if ri < len(running) {
+				rt = overdueClamp(now, running[ri].ExpEnd)
+			} else {
+				rt = maxFuture
+			}
+		}
+		for wt == t {
+			cur += p.winV[wi]
+			wi++
+			if wi < len(p.winT) {
+				wt = p.winT[wi]
+			} else {
+				wt = maxFuture
+			}
+		}
+		times[n], frees[n] = t, cur
+		n++
+	}
+	p.times, p.frees = times[:n], frees[:n]
+
+	p.baseT = append(p.baseT[:0], p.times...)
+	p.baseF = append(p.baseF[:0], p.frees...)
+	if hasRunEpoch {
+		p.baseRun = p.baseRun[:0]
+		p.baseEpochOK = true
+	} else {
+		p.baseRun = append(p.baseRun[:0], running...)
+		p.baseEpochOK = false
+	}
+	p.baseFree = free
+	p.mutated = false
+	p.buildStamp++
 	return p
 }
 
-// applyWindow folds a capacity-reduction window into the profile. An
-// ongoing window's processors are already unavailable (excluded from
-// FreeProcs or held by the reservation's allocation) and simply return
-// at End; a future window subtracts capacity over its span.
-func applyWindow(p *Profile, now int64, w Window) {
+// Stamp identifies the profile's current base content: it changes on
+// every full rebuild and is stable across cache-hit rebuilds. Combined
+// with Mutated(), it tells a scheduler whether query results cached
+// from an earlier pass are still exact.
+func (p *Profile) Stamp() uint64 { return p.buildStamp }
+
+// Mutated reports whether the profile was written (Take/Release) since
+// its last build.
+func (p *Profile) Mutated() bool { return p.mutated }
+
+// runningUnchanged reports whether the given running set equals the
+// snapshot's (the element-comparison fallback for contexts without a
+// RunEpoch stamp).
+func (p *Profile) runningUnchanged(running []RunningJob) bool {
+	if len(p.baseRun) != len(running) {
+		return false
+	}
+	for i := range running {
+		if p.baseRun[i] != running[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// windowCacheValid reports whether the cached winT/winV deltas still
+// describe the given window set at time now: same windows, in order,
+// and no window has crossed a classification boundary (a future
+// window's Start, an ongoing window's End) since they were built. All
+// cached delta times sit at or past those boundaries, so while the
+// check holds every delta time stays strictly after now and the merge
+// invariant (breakpoints > times[0]) is preserved.
+func (p *Profile) windowCacheValid(now int64, outs, resvs []Window) bool {
+	if !p.cwValid || now >= p.cwUntil || len(p.cw) != len(outs)+len(resvs) {
+		return false
+	}
+	for i, w := range outs {
+		if p.cw[i] != w {
+			return false
+		}
+	}
+	for i, w := range resvs {
+		if p.cw[len(outs)+i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// addWindow folds a capacity-reduction window into the scratch delta
+// buffers and records it in the cache snapshot. An ongoing window's
+// processors are already unavailable (excluded from FreeProcs or held
+// by the reservation's allocation) and simply return at End; a future
+// window subtracts capacity over its span.
+func (p *Profile) addWindow(now int64, w Window) {
+	p.cw = append(p.cw, w)
 	if w.End <= now {
 		return
 	}
 	if w.Start <= now {
-		p.Release(w.End, w.Procs)
+		p.addDelta(w.End, w.Procs)
+		if w.End < p.cwUntil {
+			p.cwUntil = w.End
+		}
 		return
 	}
-	p.Take(w.Start, w.End, w.Procs)
+	p.addDelta(w.Start, -w.Procs)
+	p.addDelta(w.End, w.Procs)
+	if w.Start < p.cwUntil {
+		p.cwUntil = w.Start
+	}
+}
+
+// addDelta insertion-sorts one (time, delta) edge into the scratch
+// buffers. Insertion keeps equal-time edges in arrival order, matching
+// the old apply order exactly.
+func (p *Profile) addDelta(t int64, v int) {
+	p.winT = append(p.winT, t)
+	p.winV = append(p.winV, v)
+	for i := len(p.winT) - 1; i > 0 && p.winT[i-1] > t; i-- {
+		p.winT[i], p.winT[i-1] = p.winT[i-1], p.winT[i]
+		p.winV[i], p.winV[i-1] = p.winV[i-1], p.winV[i]
+	}
 }

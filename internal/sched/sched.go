@@ -92,6 +92,25 @@ type Context interface {
 	SetRate(j *core.Job, rate float64)
 }
 
+// WindowEpoch is optionally implemented by Contexts that can stamp
+// their window sets: the stamp advances whenever Outages() or
+// Reservations() would return different contents, so equal stamps let
+// profile builders reuse window-derived state without re-reading (or
+// re-comparing) the sets. Contexts without it fall back to element-wise
+// comparison.
+type WindowEpoch interface {
+	WindowsEpoch() uint64
+}
+
+// RunEpoch is the running-set analog of WindowEpoch: the stamp advances
+// whenever Running() would return different contents (a job starts or
+// terminates — the scheduler-visible ExpEnd is fixed at start time), so
+// equal stamps let profile builders skip both the Running() read and the
+// element-wise comparison against their snapshot.
+type RunEpoch interface {
+	RunningEpoch() uint64
+}
+
 // Scheduler is an online machine scheduler.
 type Scheduler interface {
 	// Name identifies the scheduler in tables.

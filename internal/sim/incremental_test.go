@@ -152,13 +152,32 @@ func TestVisibleWindowsMatchesReference(t *testing.T) {
 	var buf []sched.Window
 	for _, now := range []int64{0, 10, 45, 55, 65, 99, 150, 250, 999, 1500, PlanningHorizon + 550} {
 		want := reference(shadow, now)
-		live, buf = visibleWindows(live, buf[:0], now)
+		var until int64
+		live, buf, until = visibleWindows(live, buf[:0], now)
 		if len(buf) != len(want) {
 			t.Fatalf("now=%d: got %v, want %v", now, buf, want)
 		}
 		for i := range want {
 			if buf[i] != want[i] {
 				t.Fatalf("now=%d: got %v, want %v", now, buf, want)
+			}
+		}
+		// The memo bound promises the visible set is unchanged strictly
+		// before `until`: re-deriving it at until-1 must match buf.
+		if until <= now {
+			t.Fatalf("now=%d: memo bound %d not in the future", now, until)
+		}
+		if probe := until - 1; probe > now {
+			again := reference(shadow, probe)
+			if len(again) != len(buf) {
+				t.Fatalf("now=%d: visible set changed before memo bound %d: %v vs %v",
+					now, until, again, buf)
+			}
+			for i := range again {
+				if again[i] != buf[i] {
+					t.Fatalf("now=%d: visible set changed before memo bound %d: %v vs %v",
+						now, until, again, buf)
+				}
 			}
 		}
 	}

@@ -40,6 +40,12 @@ type Instance struct {
 	runBuf  []sched.RunningJob
 	outBuf  []sched.Window
 	resvBuf []sched.Window
+	// runBufEpoch marks the runEpoch runBuf was last rebuilt at: while
+	// it matches, Running() returns the buffer as-is (its contents are a
+	// pure function of runOrder). Both start at zero, which is consistent:
+	// until the first insert bumps runEpoch, the running set is empty and
+	// the nil buffer is exactly right.
+	runBufEpoch uint64
 	// rsPool recycles runState structs between jobs so a start costs no
 	// allocation in steady state.
 	rsPool []*runState
@@ -48,9 +54,33 @@ type Instance struct {
 
 	outageWins []timedWindow
 	resvWins   []timedWindow
+	// outMemoUntil/resvMemoUntil memoize the visibleWindows scans:
+	// outBuf/resvBuf are still exactly what a fresh scan would produce
+	// while now stays below the mark (no window expires, crosses the
+	// planning horizon, or reaches its announcement before then).
+	// Zeroed whenever a window is added.
+	outMemoUntil  int64
+	resvMemoUntil int64
+	// winEpoch stamps the visible window sets: it advances exactly when
+	// outBuf/resvBuf contents (can) change — on every window addition
+	// and every memo-expiry rescan. Profile builders compare stamps
+	// instead of window lists.
+	winEpoch uint64
+	// runEpoch stamps the running set the same way: it advances on every
+	// runOrder membership change (the only mutations — ExpEnd is fixed at
+	// start), so equal stamps mean Running() would repeat itself.
+	runEpoch uint64
 
 	resvResults []ReservationOutcome
 	nextResvID  int64
+
+	// pruneFinal deletes a job's outcome entry the moment its final
+	// outcome is emitted (completion or permanent drop). RunStream sets
+	// it under DiscardOutcomes: observers have already seen the outcome,
+	// nothing reads it later, and keeping it would make the outcome map
+	// grow with the trace — the one O(jobs) structure left in a
+	// streaming replay. The map then holds only in-flight jobs.
+	pruneFinal bool
 
 	// FinishHook, when set, observes every final job termination
 	// (completion or permanent drop). Used by meta-schedulers.
@@ -182,6 +212,8 @@ func (sm *Instance) ReservationOutcomes() []ReservationOutcome {
 // outage log).
 func (sm *Instance) announceOutage(win sched.Window, announced int64) {
 	sm.outageWins = append(sm.outageWins, timedWindow{win: win, announced: announced})
+	sm.outMemoUntil = 0
+	sm.winEpoch++
 	sm.notifyChange()
 }
 
@@ -212,6 +244,8 @@ func (sm *Instance) Reserve(r sched.Reservation) int64 {
 		win:       sched.Window{Start: r.Start, End: r.End, Procs: r.Procs},
 		announced: now,
 	})
+	sm.resvMemoUntil = 0
+	sm.winEpoch++
 	sm.engine.At(r.Start, des.PriorityOutage, func() { sm.claimReservation(r) })
 	sm.notifyChange()
 	return r.ID
@@ -326,6 +360,9 @@ func (sm *Instance) killJob(id int64) {
 		if sm.FinishHook != nil {
 			sm.FinishHook(job, *o)
 		}
+		if sm.pruneFinal {
+			delete(sm.outcomes, id)
+		}
 		sm.callback(func() { sm.schedule.OnFinish(sm, job) })
 		return
 	}
@@ -385,14 +422,16 @@ func (sm *Instance) Start(j *core.Job, size int) {
 	now := sm.engine.Now()
 	actual := j.RuntimeOn(size)
 	rs := sm.allocRunState()
+	fire := rs.fire
 	*rs = runState{
 		job: j, size: size, start: now,
 		expEnd:     now + sm.Estimate(j),
 		remaining:  float64(actual),
 		rate:       1,
 		lastUpdate: now,
+		fire:       fire,
 	}
-	rs.finish = sm.engine.At(now+actual, des.PriorityFinish, func() { sm.finishJob(j.ID) })
+	rs.finish = sm.engine.At(now+actual, des.PriorityFinish, sm.fireFor(rs))
 	sm.running[j.ID] = rs
 	sm.insertRunning(rs)
 	if sm.StartHook != nil {
@@ -407,6 +446,7 @@ func (sm *Instance) StartShared(j *core.Job, rate float64) {
 	}
 	now := sm.engine.Now()
 	rs := sm.allocRunState()
+	fire := rs.fire
 	*rs = runState{
 		job: j, size: j.Size, start: now,
 		expEnd:     now + sm.Estimate(j),
@@ -414,6 +454,7 @@ func (sm *Instance) StartShared(j *core.Job, rate float64) {
 		remaining:  float64(j.Runtime),
 		rate:       0,
 		lastUpdate: now,
+		fire:       fire,
 	}
 	sm.running[j.ID] = rs
 	sm.insertRunning(rs)
@@ -451,17 +492,35 @@ func (sm *Instance) setRate(rs *runState, rate float64) {
 	if dur < 0 {
 		dur = 0
 	}
-	id := rs.job.ID
-	rs.finish = sm.engine.At(now+dur, des.PriorityFinish, func() { sm.finishJob(id) })
+	rs.finish = sm.engine.At(now+dur, des.PriorityFinish, sm.fireFor(rs))
 }
+
+// fireFor returns rs's cached finish callback, creating it on first
+// use. The closure captures the runState, not a job ID: by the time it
+// fires, rs still describes the job whose finish was scheduled (a
+// terminated job's event is always either fired or cancelled before
+// the runState returns to the pool).
+func (sm *Instance) fireFor(rs *runState) func() {
+	if rs.fire == nil {
+		rs.fire = func() { sm.finishJob(rs.job.ID) }
+	}
+	return rs.fire
+}
+
+// RunningEpoch implements sched.RunEpoch.
+func (sm *Instance) RunningEpoch() uint64 { return sm.runEpoch }
 
 // Running implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Running() call on this instance.
 func (sm *Instance) Running() []sched.RunningJob {
+	if sm.runBufEpoch == sm.runEpoch {
+		return sm.runBuf
+	}
 	sm.runBuf = sm.runBuf[:0]
 	for _, rs := range sm.runOrder {
 		sm.runBuf = append(sm.runBuf, sched.RunningJob{Job: rs.job, Size: rs.size, Start: rs.start, ExpEnd: rs.expEnd})
 	}
+	sm.runBufEpoch = sm.runEpoch
 	return sm.runBuf
 }
 
@@ -479,9 +538,12 @@ func (sm *Instance) allocRunState() *runState {
 
 // recycleRunState returns a terminated job's state to the pool. Only
 // call once every read of rs (including scheduler callbacks that might
-// observe it) has completed.
+// observe it) has completed. The cached finish closure survives the
+// reset — it is bound to the struct, not the departing job.
 func (sm *Instance) recycleRunState(rs *runState) {
+	fire := rs.fire
 	*rs = runState{}
+	rs.fire = fire
 	sm.rsPool = append(sm.rsPool, rs)
 }
 
@@ -500,6 +562,7 @@ func (sm *Instance) insertRunning(rs *runState) {
 	sm.runOrder = append(sm.runOrder, nil)
 	copy(sm.runOrder[i+1:], sm.runOrder[i:])
 	sm.runOrder[i] = rs
+	sm.runEpoch++
 	sm.assertRunOrder()
 }
 
@@ -513,6 +576,7 @@ func (sm *Instance) removeRunning(rs *runState) {
 	copy(sm.runOrder[i:], sm.runOrder[i+1:])
 	sm.runOrder[len(sm.runOrder)-1] = nil
 	sm.runOrder = sm.runOrder[:len(sm.runOrder)-1]
+	sm.runEpoch++
 	sm.assertRunOrder()
 }
 
@@ -527,15 +591,41 @@ func (sm *Instance) Estimate(j *core.Job) int64 {
 // Outages implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Outages() call on this instance.
 func (sm *Instance) Outages() []sched.Window {
-	sm.outageWins, sm.outBuf = visibleWindows(sm.outageWins, sm.outBuf[:0], sm.engine.Now())
+	now := sm.engine.Now()
+	if now >= sm.outMemoUntil {
+		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now)
+		sm.winEpoch++
+	}
 	return sm.outBuf
 }
 
 // Reservations implements sched.Context. The returned slice is a
 // reused buffer, valid only until the next Reservations() call.
 func (sm *Instance) Reservations() []sched.Window {
-	sm.resvWins, sm.resvBuf = visibleWindows(sm.resvWins, sm.resvBuf[:0], sm.engine.Now())
+	now := sm.engine.Now()
+	if now >= sm.resvMemoUntil {
+		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now)
+		sm.winEpoch++
+	}
 	return sm.resvBuf
+}
+
+// WindowsEpoch implements sched.WindowEpoch: it refreshes both window
+// memos for the current instant and returns the stamp. Equal stamps
+// across calls guarantee Outages() and Reservations() would return
+// element-identical slices, letting profile builders reuse window work
+// without re-reading the sets.
+func (sm *Instance) WindowsEpoch() uint64 {
+	now := sm.engine.Now()
+	if now >= sm.outMemoUntil {
+		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now)
+		sm.winEpoch++
+	}
+	if now >= sm.resvMemoUntil {
+		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now)
+		sm.winEpoch++
+	}
+	return sm.winEpoch
 }
 
 // PlanningHorizon bounds how far ahead capacity windows are exposed to
@@ -551,7 +641,14 @@ const PlanningHorizon = 14 * 86400
 // out permanently, since simulation time only moves forward. The
 // relative order of surviving windows — and therefore of the visible
 // output — is preserved.
-func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedWindow, []sched.Window) {
+//
+// The third result is the memo bound: the earliest future instant the
+// visible set can change on its own — a visible window expiring, or a
+// hidden one reaching its announcement or the planning horizon. Until
+// then (and absent new windows) buf stays exact and callers skip the
+// rescan entirely.
+func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedWindow, []sched.Window, int64) {
+	until := int64(1) << 62
 	kept := 0
 	for _, tw := range wins {
 		if tw.win.End <= now {
@@ -561,9 +658,24 @@ func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedW
 		kept++
 		if tw.announced <= now && tw.win.Start <= now+PlanningHorizon {
 			buf = append(buf, tw.win)
+			if tw.win.End < until {
+				until = tw.win.End
+			}
+		} else {
+			// Hidden for now; it surfaces at its announcement or when
+			// the horizon reaches its start, whichever is later. (A
+			// hidden window expiring changes nothing visible, so its
+			// End does not bound the memo.)
+			at := tw.win.Start - PlanningHorizon
+			if tw.announced > at {
+				at = tw.announced
+			}
+			if at < until {
+				until = at
+			}
 		}
 	}
-	return wins[:kept], buf
+	return wins[:kept], buf, until
 }
 
 // finishJob completes a running job.
@@ -595,6 +707,9 @@ func (sm *Instance) finishJob(id int64) {
 	sm.emit(*o)
 	if sm.FinishHook != nil {
 		sm.FinishHook(job, *o)
+	}
+	if sm.pruneFinal {
+		delete(sm.outcomes, id)
 	}
 	sm.callback(func() { sm.schedule.OnFinish(sm, job) })
 }

@@ -126,6 +126,12 @@ type runState struct {
 	rate       float64
 	lastUpdate int64
 	finish     des.Handle
+	// fire is the finish callback bound to this runState, created once
+	// and kept across pool recycling: rescheduling a finish (every gang
+	// rate change does one) then costs no closure allocation. It reads
+	// the job identity at fire time, and cancelled events never fire,
+	// so pool reuse cannot misdeliver a finish.
+	fire func()
 }
 
 // Run simulates workload w under scheduler s. The workload is cloned;

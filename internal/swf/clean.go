@@ -16,6 +16,37 @@ type CleanReport struct {
 	RepairedPrec     int // preceding-job references dropped or remapped
 }
 
+// cleanOne applies the per-record clean rules in place — the kernel
+// shared by Clean and the streaming CleanStream so the two views cannot
+// drift apart. It repairs the record (processor-count fallback, CPU
+// clamp), tallies what it did into rep, and reports whether the record
+// survives.
+func cleanOne(r *Record, rep *CleanReport) bool {
+	if !r.Status.IsSummary() {
+		rep.DroppedPartials++
+		return false
+	}
+	if r.RunTime < 0 {
+		rep.DroppedNoRuntime++
+		return false
+	}
+	if r.Procs <= 0 {
+		if r.ReqProcs > 0 {
+			// Fall back on the request when the allocation was not
+			// recorded; this keeps the job replayable.
+			r.Procs = r.ReqProcs
+		} else {
+			rep.DroppedNoProcs++
+			return false
+		}
+	}
+	if r.AvgCPU > r.RunTime && r.RunTime >= 0 {
+		r.AvgCPU = r.RunTime
+		rep.ClampedCPU++
+	}
+	return true
+}
+
 // Clean reduces a log to the canonical workload-study view, mirroring
 // the archive practice of shipping ".cln.swf" files next to raw logs:
 //
@@ -34,27 +65,8 @@ func Clean(in *Log) (*Log, CleanReport) {
 
 	kept := make([]Record, 0, len(in.Records))
 	for _, r := range in.Records {
-		if !r.Status.IsSummary() {
-			rep.DroppedPartials++
+		if !cleanOne(&r, &rep) {
 			continue
-		}
-		if r.RunTime < 0 {
-			rep.DroppedNoRuntime++
-			continue
-		}
-		if r.Procs <= 0 {
-			if r.ReqProcs > 0 {
-				// Fall back on the request when the allocation was not
-				// recorded; this keeps the job replayable.
-				r.Procs = r.ReqProcs
-			} else {
-				rep.DroppedNoProcs++
-				continue
-			}
-		}
-		if r.AvgCPU > r.RunTime && r.RunTime >= 0 {
-			r.AvgCPU = r.RunTime
-			rep.ClampedCPU++
 		}
 		kept = append(kept, r)
 	}

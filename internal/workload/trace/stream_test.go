@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parsched/internal/core"
+	"parsched/internal/metrics"
+	"parsched/internal/sched"
+	"parsched/internal/sim"
+	"parsched/internal/swf"
+)
+
+// streamableFixture writes the cleaned form of mini.swf to a temp file:
+// sorted, rebased, renumbered — the shape archive ".cln.swf" files ship
+// in, and the shape the streaming pipeline accepts.
+func streamableFixture(t *testing.T) string {
+	t.Helper()
+	log, err := swf.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := swf.Clean(log)
+	path := filepath.Join(t.TempDir(), "mini.cln.swf")
+	if err := swf.WriteFile(path, clean); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func openBoth(t *testing.T, path string) (*Source, *StreamSource) {
+	t.Helper()
+	src, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ss, err := OpenStream(path)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	if !ss.Streamable() {
+		t.Fatalf("cleaned fixture must be streamable; stats %+v", ss.Stats)
+	}
+	return src, ss
+}
+
+// drain pulls every job off a stream.
+func drain(t *testing.T, js core.JobStream) []*core.Job {
+	t.Helper()
+	var out []*core.Job
+	for {
+		j, err := js.Next()
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		if j == nil {
+			return out
+		}
+		out = append(out, j)
+	}
+}
+
+func TestStreamedJobsAreByteIdenticalToMaterialized(t *testing.T) {
+	path := streamableFixture(t)
+	src, ss := openBoth(t, path)
+
+	for _, limit := range []int{0, 1, 10, 10000} {
+		want := src.Workload(Options{Jobs: limit}).Jobs
+		jr, err := ss.Stream(limit)
+		if err != nil {
+			t.Fatalf("Stream(%d): %v", limit, err)
+		}
+		got := drain(t, jr)
+		jr.Close()
+		if len(got) != len(want) {
+			t.Fatalf("limit %d: streamed %d jobs, materialized %d", limit, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(*got[i], *want[i]) {
+				t.Fatalf("limit %d: job %d differs:\nstream      %+v\nmaterialize %+v",
+					limit, i, *got[i], *want[i])
+			}
+		}
+	}
+}
+
+func TestStreamSourceAgreesWithSource(t *testing.T) {
+	path := streamableFixture(t)
+	src, ss := openBoth(t, path)
+
+	if ss.Name != src.Name {
+		t.Fatalf("Name: %q vs %q", ss.Name, src.Name)
+	}
+	if ss.JobCount() != src.JobCount() {
+		t.Fatalf("JobCount: %d vs %d", ss.JobCount(), src.JobCount())
+	}
+	if ss.MaxNodes() != src.MaxNodes() {
+		t.Fatalf("MaxNodes: %d vs %d", ss.MaxNodes(), src.MaxNodes())
+	}
+	if d := math.Abs(ss.OfferedLoad() - src.OfferedLoad()); d > 1e-12 {
+		t.Fatalf("OfferedLoad: %g vs %g", ss.OfferedLoad(), src.OfferedLoad())
+	}
+	// The statistics pass must reproduce the clean report the
+	// materialized open computes (the cleaned fixture re-cleans as a
+	// near-identity, so most counters are zero — the point is they are
+	// the SAME zeros and the same totals).
+	if ss.Stats.Report != src.Report {
+		t.Fatalf("CleanReport diverges:\nstream      %+v\nmaterialize %+v", ss.Stats.Report, src.Report)
+	}
+	if ss.Stats.DroppedNoSubmit != src.DroppedNoSubmit {
+		t.Fatalf("DroppedNoSubmit: %d vs %d", ss.Stats.DroppedNoSubmit, src.DroppedNoSubmit)
+	}
+}
+
+func TestStreamRefusesRescaledOrResampledShapes(t *testing.T) {
+	// The raw (unsorted) fixture must be rejected at the source level.
+	ss, err := OpenStream(fixture)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	if ss.Streamable() {
+		t.Fatal("raw mini.swf is unsorted; must not be streamable")
+	}
+	if _, err := ss.Stream(0); err == nil {
+		t.Fatal("Stream on a non-streamable source must error")
+	}
+}
+
+// runBoth replays the fixture through scheduler spec both ways and
+// returns the two metric reports plus event counts.
+func runBoth(t *testing.T, path, spec string, opts sim.Options) (mat, str metrics.Report, matEv, strEv uint64) {
+	t.Helper()
+	src, ss := openBoth(t, path)
+
+	s1, err := sched.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := src.Workload(Options{})
+	col1 := metrics.NewCollector(metrics.CollectorOptions{
+		Scheduler: s1.Name(), Workload: w.Name, Procs: w.MaxNodes})
+	o1 := opts
+	o1.Observers = []sim.Observer{col1}
+	o1.DiscardOutcomes = true
+	res1, err := sim.Run(w, s1, o1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	s2, err := sched.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2 := metrics.NewCollector(metrics.CollectorOptions{
+		Scheduler: s2.Name(), Workload: ss.Name, Procs: ss.MaxNodes()})
+	o2 := opts
+	o2.Observers = []sim.Observer{col2}
+	o2.DiscardOutcomes = true
+	jr, err := ss.Stream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	res2, err := sim.RunStream(ss.Name, ss.MaxNodes(), jr, s2, o2)
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	return col1.Report(), col2.Report(), res1.Events, res2.Events
+}
+
+func TestRunStreamMatchesRun(t *testing.T) {
+	path := streamableFixture(t)
+	for _, spec := range []string{"easy", "cons", "fcfs"} {
+		t.Run(spec, func(t *testing.T) {
+			mat, str, matEv, strEv := runBoth(t, path, spec, sim.Options{})
+			if !reflect.DeepEqual(mat, str) {
+				t.Fatalf("reports diverge:\nmaterialized %+v\nstreamed     %+v", mat, str)
+			}
+			if matEv != strEv {
+				t.Fatalf("event counts diverge: %d vs %d", matEv, strEv)
+			}
+		})
+	}
+}
+
+func TestRunStreamMatchesRunUnderHorizon(t *testing.T) {
+	path := streamableFixture(t)
+	// A horizon that cuts the replay mid-flight exercises the residual
+	// flush and the never-submitted tail accounting.
+	mat, str, _, _ := runBoth(t, path, "easy", sim.Options{Horizon: 200000})
+	if !reflect.DeepEqual(mat, str) {
+		t.Fatalf("horizon reports diverge:\nmaterialized %+v\nstreamed     %+v", mat, str)
+	}
+}
+
+func TestRunStreamRejectsFeedback(t *testing.T) {
+	if _, err := sim.RunStream("x", 4, core.NewSliceStream(nil), sched.NewFCFS(), sim.Options{Feedback: true}); err == nil {
+		t.Fatal("RunStream must reject feedback mode")
+	}
+}
+
+func TestRunStreamPrunesOutcomeMap(t *testing.T) {
+	// Indirect but load-bearing: with DiscardOutcomes the streaming
+	// replay must not accumulate per-job state. We can't measure the map
+	// from outside, so replay a stream larger than any plausible
+	// in-flight population and check allocations stay modest via the
+	// equivalence benchmark instead; here we at least pin that final
+	// outcomes really are emitted exactly once to observers.
+	path := streamableFixture(t)
+	_, ss := openBoth(t, path)
+	s, err := sched.New("easy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	jr, err := ss.Stream(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	_, err = sim.RunStream(ss.Name, ss.MaxNodes(), jr, s, sim.Options{
+		DiscardOutcomes: true,
+		Observers:       []sim.Observer{observerFunc(func(metrics.Outcome) { n++ })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ss.JobCount() {
+		t.Fatalf("observers saw %d outcomes for %d jobs", n, ss.JobCount())
+	}
+}
+
+type observerFunc func(metrics.Outcome)
+
+func (f observerFunc) Observe(o metrics.Outcome) { f(o) }
+
+func TestCachedKeysByAbsolutePath(t *testing.T) {
+	// "testdata/mini.swf" and its absolute form must share one entry.
+	s1, err := Cached(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Cached(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("relative and absolute paths loaded separate Sources")
+	}
+	if _, err := os.Stat(abs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadTruncatesBeforeCloning(t *testing.T) {
+	src := openFixture(t)
+	w := src.Workload(Options{Jobs: 5})
+	if len(w.Jobs) != 5 {
+		t.Fatalf("got %d jobs, want 5", len(w.Jobs))
+	}
+	// Equivalent to the old clone-then-truncate order.
+	full := src.Workload(Options{})
+	full.Truncate(5)
+	for i := range w.Jobs {
+		if !reflect.DeepEqual(*w.Jobs[i], *full.Jobs[i]) {
+			t.Fatalf("job %d differs from clone-then-truncate: %+v vs %+v", i, *w.Jobs[i], *full.Jobs[i])
+		}
+	}
+}

@@ -121,17 +121,29 @@ func FromLog(name string, log *swf.Log) (*Source, error) {
 // replication × load) cell; caching keeps the file read and clean pass
 // out of that inner loop. The returned Source is shared — treat it as
 // read-only (it is, for every method here).
+//
+// Entries are keyed by absolute path, so "./t.swf" and "t.swf" (or the
+// same file reached from different working directories within one
+// process) share one entry. The cache grows without bound and is never
+// invalidated — it assumes a typical batch process replaying a fixed
+// set of logs that do not change underneath it. Long-lived processes
+// cycling through many distinct or mutating files should call Open
+// directly and manage their own lifetimes.
 func Cached(path string) (*Source, error) {
+	key := path
+	if abs, err := filepath.Abs(path); err == nil {
+		key = abs
+	}
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	if s, ok := cache[path]; ok {
+	if s, ok := cache[key]; ok {
 		return s, nil
 	}
 	s, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
-	cache[path] = s
+	cache[key] = s
 	return s, nil
 }
 
@@ -173,10 +185,13 @@ type Options struct {
 // workload; different Variant (or Seed, for Variant != 0) ⇒ a
 // different, equally-plausible arrival pattern over the same jobs.
 func (s *Source) Workload(opts Options) *core.Workload {
-	w := s.base.Clone()
-	if opts.Jobs > 0 {
-		w.Truncate(opts.Jobs)
+	// Truncate before cloning: a 10-job prefix of a million-job trace
+	// should copy 10 jobs, not a million.
+	n := len(s.base.Jobs)
+	if opts.Jobs > 0 && opts.Jobs < n {
+		n = opts.Jobs
 	}
+	w := s.base.ClonePrefix(n)
 	if opts.Variant != 0 {
 		resampleGaps(w, opts.Seed, opts.Variant)
 	}
