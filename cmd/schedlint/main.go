@@ -1,14 +1,25 @@
 // Command schedlint runs the repository's custom static-analysis
-// suite — the determinism and invariant contracts every reported
-// result depends on — over the given packages.
+// suite — the determinism contracts every reported result depends on,
+// and the allocgate performance contracts guarding the
+// //schedlint:hotpath kernels — over the given packages.
 //
 // Usage:
 //
-//	schedlint [-list] [-only check,...] [packages]
+//	schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [packages]
 //
 // Packages default to ./... relative to the current directory. The
 // exit status is 1 when any finding survives the //schedlint:allow
 // directives, 2 on usage or load errors, so CI fails on findings.
+//
+// The escape analyzer checks the compiler's -m diagnostics against the
+// sanctioned-escapes baseline (-baseline; defaults to ESCAPES.baseline
+// at the module root). New hot-path escapes are findings; escapes the
+// baseline sanctions but the compiler no longer emits are stale
+// findings too, so the ratchet only tightens — run -update-baseline to
+// rewrite the baseline to the current state after benchmarking the
+// change. -json emits one finding per line as JSON (analyzer, pos,
+// message, suppressed), including the //schedlint:allow-suppressed
+// findings machine consumers may want to audit.
 //
 // The suite is built on internal/analysis/framework, a stdlib-only
 // mirror of golang.org/x/tools/go/analysis (the build environment is
@@ -18,12 +29,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"parsched/internal/analysis"
+	"parsched/internal/analysis/escape"
 	"parsched/internal/analysis/framework"
 	"parsched/internal/analysis/load"
 )
@@ -31,8 +46,11 @@ import (
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of checks to run")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON, one object per line (includes suppressed findings)")
+	baseline := flag.String("baseline", "", "sanctioned-escapes baseline file (default: ESCAPES.baseline at the module root)")
+	update := flag.Bool("update-baseline", false, "rewrite the baseline to the current escape findings instead of failing on them")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only check,...] [packages]\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [packages]\n\nchecks:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -72,6 +90,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
 	}
+	escape.BaselinePath = *baseline
+	if escape.BaselinePath == "" {
+		escape.BaselinePath = defaultBaseline(cwd)
+	}
 	pkgs, err := load.Packages(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
@@ -82,16 +104,90 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedlint: %s: type error: %v\n", p.Path, terr)
 		}
 	}
-	diags, fset, err := framework.Run(pkgs, analyzers)
+	diags, fset, err := framework.RunAll(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Check, d.Message)
+
+	if *update {
+		if escape.BaselinePath == "" {
+			fmt.Fprintln(os.Stderr, "schedlint: -update-baseline: no baseline path (outside a module?); pass -baseline")
+			os.Exit(2)
+		}
+		stale := len(escape.Stale())
+		if err := escape.WriteBaseline(escape.BaselinePath, escape.MergedBaseline()); err != nil {
+			fmt.Fprintln(os.Stderr, "schedlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: wrote %s (%d sanctioned escapes, %d stale removed)\n",
+			escape.BaselinePath, len(escape.Collected()), stale)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", len(diags))
+
+	// Stale baseline entries are findings too: an escape that was fixed
+	// must be ratcheted out of the baseline, or the contract loosens.
+	var staleCount int
+	if !*update {
+		for _, k := range escape.Stale() {
+			staleCount++
+			fmt.Printf("%s: escape: baseline sanctions %q in %s.%s but the compiler no longer reports it; run -update-baseline to ratchet\n",
+				escape.BaselinePath, k.Reason, k.Pkg, k.Func)
+		}
+	}
+
+	failing := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		isEscape := d.Check == escape.Analyzer.Name
+		sanctioned := d.Suppressed || (*update && isEscape)
+		if !sanctioned {
+			failing++
+		}
+		if *jsonFlag {
+			enc.Encode(jsonFinding{
+				Analyzer:   d.Check,
+				Pos:        fset.Position(d.Pos).String(),
+				Message:    d.Message,
+				Suppressed: sanctioned,
+			})
+			continue
+		}
+		switch {
+		case d.Suppressed:
+			continue // plain output keeps the historical suppressed-free shape
+		case *update && isEscape:
+			fmt.Printf("%s: %s: %s (now sanctioned in baseline)\n", fset.Position(d.Pos), d.Check, d.Message)
+		default:
+			fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Check, d.Message)
+		}
+	}
+	failing += staleCount
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json line format.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// defaultBaseline resolves ESCAPES.baseline at the enclosing module's
+// root, or "" outside a module.
+func defaultBaseline(cwd string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = cwd
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return ""
+	}
+	return filepath.Join(filepath.Dir(gomod), "ESCAPES.baseline")
 }

@@ -1,0 +1,206 @@
+// Package allocfree is the static side of the allocation contract: it
+// flags the allocation idioms Go source spells out syntactically —
+// map/slice composite literals, make, fmt calls, string<->[]byte/[]rune
+// conversions, bound-method values, and appends to slices declared
+// without capacity — inside //schedlint:hotpath-reachable functions.
+//
+// It complements the escape analyzer: escape reads what the compiler
+// proved about this build, allocfree reads what the source promises on
+// any build, and it names the idiomatic fix (hoist the buffer to
+// setup, reuse a scratch slice, preallocate) rather than a compiler
+// fact. Both scope themselves through the callgraph package, so cold
+// code — setup, parsing, reporting — can allocate freely.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parsched/internal/analysis/callgraph"
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the static allocation check.
+var Analyzer = &framework.Analyzer{
+	Name: "allocfree",
+	Doc: "forbid allocation idioms (composite literals, make, fmt, string conversions, " +
+		"method values, unpreallocated appends) in //schedlint:hotpath-reachable code",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	g := callgraph.Of(pass)
+	if !g.HasRoots() {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, n := range g.Nodes() {
+		if !n.Hot || n.Decl.Body == nil {
+			continue
+		}
+		checkFunc(pass, info, n)
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, info *types.Info, n *callgraph.Node) {
+	body := n.Decl.Body
+
+	// Pre-scan 1: expressions in call position — a selector used as
+	// f.Method() dispatches without materializing a bound-method value.
+	called := map[ast.Expr]bool{}
+	// Pre-scan 2: local slice variables declared without a capacity
+	// (`var s []T`, `s := []T{}`, `s := []T(nil)`) — appending to them
+	// grows from zero, reallocating log(n) times.
+	bare := map[types.Object]bool{}
+	callgraph.WalkLive(info, body, func(node ast.Node) {
+		switch s := node.(type) {
+		case *ast.CallExpr:
+			called[ast.Unparen(s.Fun)] = true
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil && isSlice(obj.Type()) {
+						bare[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(s.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				if isEmptySliceExpr(info, s.Rhs[i]) {
+					bare[obj] = true
+				}
+			}
+		}
+	})
+
+	via := n.Via
+	callgraph.WalkLive(info, body, func(node ast.Node) {
+		switch e := node.(type) {
+		case *ast.CompositeLit:
+			switch info.Types[e].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates in hot path (via %s); hoist it to setup or reuse a scratch map", via)
+			case *types.Slice:
+				if len(e.Elts) > 0 { // empty literals are caught as bare appends instead
+					pass.Reportf(e.Pos(), "slice literal allocates in hot path (via %s); hoist it to setup or reuse a scratch buffer", via)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, info, e, bare, via)
+		case *ast.SelectorExpr:
+			if called[e] {
+				return
+			}
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(e.Pos(), "bound method value %s.%s allocates a closure in hot path (via %s); call it directly or use a method expression",
+					exprString(e.X), e.Sel.Name, via)
+			}
+		}
+	})
+}
+
+func checkCall(pass *framework.Pass, info *types.Info, call *ast.CallExpr, bare map[types.Object]bool, via string) {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions between string and []byte/[]rune copy the data.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if from != nil && isStringBytesConv(to, from) {
+			pass.Reportf(call.Pos(), "%s conversion copies in hot path (via %s); keep one representation or use a reusable buffer",
+				types.TypeString(to, nil), via)
+		}
+		return
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch info.Uses[f] {
+		case types.Universe.Lookup("make"):
+			pass.Reportf(call.Pos(), "make allocates in hot path (via %s); hoist the buffer to setup and reuse it", via)
+		case types.Universe.Lookup("append"):
+			if len(call.Args) == 0 {
+				return
+			}
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && bare[info.Uses[id]] {
+				pass.Reportf(call.Pos(), "append to %s grows from zero capacity in hot path (via %s); preallocate or reuse a scratch buffer",
+					id.Name, via)
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := info.Uses[f.Sel].(*types.Func); ok && pkg.Pkg() != nil && pkg.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates (formats through interfaces) in hot path (via %s); use strconv or precomputed strings",
+				f.Sel.Name, via)
+		}
+	}
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isEmptySliceExpr matches `[]T{}` and `[]T(nil)`.
+func isEmptySliceExpr(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return len(v.Elts) == 0 && isSlice(info.Types[v].Type)
+	case *ast.CallExpr:
+		tv, ok := info.Types[ast.Unparen(v.Fun)]
+		if !ok || !tv.IsType() || len(v.Args) != 1 {
+			return false
+		}
+		arg := info.Types[v.Args[0]]
+		return isSlice(tv.Type) && arg.IsNil()
+	}
+	return false
+}
+
+// isStringBytesConv reports whether the conversion to<-from is one of
+// the four copying string conversions.
+func isStringBytesConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// exprString renders a short receiver expression for messages.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	}
+	return "receiver"
+}

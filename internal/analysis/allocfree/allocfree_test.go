@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/allocfree"
+	"parsched/internal/analysis/analysistest"
+)
+
+// TestAllocfreeFixtures pins the static allocation contract: each
+// flagged idiom reports once in hot code, cold code and constant-false
+// branches stay silent, and the allow directive suppresses in place.
+func TestAllocfreeFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "example.com/internal/allochot")
+}

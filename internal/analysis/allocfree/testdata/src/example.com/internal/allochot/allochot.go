@@ -1,0 +1,49 @@
+// Package allochot is the allocfree fixture: every flagged idiom once
+// in hot code, the same idioms unflagged in cold code, a constant-false
+// branch, and one sanctioned line.
+package allochot
+
+import "fmt"
+
+type handle struct{ n int }
+
+func (h handle) Close() error { return nil }
+
+const debug = false
+
+// Hot is the annotated root.
+//
+//schedlint:hotpath
+func Hot(b []byte, words []string) int {
+	m := map[string]int{}                     // want "map literal allocates"
+	s := []int{1, 2}                          // want "slice literal allocates"
+	buf := make([]byte, 0, 64)                // want "make allocates"
+	var acc []int                             // declared without capacity ...
+	acc = append(acc, len(b))                 // want "append to acc grows from zero capacity"
+	name := fmt.Sprintf("job-%d", len(words)) // want "fmt\.Sprintf allocates"
+	text := string(b)                         // want "string conversion copies"
+	h := handle{n: 1}                         // struct literal: no finding
+	f := h.Close                              // want "bound method value h\.Close allocates a closure"
+	direct := h.Close() == nil                // direct call: no finding
+	if debug {
+		dead := map[int]int{} // constant-false branch: no finding
+		_ = dead
+	}
+	scratch := make([]int, 0, len(words)) //schedlint:allow allocfree amortized by the caller's reuse, measured in BenchmarkHot
+	_ = scratch
+	n := len(m) + len(s) + len(buf) + len(acc) + len(name) + len(text)
+	if direct && f() == nil {
+		n++
+	}
+	return n
+}
+
+// Cold allocates freely: nothing hot reaches it, so the contract does
+// not apply.
+func Cold(words []string) string {
+	m := map[string]int{}
+	s := append([]string{}, words...)
+	var acc []byte
+	acc = append(acc, 'x')
+	return fmt.Sprint(len(m), len(s), string(acc))
+}

@@ -1,15 +1,20 @@
-// Package analysis aggregates the schedlint analyzer suite: the five
-// machine-checked contracts (determinism, maporder, handles, registry,
-// floatsum) that keep the simulator's results reproducible. The
+// Package analysis aggregates the schedlint analyzer suite: the
+// determinism contracts (determinism, maporder, handles, registry,
+// floatsum) that keep the simulator's results reproducible, and the
+// allocgate performance contracts (escape, allocfree, locks) that keep
+// its //schedlint:hotpath kernels allocation- and blocking-free. The
 // cmd/schedlint multichecker and the per-analyzer tests both draw the
 // canonical list from here.
 package analysis
 
 import (
+	"parsched/internal/analysis/allocfree"
 	"parsched/internal/analysis/determinism"
+	"parsched/internal/analysis/escape"
 	"parsched/internal/analysis/floatsum"
 	"parsched/internal/analysis/framework"
 	"parsched/internal/analysis/handles"
+	"parsched/internal/analysis/locks"
 	"parsched/internal/analysis/maporder"
 	"parsched/internal/analysis/registry"
 )
@@ -22,5 +27,8 @@ func Analyzers() []*framework.Analyzer {
 		handles.Analyzer,
 		registry.Analyzer,
 		floatsum.Analyzer,
+		escape.Analyzer,
+		allocfree.Analyzer,
+		locks.Analyzer,
 	}
 }

@@ -1,0 +1,322 @@
+// Package callgraph is the interprocedural layer of the schedlint
+// framework: a package-level call graph over the loader's from-source
+// type information, plus the hot-path reachability pass the
+// performance-contract analyzers (escape, allocfree, locks) share.
+//
+// A function is a hot-path root when its declaration's doc comment
+// carries the directive
+//
+//	//schedlint:hotpath
+//
+// (optionally followed by a note). Reachability propagates from the
+// roots along three kinds of edges, all resolved from the package's
+// type info:
+//
+//   - static calls and method calls to functions declared in the same
+//     package (including method expressions);
+//   - dynamic dispatch through interface method calls, resolved to
+//     every same-package concrete type whose method set implements the
+//     interface — the des.Handle/sched.Scheduler shape;
+//   - function literals, whose bodies are attributed to the enclosing
+//     declaration (the DES arrival pump and finish closures are part of
+//     the function that creates them).
+//
+// Branches dead under a constant-false condition are pruned, so code
+// guarded by `if debugchecks.Enabled { ... }` in an untagged build does
+// not drag the debug assertions into the hot set.
+//
+// Cross-package edges are out of scope by design: the hermetic
+// framework analyzes one package at a time, so each simulated
+// subsystem annotates its own roots (sim annotates the event kernels
+// it owns; the schedulers they dispatch to annotate their OnSubmit/
+// OnFinish/OnChange entry points in internal/sched).
+package callgraph
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"parsched/internal/analysis/framework"
+)
+
+// HotDirective marks a hot-path root function's doc comment.
+const HotDirective = "//schedlint:hotpath"
+
+// Node is one declared function or method of the package.
+type Node struct {
+	// Fn is the type-checker's object for the function.
+	Fn *types.Func
+	// Decl is its declaration.
+	Decl *ast.FuncDecl
+	// Root reports that the declaration carries the hotpath directive.
+	Root bool
+	// Hot reports that the function is a root or reachable from one.
+	Hot bool
+	// Via names the root whose traversal first reached this node (the
+	// node's own name for roots). Empty for cold nodes.
+	Via string
+	// Callees lists the resolved same-package call targets, in first-
+	// encounter order.
+	Callees []*Node
+
+	calleeSet map[*Node]bool
+}
+
+// Name returns the package-local function name, with a receiver prefix
+// for methods: "Step" becomes "(*Engine).Step". It is the stable,
+// line-number-free identity the escape baseline keys on.
+func (n *Node) Name() string { return ShortName(n.Fn) }
+
+// ShortName formats fn the way Node.Name does.
+func ShortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+		ptr = "*"
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return "(" + ptr + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Graph is the package call graph.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	// order holds the nodes in declaration order, the iteration order
+	// every deterministic consumer uses.
+	order []*Node
+	roots []*Node
+}
+
+type cacheKey struct{}
+
+// Of returns the package's call graph, building it on first use and
+// sharing it with every other analyzer in the same framework run.
+func Of(pass *framework.Pass) *Graph {
+	return pass.Cached(cacheKey{}, func() any {
+		return Build(pass.Files, pass.Pkg, pass.TypesInfo)
+	}).(*Graph)
+}
+
+// Build constructs the call graph and runs the reachability pass.
+func Build(files []*ast.File, pkg *types.Package, info *types.Info) *Graph {
+	g := &Graph{nodes: map[*types.Func]*Node{}}
+
+	// Pass 1: one node per function declaration.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Fn: fn, Decl: fd, Root: isHotDecl(fd), calleeSet: map[*Node]bool{}}
+			g.nodes[fn] = n
+			g.order = append(g.order, n)
+			if n.Root {
+				g.roots = append(g.roots, n)
+			}
+		}
+	}
+
+	// Receiver base types declared in this package, for interface
+	// dispatch: named type -> method name -> node.
+	methods := map[*types.TypeName]map[string]*Node{}
+	for _, n := range g.order {
+		sig := n.Fn.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			continue
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		tn := named.Obj()
+		if methods[tn] == nil {
+			methods[tn] = map[string]*Node{}
+		}
+		methods[tn][n.Fn.Name()] = n
+	}
+
+	// Pass 2: edges.
+	for _, n := range g.order {
+		if n.Decl.Body == nil {
+			continue
+		}
+		caller := n
+		WalkLive(info, n.Decl.Body, func(node ast.Node) {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeOf(info, call)
+			if fn == nil {
+				return
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return
+			}
+			if recv := sig.Recv(); recv != nil {
+				if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+					// Dynamic dispatch: every same-package implementation
+					// of the interface may be the target.
+					for tn, byName := range methods {
+						target, ok := byName[fn.Name()]
+						if !ok {
+							continue
+						}
+						t := tn.Type()
+						if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+							addEdge(caller, target)
+						}
+					}
+					return
+				}
+			}
+			if fn.Pkg() != pkg {
+				return
+			}
+			if target, ok := g.nodes[fn]; ok {
+				addEdge(caller, target)
+			}
+		})
+	}
+
+	// Pass 3: reachability, breadth-first from each root in declaration
+	// order so Via attribution is deterministic.
+	for _, root := range g.roots {
+		if root.Hot {
+			continue
+		}
+		root.Hot = true
+		root.Via = root.Name()
+		queue := []*Node{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, callee := range cur.Callees {
+				if !callee.Hot {
+					callee.Hot = true
+					callee.Via = root.Name()
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func addEdge(from, to *Node) {
+	if from.calleeSet[to] {
+		return
+	}
+	from.calleeSet[to] = true
+	from.Callees = append(from.Callees, to)
+}
+
+// HasRoots reports whether any function in the package carries the
+// hotpath directive. Analyzers use it to skip cold packages entirely.
+func (g *Graph) HasRoots() bool { return len(g.roots) > 0 }
+
+// Nodes returns every function node in declaration order.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// Lookup returns the node for fn, or nil.
+func (g *Graph) Lookup(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Enclosing returns the function node whose declaration contains pos,
+// or nil when pos sits outside every declaration (package-level
+// initializers).
+func (g *Graph) Enclosing(pos token.Pos) *Node {
+	for _, n := range g.order {
+		if n.Decl.Pos() <= pos && pos <= n.Decl.End() {
+			return n
+		}
+	}
+	return nil
+}
+
+// isHotDecl reports whether the declaration's doc comment carries the
+// hotpath directive.
+func isHotDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotDirective || strings.HasPrefix(c.Text, HotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkLive walks the AST under n, pruning branches that are dead under
+// a constant condition: `if debugchecks.Enabled { ... }` contributes no
+// edges (and, for the analyzers that share this walker, no findings)
+// when Enabled is the constant false of an untagged build.
+func WalkLive(info *types.Info, n ast.Node, visit func(ast.Node)) {
+	var walk func(ast.Node) bool
+	walk = func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if ifs, ok := node.(*ast.IfStmt); ok {
+			if v, isConst := constBool(info, ifs.Cond); isConst {
+				if ifs.Init != nil {
+					ast.Inspect(ifs.Init, walk)
+				}
+				if v {
+					ast.Inspect(ifs.Body, walk)
+				} else if ifs.Else != nil {
+					ast.Inspect(ifs.Else, walk)
+				}
+				return false
+			}
+		}
+		visit(node)
+		return true
+	}
+	ast.Inspect(n, walk)
+}
+
+// constBool evaluates expr as a compile-time boolean constant.
+func constBool(info *types.Info, expr ast.Expr) (value, isConst bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// calleeOf resolves the static callee of a call expression: a declared
+// function, a method (possibly an interface method), or nil for
+// builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

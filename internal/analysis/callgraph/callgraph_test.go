@@ -1,0 +1,84 @@
+package callgraph
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/load"
+)
+
+// TestHotpathPropagation pins the reachability contract on the fixture:
+// the hot set crosses static calls, closure bodies, and an interface
+// method dispatch, and stops at constant-false branches, non-matching
+// method sets, and cold callers of hot code.
+func TestHotpathPropagation(t *testing.T) {
+	fl := load.NewFixtureLoader("testdata")
+	p, err := fl.Load("example.com/internal/hotgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Fatalf("fixture type error: %v", terr)
+	}
+	g := Build(p.Files, p.Types, p.Info)
+
+	if !g.HasRoots() {
+		t.Fatalf("HasRoots() = false; the fixture annotates Root")
+	}
+
+	wantHot := map[string]bool{
+		"Root":        true, // the annotated root itself
+		"(*adder).Do": true, // via interface dispatch on doer
+		"step":        true, // static call from Root
+		"leaf":        true, // static call from the dispatched method
+		"viaClosure":  true, // called from a closure defined in Root
+		"(misfit).Do": false,
+		"coldDebug":   false, // behind `if debug` with debug == false
+		"coldOrphan":  false, // calls hot code but nothing hot calls it
+	}
+	seen := map[string]bool{}
+	for _, n := range g.Nodes() {
+		name := n.Name()
+		seen[name] = true
+		want, known := wantHot[name]
+		if !known {
+			t.Errorf("unexpected function %s in graph", name)
+			continue
+		}
+		if n.Hot != want {
+			t.Errorf("%s: Hot = %v, want %v", name, n.Hot, want)
+		}
+		if n.Hot && n.Via != "Root" {
+			t.Errorf("%s: Via = %q, want %q", name, n.Via, "Root")
+		}
+		if !n.Hot && n.Via != "" {
+			t.Errorf("%s: cold node carries Via %q", name, n.Via)
+		}
+	}
+	for name := range wantHot {
+		if !seen[name] {
+			t.Errorf("function %s missing from graph", name)
+		}
+	}
+
+	// The root's resolved callees include both the static call and the
+	// dispatched implementation, deduplicated.
+	root := findNode(t, g, "Root")
+	var callees []string
+	for _, c := range root.Callees {
+		callees = append(callees, c.Name())
+	}
+	if len(callees) != 3 {
+		t.Errorf("Root callees = %v, want step, viaClosure, (*adder).Do in some order", callees)
+	}
+}
+
+func findNode(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("node %s not found", name)
+	return nil
+}

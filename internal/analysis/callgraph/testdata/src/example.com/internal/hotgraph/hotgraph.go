@@ -1,0 +1,45 @@
+// Package hotgraph is the reachability fixture: one annotated root
+// whose hot set must include a statically called chain, a closure body,
+// and an interface method resolved by dispatch — and must exclude code
+// behind a constant-false guard, a method with the wrong signature, and
+// a cold caller of hot code.
+package hotgraph
+
+type doer interface{ Do(n int) int }
+
+type adder struct{ total int }
+
+// Do is reached from Root through the interface dispatch on doer.
+func (a *adder) Do(n int) int { return leaf(n) + a.total }
+
+type misfit struct{}
+
+// Do has the wrong signature for doer and stays cold.
+func (misfit) Do(s string) string { return s }
+
+const debug = false
+
+// Root is the annotated hot-path entry point.
+//
+//schedlint:hotpath
+func Root(d doer) int {
+	if debug {
+		coldDebug()
+	}
+	f := func(n int) int { return viaClosure(n) }
+	return d.Do(step(1)) + f(2)
+}
+
+func step(n int) int { return n + 1 }
+
+func leaf(n int) int { return 2 * n }
+
+func viaClosure(n int) int { return n }
+
+func coldDebug() {}
+
+func coldOrphan() int { return step(3) }
+
+var _ = coldOrphan
+var _ doer = (*adder)(nil)
+var _ = misfit{}

@@ -1,0 +1,11 @@
+// Package base is the baseline-ratchet fixture: one hot escape whose
+// findings the test sanctions by writing a baseline, then ratchets.
+package base
+
+// Sanctioned is the annotated root with one leaking local.
+//
+//schedlint:hotpath
+func Sanctioned(n int) *int {
+	x := n
+	return &x
+}

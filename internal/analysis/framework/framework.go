@@ -45,13 +45,39 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Path is the package's import path as the tool sees it (fixture
 	// packages keep their testdata-relative path).
-	Path      string
+	Path string
+	// Dir is the directory holding the package's source files. Analyzers
+	// that consult external tooling (the escape analyzer shells out to
+	// the compiler) run it from here.
+	Dir       string
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	// cache is shared by every analyzer visiting the same package in one
+	// Run, so interprocedural structures (the hot-path call graph) are
+	// built once per package, not once per analyzer.
+	cache map[any]any
+}
+
+// Cached memoizes compute under key for the current package: the first
+// analyzer to ask pays for the computation, later analyzers in the same
+// Run reuse the result. Analyzers use a private key type to avoid
+// collisions, exactly like context keys.
+func (p *Pass) Cached(key any, compute func() any) any {
+	if p.cache == nil {
+		// A pass constructed outside Run (direct analyzer tests): no
+		// sharing, just compute.
+		return compute()
+	}
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := compute()
+	p.cache[key] = v
+	return v
 }
 
 // Reportf records a finding at pos.
@@ -70,6 +96,10 @@ type Diagnostic struct {
 	Check   string
 	Pos     token.Pos
 	Message string
+	// Suppressed marks a finding covered by a well-formed
+	// //schedlint:allow directive. Run drops these; RunAll keeps them so
+	// machine consumers (-json output) can audit the exemptions in play.
+	Suppressed bool
 }
 
 // Run applies every analyzer to every package, filters suppressed
@@ -77,6 +107,23 @@ type Diagnostic struct {
 // themselves, and returns the surviving diagnostics sorted by
 // position. The returned fset resolves their positions.
 func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	all, fset, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, fset, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, fset, nil
+}
+
+// RunAll is Run keeping suppressed findings: every diagnostic covered
+// by an allow directive is returned with Suppressed set instead of
+// being dropped.
+func RunAll(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
 	var diags []Diagnostic
 	var fset *token.FileSet
 	known := map[string]bool{}
@@ -89,15 +136,18 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, *token.File
 		}
 		dirs := directives(pkg.Fset, pkg.Files)
 		var pkgDiags []Diagnostic
+		cache := map[any]any{}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
 				Path:      pkg.Path,
+				Dir:       pkg.Dir,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				diags:     &pkgDiags,
+				cache:     cache,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fset, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -188,31 +238,26 @@ func onlyCommentOnLine(fset *token.FileSet, f *ast.File, l int) bool {
 	return only
 }
 
-// suppress drops diagnostics covered by a well-formed allow directive:
+// suppress marks diagnostics covered by a well-formed allow directive:
 // same check, same file, and either the same line or the line directly
 // below a standalone directive.
 func suppress(fset *token.FileSet, diags []Diagnostic, dirs []directive) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		ok := true
+	for i := range diags {
+		pos := fset.Position(diags[i].Pos)
 		for _, dir := range dirs {
-			if dir.check != d.Check || dir.reason == "" || dir.file != pos.Filename {
+			if dir.check != diags[i].Check || dir.reason == "" || dir.file != pos.Filename {
 				continue
 			}
 			if dir.line == pos.Line || (dir.ownLine && dir.line+1 == pos.Line) {
-				ok = false
+				diags[i].Suppressed = true
 				break
 			}
 		}
-		if ok {
-			kept = append(kept, d)
-		}
 	}
-	return kept
+	return diags
 }
 
 // checkDirectives reports malformed directives: unknown check names

@@ -1,0 +1,137 @@
+// Package locks guards the hot path against blocking and
+// synchronization: sync acquisitions (Mutex/RWMutex Lock, Once.Do,
+// WaitGroup.Wait, Cond.Wait), channel sends, receives and ranges,
+// selects without a default clause, and goroutine launches inside
+// //schedlint:hotpath-reachable functions.
+//
+// The simulation kernels are single-threaded by construction — the DES
+// engine dispatches events in virtual-time order and the schedulers it
+// drives share no state across instances — so any synchronization
+// reachable from a hot root is either dead weight (an uncontended
+// atomic still costs a bus transaction per event) or, worse, an actual
+// cross-goroutine dependency that can stall the event loop. Blocking
+// belongs at the boundary: the trace reader feeding the replay, the
+// experiment runner fanning instances out. Sanction deliberate
+// exceptions with //schedlint:allow locks <reason>.
+package locks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parsched/internal/analysis/callgraph"
+	"parsched/internal/analysis/framework"
+)
+
+// Analyzer is the hot-path blocking check.
+var Analyzer = &framework.Analyzer{
+	Name: "locks",
+	Doc: "forbid sync acquisitions, blocking channel operations, and goroutine " +
+		"launches in //schedlint:hotpath-reachable code",
+	Run: run,
+}
+
+// blockingSyncMethods names the sync methods that acquire or wait.
+var blockingSyncMethods = map[string]bool{
+	"Lock":  true, // Mutex, RWMutex
+	"RLock": true, // RWMutex
+	"Wait":  true, // WaitGroup, Cond
+	"Do":    true, // Once
+}
+
+func run(pass *framework.Pass) error {
+	g := callgraph.Of(pass)
+	if !g.HasRoots() {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, n := range g.Nodes() {
+		if !n.Hot || n.Decl.Body == nil {
+			continue
+		}
+		via := n.Via
+		// Send/receive operations that are a select clause's comm
+		// statement are governed by the select finding, not their own.
+		comm := map[ast.Node]bool{}
+		callgraph.WalkLive(info, n.Decl.Body, func(node ast.Node) {
+			sel, ok := node.(*ast.SelectStmt)
+			if !ok {
+				return
+			}
+			for _, clause := range sel.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				switch c := cc.Comm.(type) {
+				case *ast.SendStmt:
+					comm[c] = true
+				case *ast.ExprStmt:
+					comm[ast.Unparen(c.X)] = true
+				case *ast.AssignStmt:
+					for _, rhs := range c.Rhs {
+						comm[ast.Unparen(rhs)] = true
+					}
+				}
+			}
+		})
+		callgraph.WalkLive(info, n.Decl.Body, func(node ast.Node) {
+			switch s := node.(type) {
+			case *ast.SendStmt:
+				if !comm[s] {
+					pass.Reportf(s.Arrow, "channel send can block the hot path (via %s); hand off at the boundary or use a ring buffer", via)
+				}
+			case *ast.UnaryExpr:
+				if s.Op == token.ARROW && !comm[s] {
+					pass.Reportf(s.OpPos, "channel receive can block the hot path (via %s); hand off at the boundary", via)
+				}
+			case *ast.RangeStmt:
+				if t := info.Types[s.X].Type; t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(s.For, "range over channel blocks the hot path (via %s); drain at the boundary", via)
+					}
+				}
+			case *ast.SelectStmt:
+				if !hasDefault(s) {
+					pass.Reportf(s.Select, "select without default blocks the hot path (via %s); add a default or move the wait to the boundary", via)
+				}
+			case *ast.GoStmt:
+				pass.Reportf(s.Go, "goroutine launch in hot path (via %s); the kernels are single-threaded — fan out per instance, not per event", via)
+			case *ast.CallExpr:
+				checkSyncCall(pass, info, s, via)
+			}
+		})
+	}
+	return nil
+}
+
+func checkSyncCall(pass *framework.Pass, info *types.Info, call *ast.CallExpr, via string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !blockingSyncMethods[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	pass.Reportf(call.Pos(), "%s.%s acquisition in hot path (via %s); the kernels are single-threaded — synchronize at the boundary",
+		types.TypeString(recv, types.RelativeTo(nil)), fn.Name(), via)
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

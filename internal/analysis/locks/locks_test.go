@@ -1,0 +1,16 @@
+package locks_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/locks"
+)
+
+// TestLocksFixtures pins the blocking contract: sync acquisitions,
+// channel operations, blocking selects, and goroutine launches report
+// in hot code; cold code, select comm clauses, releases, constant-false
+// branches, and allow-sanctioned lines stay silent.
+func TestLocksFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", locks.Analyzer, "example.com/internal/lockhot")
+}

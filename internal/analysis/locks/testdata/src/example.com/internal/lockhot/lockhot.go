@@ -1,0 +1,49 @@
+// Package lockhot is the locks fixture: every blocking construct once
+// in hot code, the same constructs unflagged in cold code, select comm
+// operations folded into the select finding, and one sanctioned line.
+package lockhot
+
+import "sync"
+
+const debug = false
+
+// Hot is the annotated root.
+//
+//schedlint:hotpath
+func Hot(mu *sync.Mutex, ch chan int, wg *sync.WaitGroup, once *sync.Once) int {
+	mu.Lock()          // want "sync\.Mutex\.Lock acquisition in hot path"
+	defer mu.Unlock()  // releases: no finding
+	once.Do(func() {}) // want "sync\.Once\.Do acquisition in hot path"
+	wg.Wait()          // want "sync\.WaitGroup\.Wait acquisition in hot path"
+	ch <- 1            // want "channel send can block"
+	v := <-ch          // want "channel receive can block"
+	for range ch {     // want "range over channel blocks"
+		v++
+	}
+	select { // want "select without default blocks"
+	case w := <-ch: // comm op of the select: no separate finding
+		v += w
+	case ch <- v: // comm op of the select: no separate finding
+	}
+	select { // non-blocking: no finding
+	case w := <-ch: // comm op of the select: no separate finding
+		v += w
+	default:
+	}
+	go spawned() // want "goroutine launch in hot path"
+	if debug {
+		mu.Lock() // constant-false branch: no finding
+	}
+	res := <-ch //schedlint:allow locks result is ready by construction, measured no stalls
+	return v + res
+}
+
+func spawned() {}
+
+// Cold blocks freely: nothing hot reaches it.
+func Cold(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+	return <-ch
+}

@@ -198,6 +198,8 @@ func (m *Machine) InUse() int {
 }
 
 // CanAllocate reports whether count nodes with minMem memory are free.
+//
+//schedlint:hotpath
 func (m *Machine) CanAllocate(count int, minMem int64) bool {
 	return m.FreeWithMem(minMem) >= count
 }
@@ -209,6 +211,8 @@ func (m *Machine) CanAllocate(count int, minMem int64) bool {
 // returns false, and allocates nothing, if the request cannot be
 // satisfied. Owner must be nonzero and must not already hold an
 // allocation.
+//
+//schedlint:hotpath
 func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	chosen, ok := m.allocate(owner, count, minMem)
 	if !ok {
@@ -222,6 +226,8 @@ func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
 // Claim is Allocate for callers that do not need the node list (the
 // simulator's job starts, which only track the owner): same selection,
 // same bookkeeping, no defensive copy.
+//
+//schedlint:hotpath
 func (m *Machine) Claim(owner int64, count int, minMem int64) bool {
 	_, ok := m.allocate(owner, count, minMem)
 	return ok
@@ -234,7 +240,7 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 		panic("cluster: allocation with zero owner")
 	}
 	if _, dup := m.owners[owner]; dup {
-		panic(fmt.Sprintf("cluster: owner %d already holds an allocation", owner))
+		panic(fmt.Sprintf("cluster: owner %d already holds an allocation", owner)) //schedlint:allow allocfree panic path: caller misuse, unreachable in a correct simulation
 	}
 	if count <= 0 {
 		panic("cluster: non-positive allocation size")
@@ -245,7 +251,7 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	// Walk the free lists from the smallest adequate class upward,
 	// taking lowest-index nodes first within each class — the same
 	// (Mem, index) order the original scan-and-sort produced.
-	chosen := make([]int, 0, count)
+	chosen := make([]int, 0, count) //schedlint:allow allocfree the owner's node list outlives the call (freed on Release); pooling would alias the slice Release returns
 	need := count
 	for ci := m.firstClass(minMem); ci < len(m.classes) && need > 0; ci++ {
 		c := &m.classes[ci]
@@ -283,6 +289,8 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 
 // Release frees all nodes held by owner and returns them. Releasing an
 // unknown owner returns nil.
+//
+//schedlint:hotpath
 func (m *Machine) Release(owner int64) []int {
 	nodes, ok := m.owners[owner]
 	if !ok {
@@ -458,13 +466,13 @@ func (m *Machine) check() {
 // a from-scratch recomputation. Shared by check and Validate.
 func (m *Machine) validateCached() error {
 	if got := m.scanUp(); got != m.up {
-		return fmt.Errorf("cached up=%d, scan=%d", m.up, got)
+		return fmt.Errorf("cached up=%d, scan=%d", m.up, got) //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 	}
 	if got := m.scanInUse(); got != m.inUse {
-		return fmt.Errorf("cached inUse=%d, scan=%d", m.inUse, got)
+		return fmt.Errorf("cached inUse=%d, scan=%d", m.inUse, got) //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 	}
 	if got := m.scanFreeWithMem(0); got != m.nFree {
-		return fmt.Errorf("cached free=%d, scan=%d", m.nFree, got)
+		return fmt.Errorf("cached free=%d, scan=%d", m.nFree, got) //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 	}
 	for ci := range m.classes {
 		c := &m.classes[ci]
@@ -473,17 +481,17 @@ func (m *Machine) validateCached() error {
 			pop += bits.OnesCount64(w)
 		}
 		if pop != c.count {
-			return fmt.Errorf("class %d (mem %d) count=%d, popcount=%d", ci, c.mem, c.count, pop)
+			return fmt.Errorf("class %d (mem %d) count=%d, popcount=%d", ci, c.mem, c.count, pop) //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 		}
 	}
 	for i := range m.nodes {
 		nd := &m.nodes[i]
 		free := !nd.Down && nd.Owner == NoOwner
 		if got := m.classes[m.classOf[i]].has(i); got != free {
-			return fmt.Errorf("node %d free-bit=%v, state free=%v", i, got, free)
+			return fmt.Errorf("node %d free-bit=%v, state free=%v", i, got, free) //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 		}
 		if m.classes[m.classOf[i]].mem != nd.Mem {
-			return fmt.Errorf("node %d in class with mem %d, node mem %d",
+			return fmt.Errorf("node %d in class with mem %d, node mem %d", //schedlint:allow allocfree debug-check failure path: runs only once an invariant is already broken
 				i, m.classes[m.classOf[i]].mem, nd.Mem)
 		}
 	}

@@ -119,15 +119,21 @@ func (e *EASY) Name() string {
 func (e *EASY) Queued() []*core.Job { return append([]*core.Job(nil), e.queue...) }
 
 // OnSubmit implements Scheduler.
+//
+//schedlint:hotpath
 func (e *EASY) OnSubmit(ctx Context, j *core.Job) {
 	e.queue = append(e.queue, j)
 	e.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
+//
+//schedlint:hotpath
 func (e *EASY) OnFinish(ctx Context, _ *core.Job) { e.schedule(ctx) }
 
 // OnChange implements Scheduler.
+//
+//schedlint:hotpath
 func (e *EASY) OnChange(ctx Context) { e.schedule(ctx) }
 
 // profile builds the availability profile EASY consults. Without
@@ -322,15 +328,21 @@ func (c *Conservative) Name() string {
 func (c *Conservative) Queued() []*core.Job { return append([]*core.Job(nil), c.queue...) }
 
 // OnSubmit implements Scheduler.
+//
+//schedlint:hotpath
 func (c *Conservative) OnSubmit(ctx Context, j *core.Job) {
 	c.queue = append(c.queue, j)
 	c.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
+//
+//schedlint:hotpath
 func (c *Conservative) OnFinish(ctx Context, _ *core.Job) { c.schedule(ctx) }
 
 // OnChange implements Scheduler.
+//
+//schedlint:hotpath
 func (c *Conservative) OnChange(ctx Context) { c.schedule(ctx) }
 
 func (c *Conservative) schedule(ctx Context) {

@@ -87,18 +87,24 @@ func (g *Gang) Name() string {
 func (g *Gang) Queued() []*core.Job { return append([]*core.Job(nil), g.queue...) }
 
 // OnSubmit implements Scheduler.
+//
+//schedlint:hotpath
 func (g *Gang) OnSubmit(ctx Context, j *core.Job) {
 	g.queue = append(g.queue, j)
 	g.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
+//
+//schedlint:hotpath
 func (g *Gang) OnFinish(ctx Context, j *core.Job) {
 	g.removeJob(j)
 	g.schedule(ctx)
 }
 
 // OnChange implements Scheduler.
+//
+//schedlint:hotpath
 func (g *Gang) OnChange(ctx Context) { g.schedule(ctx) }
 
 func (g *Gang) removeJob(j *core.Job) {

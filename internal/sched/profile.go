@@ -335,8 +335,8 @@ func BuildProfileInto(p *Profile, ctx Context) *Profile {
 	// rate.
 	need := 1 + len(running) + len(p.winT)
 	if cap(p.times) < need {
-		p.times = append(p.times[:cap(p.times)], make([]int64, need-cap(p.times))...)
-		p.frees = append(p.frees[:cap(p.frees)], make([]int, need-cap(p.frees))...)
+		p.times = append(p.times[:cap(p.times)], make([]int64, need-cap(p.times))...) //schedlint:allow allocfree amortized doubling of the reused profile arrays, not a per-pass allocation
+		p.frees = append(p.frees[:cap(p.frees)], make([]int, need-cap(p.frees))...)   //schedlint:allow allocfree amortized doubling of the reused profile arrays, not a per-pass allocation
 	}
 	times, frees := p.times[:need], p.frees[:need]
 	n := 1

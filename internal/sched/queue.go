@@ -148,15 +148,21 @@ func (q *QueueScheduler) Queued() []*core.Job {
 }
 
 // OnSubmit implements Scheduler.
+//
+//schedlint:hotpath
 func (q *QueueScheduler) OnSubmit(ctx Context, j *core.Job) {
 	q.queue = append(q.queue, j)
 	q.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
+//
+//schedlint:hotpath
 func (q *QueueScheduler) OnFinish(ctx Context, _ *core.Job) { q.schedule(ctx) }
 
 // OnChange implements Scheduler.
+//
+//schedlint:hotpath
 func (q *QueueScheduler) OnChange(ctx Context) { q.schedule(ctx) }
 
 func (q *QueueScheduler) schedule(ctx Context) {

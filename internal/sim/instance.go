@@ -49,6 +49,10 @@ type Instance struct {
 	// rsPool recycles runState structs between jobs so a start costs no
 	// allocation in steady state.
 	rsPool []*runState
+	// victimBuf is the reused victim accumulator for applyNodeEvents,
+	// so an outage batch costs no allocation. Valid only within one
+	// batch.
+	victimBuf []int64
 	// dependents maps predecessor ID -> dependent jobs awaiting it.
 	dependents map[int64][]*core.Job
 
@@ -101,7 +105,7 @@ func NewInstance(engine *des.Engine, name string, maxNodes int, s sched.Schedule
 	var machine *cluster.Machine
 	if opts.NodeMem != nil {
 		if len(opts.NodeMem) != maxNodes {
-			return nil, fmt.Errorf("sim: NodeMem has %d entries for %d nodes", len(opts.NodeMem), maxNodes)
+			return nil, fmt.Errorf("sim: NodeMem has %d entries for %d nodes", len(opts.NodeMem), maxNodes) //schedlint:allow allocfree setup error path: once per instance, before any event fires
 		}
 		machine = cluster.NewHeterogeneous(opts.NodeMem)
 	} else {
@@ -113,9 +117,9 @@ func NewInstance(engine *des.Engine, name string, maxNodes int, s sched.Schedule
 		machine:    machine,
 		schedule:   s,
 		opts:       opts,
-		running:    map[int64]*runState{},
-		outcomes:   map[int64]*metrics.Outcome{},
-		dependents: map[int64][]*core.Job{},
+		running:    map[int64]*runState{},        //schedlint:allow allocfree setup: instance maps built once per run
+		outcomes:   map[int64]*metrics.Outcome{}, //schedlint:allow allocfree setup: instance maps built once per run
+		dependents: map[int64][]*core.Job{},      //schedlint:allow allocfree setup: instance maps built once per run
 	}, nil
 }
 
@@ -126,6 +130,8 @@ func (sm *Instance) Scheduler() sched.Scheduler { return sm.schedule }
 func (sm *Instance) Machine() *cluster.Machine { return sm.machine }
 
 // SubmitAt schedules job j to arrive at time t.
+//
+//schedlint:hotpath
 func (sm *Instance) SubmitAt(j *core.Job, t int64) {
 	sm.engine.At(t, des.PriorityArrival, func() { sm.submit(j, t) })
 }
@@ -303,25 +309,34 @@ func (sm *Instance) notifyChange() {
 // killing victims after all transitions are applied and notifying the
 // scheduler once.
 func (sm *Instance) applyNodeEvents(downs, ups []int) {
-	victims := map[int64]bool{}
+	// Batches are a handful of nodes, so deduplicating victims by linear
+	// scan beats a map (and reusing the buffer keeps the outage path
+	// allocation-free).
+	ids := sm.victimBuf[:0]
 	for _, n := range downs {
 		victim := sm.machine.SetDown(n)
-		if victim != cluster.NoOwner && victim < reservationOwner {
-			victims[victim] = true
+		if victim != cluster.NoOwner && victim < reservationOwner && !containsID(ids, victim) {
+			ids = append(ids, victim)
 		}
 	}
 	for _, n := range ups {
 		sm.machine.SetUp(n)
 	}
-	ids := make([]int64, 0, len(victims))
-	for id := range victims {
-		ids = append(ids, id)
-	}
 	sortIDs(ids)
 	for _, id := range ids {
 		sm.killJob(id)
 	}
+	sm.victimBuf = ids[:0]
 	sm.notifyChange()
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 func sortIDs(ids []int64) {
@@ -412,12 +427,14 @@ func (sm *Instance) memNeed(j *core.Job) int64 {
 }
 
 // Start implements sched.Context.
+//
+//schedlint:hotpath
 func (sm *Instance) Start(j *core.Job, size int) {
 	if _, dup := sm.running[j.ID]; dup {
-		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
+		panic(fmt.Sprintf("sim: job %d started twice", j.ID)) //schedlint:allow allocfree panic path: scheduler contract violation, unreachable in a correct simulation
 	}
 	if !sm.machine.Claim(j.ID, size, sm.memNeed(j)) {
-		panic(fmt.Sprintf("sim: scheduler started job %d (size %d) without capacity", j.ID, size))
+		panic(fmt.Sprintf("sim: scheduler started job %d (size %d) without capacity", j.ID, size)) //schedlint:allow allocfree panic path: scheduler contract violation, unreachable in a correct simulation
 	}
 	now := sm.engine.Now()
 	actual := j.RuntimeOn(size)
@@ -440,9 +457,11 @@ func (sm *Instance) Start(j *core.Job, size int) {
 }
 
 // StartShared implements sched.Context.
+//
+//schedlint:hotpath
 func (sm *Instance) StartShared(j *core.Job, rate float64) {
 	if _, dup := sm.running[j.ID]; dup {
-		panic(fmt.Sprintf("sim: job %d started twice", j.ID))
+		panic(fmt.Sprintf("sim: job %d started twice", j.ID)) //schedlint:allow allocfree panic path: scheduler contract violation, unreachable in a correct simulation
 	}
 	now := sm.engine.Now()
 	rs := sm.allocRunState()
@@ -512,6 +531,8 @@ func (sm *Instance) RunningEpoch() uint64 { return sm.runEpoch }
 
 // Running implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Running() call on this instance.
+//
+//schedlint:hotpath
 func (sm *Instance) Running() []sched.RunningJob {
 	if sm.runBufEpoch == sm.runEpoch {
 		return sm.runBuf
@@ -571,7 +592,7 @@ func (sm *Instance) insertRunning(rs *runState) {
 func (sm *Instance) removeRunning(rs *runState) {
 	i := sort.Search(len(sm.runOrder), func(k int) bool { return !runBefore(sm.runOrder[k], rs) })
 	if i >= len(sm.runOrder) || sm.runOrder[i] != rs {
-		panic(fmt.Sprintf("sim: job %d missing from running order", rs.job.ID))
+		panic(fmt.Sprintf("sim: job %d missing from running order", rs.job.ID)) //schedlint:allow allocfree panic path: double-start guard, unreachable in a correct simulation
 	}
 	copy(sm.runOrder[i:], sm.runOrder[i+1:])
 	sm.runOrder[len(sm.runOrder)-1] = nil
@@ -590,6 +611,8 @@ func (sm *Instance) Estimate(j *core.Job) int64 {
 
 // Outages implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Outages() call on this instance.
+//
+//schedlint:hotpath
 func (sm *Instance) Outages() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.outMemoUntil {
@@ -601,6 +624,8 @@ func (sm *Instance) Outages() []sched.Window {
 
 // Reservations implements sched.Context. The returned slice is a
 // reused buffer, valid only until the next Reservations() call.
+//
+//schedlint:hotpath
 func (sm *Instance) Reservations() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.resvMemoUntil {

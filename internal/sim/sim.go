@@ -203,7 +203,7 @@ func scheduleSampling(engine *des.Engine, sm *Instance, opts Options) {
 	var samplers []SampleObserver
 	for _, ob := range opts.Observers {
 		if so, ok := ob.(SampleObserver); ok {
-			samplers = append(samplers, so)
+			samplers = append(samplers, so) //schedlint:allow allocfree setup: observer fan-out assembled once per run
 		}
 	}
 	if len(samplers) == 0 {
@@ -244,9 +244,9 @@ func scheduleOutages(engine *des.Engine, sm *Instance, log *outage.Log) {
 		var downs, ups []int
 		for _, ev := range evs[i:k] {
 			if ev.Down {
-				downs = append(downs, int(ev.Node))
+				downs = append(downs, int(ev.Node)) //schedlint:allow allocfree setup: outage batches wired once per run, before the event loop
 			} else {
-				ups = append(ups, int(ev.Node))
+				ups = append(ups, int(ev.Node)) //schedlint:allow allocfree setup: outage batches wired once per run, before the event loop
 			}
 		}
 		if t := evs[i].Time; t >= 0 {

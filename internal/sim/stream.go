@@ -27,9 +27,11 @@ import (
 // job in hand when its predecessor terminates, which is exactly what a
 // pull-based arrival stream does not have. Materialize the workload and
 // use Run for feedback studies.
+//
+//schedlint:hotpath
 func RunStream(name string, maxNodes int, js core.JobStream, s sched.Scheduler, opts Options) (*Result, error) {
 	if opts.Feedback {
-		return nil, fmt.Errorf("sim: streaming replay does not support feedback (closed-loop) mode; use Run")
+		return nil, fmt.Errorf("sim: streaming replay does not support feedback (closed-loop) mode; use Run") //schedlint:allow allocfree setup error path: rejects the spec before any event fires
 	}
 
 	engine := des.NewEngine(2*len(opts.Reservations) + 256)
@@ -57,16 +59,16 @@ func RunStream(name string, maxNodes int, js core.JobStream, s sched.Scheduler, 
 		}
 		pulled++
 		if j.ID != int64(pulled) {
-			return nil, fmt.Errorf("sim: stream job %d arrived in position %d; IDs must be sequential from 1", j.ID, pulled)
+			return nil, fmt.Errorf("sim: stream job %d arrived in position %d; IDs must be sequential from 1", j.ID, pulled) //schedlint:allow allocfree error path: a malformed stream aborts the replay
 		}
 		if j.Submit < prevSubmit {
-			return nil, fmt.Errorf("sim: stream job %d submitted at %d, before predecessor's %d", j.ID, j.Submit, prevSubmit)
+			return nil, fmt.Errorf("sim: stream job %d submitted at %d, before predecessor's %d", j.ID, j.Submit, prevSubmit) //schedlint:allow allocfree error path: a malformed stream aborts the replay
 		}
 		if j.Size < 1 || j.Size > maxNodes {
-			return nil, fmt.Errorf("sim: stream job %d: size %d outside machine of %d nodes", j.ID, j.Size, maxNodes)
+			return nil, fmt.Errorf("sim: stream job %d: size %d outside machine of %d nodes", j.ID, j.Size, maxNodes) //schedlint:allow allocfree error path: a malformed stream aborts the replay
 		}
 		if j.Runtime < 0 {
-			return nil, fmt.Errorf("sim: stream job %d: negative runtime %d", j.ID, j.Runtime)
+			return nil, fmt.Errorf("sim: stream job %d: negative runtime %d", j.ID, j.Runtime) //schedlint:allow allocfree error path: a malformed stream aborts the replay
 		}
 		prevSubmit = j.Submit
 		return j, nil
@@ -130,7 +132,7 @@ func RunStream(name string, maxNodes int, js core.JobStream, s sched.Scheduler, 
 // stream tail — count as NeverSubmitted, as they do in Run.
 func collectStream(sm *Instance, name string, engine *des.Engine, js core.JobStream, pending *core.Job) (*Result, error) {
 	res := &Result{Scheduler: sm.schedule.Name(), Workload: name, Events: engine.Processed}
-	ids := make([]int64, 0, len(sm.outcomes))
+	ids := make([]int64, 0, len(sm.outcomes)) //schedlint:allow allocfree once per replay, sized after the event loop drains
 	for id := range sm.outcomes {
 		ids = append(ids, id)
 	}

@@ -191,12 +191,12 @@ func ParseRecord(line string) (Record, error) {
 	var r Record
 	fields := strings.Fields(line)
 	if len(fields) != NumFields {
-		return r, fmt.Errorf("swf: record has %d fields, want %d", len(fields), NumFields)
+		return r, fmt.Errorf("swf: record has %d fields, want %d", len(fields), NumFields) //schedlint:allow allocfree error path: a malformed record aborts the scan
 	}
 	for i, f := range fields {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			return r, fmt.Errorf("swf: field %d %q: not an integer", i+1, f)
+			return r, fmt.Errorf("swf: field %d %q: not an integer", i+1, f) //schedlint:allow allocfree error path: a malformed record aborts the scan
 		}
 		r.setField(i, v)
 	}

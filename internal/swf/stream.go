@@ -46,6 +46,8 @@ func NewScanner(r io.Reader) *Scanner {
 
 // Scan advances to the next data record, consuming any comment lines on
 // the way. It returns false at end of input or on error (check Err).
+//
+//schedlint:hotpath
 func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
@@ -65,14 +67,14 @@ func (s *Scanner) Scan() bool {
 		}
 		rec, err := ParseRecord(line)
 		if err != nil {
-			s.err = fmt.Errorf("line %d: %w", s.lineNo, err)
+			s.err = fmt.Errorf("line %d: %w", s.lineNo, err) //schedlint:allow allocfree error path: a malformed header aborts the scan
 			return false
 		}
 		s.rec = rec
 		return true
 	}
 	if err := s.sc.Err(); err != nil {
-		s.err = fmt.Errorf("swf: read: %w", err)
+		s.err = fmt.Errorf("swf: read: %w", err) //schedlint:allow allocfree error path: a malformed record aborts the scan
 	}
 	return false
 }
@@ -222,6 +224,8 @@ func NewCleanStream(r io.Reader, stats *StreamStats) *CleanStream {
 }
 
 // Scan advances to the next replayable record; false at end or error.
+//
+//schedlint:hotpath
 func (c *CleanStream) Scan() bool {
 	if c.err != nil {
 		return false

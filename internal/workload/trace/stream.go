@@ -116,6 +116,8 @@ type JobReader struct {
 
 // Next implements core.JobStream: jobs with IDs 1, 2, ... in
 // non-decreasing submit order, (nil, nil) at end of trace.
+//
+//schedlint:hotpath
 func (r *JobReader) Next() (*core.Job, error) {
 	if r.limit > 0 && r.n >= r.limit {
 		return nil, nil
@@ -131,7 +133,7 @@ func (r *JobReader) Next() (*core.Job, error) {
 		// The file changed (or was mis-scanned) between the statistics
 		// pass and the replay; refuse to feed an invalid arrival order
 		// into the simulator.
-		return nil, fmt.Errorf("trace: job %d: submit %d before predecessor's %d; file not streamable",
+		return nil, fmt.Errorf("trace: job %d: submit %d before predecessor's %d; file not streamable", //schedlint:allow allocfree error path: a failed read aborts the replay
 			rec.JobID, rec.Submit, r.prev)
 	}
 	r.prev = rec.Submit

@@ -4,7 +4,11 @@
 # Reruns a benchmark subset and compares each result against the
 # "current" section of a committed perf snapshot (BENCH_PR7.json by
 # default). Fails if any shared benchmark regresses by more than
-# THRESHOLD percent in ns/op.
+# THRESHOLD percent in ns/op, or allocates more per op than the
+# snapshot at all: ns/op is noisy and gets a tolerance band, but
+# allocs/op is deterministic, so the ratchet only moves down. When an
+# optimization lowers a benchmark's allocation count, re-snapshot to
+# lock in the gain.
 #
 # Usage: scripts/bench_check.sh [snapshot.json]
 #   BENCH=regex      benchmarks to check (default: BenchmarkAblation —
@@ -33,20 +37,29 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$raw"
 
-# Minimum ns/op per benchmark across the samples.
+# Minimum ns/op and allocs/op per benchmark across the samples.
 awk '
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
-  for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i-1)
+  ns = ""; ac = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op") ns = $(i-1)
+    if ($i == "allocs/op") ac = $(i-1)
+  }
   if (ns == "") next
+  if (ac == "") ac = "-"
   if (!(name in minNs) || ns+0 < minNs[name]+0) minNs[name] = ns
+  if (ac != "-" && (!(name in minAc) || ac+0 < minAc[name]+0)) minAc[name] = ac
 }
-END { for (name in minNs) printf "%s %s\n", name, minNs[name] }
+END {
+  for (name in minNs)
+    printf "%s %s %s\n", name, minNs[name], (name in minAc) ? minAc[name] : "-"
+}
 ' "$raw" > "$raw.min"
 
 fail=0
 checked=0
-while read -r name ns; do
+while read -r name ns ac; do
   ref="$(jq -r --arg n "$name" '.current[$n].ns_per_op // empty' "$SNAP")"
   [ -n "$ref" ] || continue
   checked=$((checked + 1))
@@ -57,6 +70,16 @@ while read -r name ns; do
     fail=1
   else
     echo "ok: $name ${ns%.*} ns/op (snapshot ${ref}, limit ${allowed})"
+  fi
+  # Allocation ratchet: the count is deterministic, so any increase
+  # over the snapshot is a real regression — no tolerance band.
+  refAc="$(jq -r --arg n "$name" '.current[$n].allocs_per_op // empty' "$SNAP")"
+  [ -n "$refAc" ] && [ "$ac" != "-" ] || continue
+  if [ "${ac%.*}" -gt "$refAc" ]; then
+    echo "REGRESSION: $name ${ac%.*} allocs/op > snapshot ${refAc} (ratchet: any increase fails)"
+    fail=1
+  else
+    echo "ok: $name ${ac%.*} allocs/op (snapshot ${refAc})"
   fi
 done < "$raw.min"
 rm -f "$raw.min"
