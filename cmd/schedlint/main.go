@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [packages]
+//	schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [-hotpaths] [packages]
 //
 // Packages default to ./... relative to the current directory. The
 // exit status is 1 when any finding survives the //schedlint:allow
 // directives, 2 on usage or load errors, so CI fails on findings.
+//
+// -hotpaths switches to the audit mode: instead of linting, print the
+// whole-program propagated hot set, one function per line with the
+// full cross-package Via chain from its root, plus the roots the
+// propagation makes redundant (annotated functions already reachable
+// from other roots). With -json each hot function is one JSON object
+// (package, func, root, chain, root/redundant flags). Baseline and
+// annotation audits read this instead of the graph code.
 //
 // The escape analyzer checks the compiler's -m diagnostics against the
 // sanctioned-escapes baseline (-baseline; defaults to ESCAPES.baseline
@@ -38,6 +46,7 @@ import (
 	"strings"
 
 	"parsched/internal/analysis"
+	"parsched/internal/analysis/callgraph"
 	"parsched/internal/analysis/escape"
 	"parsched/internal/analysis/framework"
 	"parsched/internal/analysis/load"
@@ -49,8 +58,9 @@ func main() {
 	jsonFlag := flag.Bool("json", false, "emit findings as JSON, one object per line (includes suppressed findings)")
 	baseline := flag.String("baseline", "", "sanctioned-escapes baseline file (default: ESCAPES.baseline at the module root)")
 	update := flag.Bool("update-baseline", false, "rewrite the baseline to the current escape findings instead of failing on them")
+	hotpaths := flag.Bool("hotpaths", false, "print the whole-program propagated hot set with cross-package Via chains and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [packages]\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-list] [-only check,...] [-json] [-baseline file] [-update-baseline] [-hotpaths] [packages]\n\nchecks:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -103,6 +113,10 @@ func main() {
 		for _, terr := range p.TypeErrors {
 			fmt.Fprintf(os.Stderr, "schedlint: %s: type error: %v\n", p.Path, terr)
 		}
+	}
+	if *hotpaths {
+		printHotpaths(pkgs, *jsonFlag)
+		return
 	}
 	diags, fset, err := framework.RunAll(pkgs, analyzers)
 	if err != nil {
@@ -174,6 +188,70 @@ type jsonFinding struct {
 	Pos        string `json:"pos"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonHotpath is the -hotpaths -json line format.
+type jsonHotpath struct {
+	Package   string   `json:"package"`
+	Func      string   `json:"func"`
+	Root      string   `json:"root"`
+	IsRoot    bool     `json:"is_root,omitempty"`
+	Redundant bool     `json:"redundant_root,omitempty"`
+	Chain     []string `json:"chain"`
+}
+
+// printHotpaths is the -hotpaths audit: the whole-program hot set with
+// full cross-package Via chains, then the redundant roots — annotated
+// entry points the propagation already reaches from other roots, which
+// can lose their directive without shrinking the hot set.
+func printHotpaths(pkgs []*load.Package, asJSON bool) {
+	pg := callgraph.BuildProgram(pkgs)
+	redundant := map[*callgraph.Node]bool{}
+	for _, n := range pg.RedundantRoots() {
+		redundant[n] = true
+	}
+	enc := json.NewEncoder(os.Stdout)
+	hot, roots := 0, 0
+	for _, g := range pg.Graphs() {
+		for _, n := range g.Nodes() {
+			if !n.Hot {
+				continue
+			}
+			hot++
+			if n.Root {
+				roots++
+			}
+			if asJSON {
+				enc.Encode(jsonHotpath{
+					Package:   g.Path(),
+					Func:      n.Name(),
+					Root:      n.Via,
+					IsRoot:    n.Root,
+					Redundant: redundant[n],
+					Chain:     n.Chain(),
+				})
+				continue
+			}
+			mark := " "
+			switch {
+			case redundant[n]:
+				mark = "!" // annotated root that other roots already reach
+			case n.Root:
+				mark = "*"
+			}
+			fmt.Printf("%s %-42s %-28s via %s\n", mark, g.Path(), n.Name(), strings.Join(n.Chain(), " -> "))
+		}
+	}
+	if asJSON {
+		return
+	}
+	fmt.Printf("\n%d hot functions, %d roots (* root, ! redundant root)\n", hot, roots)
+	if len(redundant) > 0 {
+		fmt.Printf("redundant roots (reachable from other roots; the directive can be dropped):\n")
+		for _, n := range pg.RedundantRoots() {
+			fmt.Printf("  %s\n", n.Qualified())
+		}
+	}
 }
 
 // defaultBaseline resolves ESCAPES.baseline at the enclosing module's

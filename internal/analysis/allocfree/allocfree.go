@@ -30,7 +30,7 @@ var Analyzer = &framework.Analyzer{
 
 func run(pass *framework.Pass) error {
 	g := callgraph.Of(pass)
-	if !g.HasRoots() {
+	if !g.HasHot() {
 		return nil
 	}
 	info := pass.TypesInfo

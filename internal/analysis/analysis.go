@@ -1,8 +1,10 @@
 // Package analysis aggregates the schedlint analyzer suite: the
 // determinism contracts (determinism, maporder, handles, registry,
-// floatsum) that keep the simulator's results reproducible, and the
+// floatsum) that keep the simulator's results reproducible, the
 // allocgate performance contracts (escape, allocfree, locks) that keep
-// its //schedlint:hotpath kernels allocation- and blocking-free. The
+// its //schedlint:hotpath kernels allocation- and blocking-free, and
+// the whole-program dataflow contracts (seedflow, ownership) that keep
+// replication seeds explicit and goroutine handoffs owned. The
 // cmd/schedlint multichecker and the per-analyzer tests both draw the
 // canonical list from here.
 package analysis
@@ -16,7 +18,9 @@ import (
 	"parsched/internal/analysis/handles"
 	"parsched/internal/analysis/locks"
 	"parsched/internal/analysis/maporder"
+	"parsched/internal/analysis/ownership"
 	"parsched/internal/analysis/registry"
+	"parsched/internal/analysis/seedflow"
 )
 
 // Analyzers returns the full schedlint suite in reporting order.
@@ -27,6 +31,8 @@ func Analyzers() []*framework.Analyzer {
 		handles.Analyzer,
 		registry.Analyzer,
 		floatsum.Analyzer,
+		seedflow.Analyzer,
+		ownership.Analyzer,
 		escape.Analyzer,
 		allocfree.Analyzer,
 		locks.Analyzer,

@@ -31,21 +31,23 @@ import (
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-// Run loads each fixture package below testdata/src, applies the
-// analyzer, and matches findings against the // want comments.
+// Run loads the fixture packages below testdata/src as one fixture
+// module — every listed path is a full-analysis target, so fixtures
+// may import each other and cross-package structures (the
+// whole-program call graph, seed-provenance summaries) span the whole
+// list — applies the analyzer, and matches findings against the
+// // want comments.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) {
 	t.Helper()
 	fl := load.NewFixtureLoader(testdata)
-	var pkgs []*load.Package
-	for _, path := range paths {
-		p, err := fl.Load(path)
-		if err != nil {
-			t.Fatalf("loading fixture %s: %v", path, err)
-		}
+	pkgs, err := fl.LoadAll(paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
-			t.Errorf("fixture %s: type error: %v", path, terr)
+			t.Errorf("fixture %s: type error: %v", p.Path, terr)
 		}
-		pkgs = append(pkgs, p)
 	}
 	diags, fset, err := framework.Run(pkgs, []*framework.Analyzer{a})
 	if err != nil {

@@ -1,0 +1,18 @@
+// Package a is the root package of the whole-program fixture: its
+// kernel reaches package b through a static call, an interface
+// dispatch the per-package graph cannot resolve, and a coldpath
+// constructor the propagation must not enter.
+package a
+
+import "example.com/internal/prog/b"
+
+// runner is satisfied by b.Engine; the concrete type is only known
+// program-wide.
+type runner interface{ Run(int) int }
+
+//schedlint:hotpath fixture entry point
+func Kernel(n int) int {
+	e := b.NewEngine(n)
+	var r runner = e
+	return r.Run(n) + b.Step(n)
+}

@@ -1,0 +1,28 @@
+// Package b supplies the callee side of the whole-program fixture:
+// the interface implementation a dispatches to, a redundant root the
+// cross-package propagation already covers, and a coldpath
+// constructor.
+package b
+
+// Engine implements a.runner.
+type Engine struct{ bias int }
+
+//schedlint:coldpath once-per-run constructor
+func NewEngine(n int) *Engine { return &Engine{bias: setupCost(n)} }
+
+// setupCost is reachable only through the coldpath constructor.
+func setupCost(n int) int { return n * 2 }
+
+// Run is reached by program-wide interface dispatch from a.Kernel.
+func (e *Engine) Run(n int) int { return leaf(n) + e.bias }
+
+//schedlint:hotpath redundant: a.Kernel already reaches this cross-package
+func Step(n int) int { return leaf(n) }
+
+func leaf(n int) int { return n + 1 }
+
+// misfit has a Run of the wrong shape; it must not receive the
+// dispatch edge.
+type misfit struct{}
+
+func (misfit) Run(n, extra int) int { return n }

@@ -292,7 +292,7 @@ func compile(dir string, isMain bool) ([]diag, error) {
 
 func run(pass *framework.Pass) error {
 	g := callgraph.Of(pass)
-	if !g.HasRoots() {
+	if !g.HasHot() {
 		return nil // cold package: no contract, no compile
 	}
 	if analyzed == nil {

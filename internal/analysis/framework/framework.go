@@ -40,6 +40,43 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// Program is the whole-program view of one Run: every target package
+// being analyzed, plus a cache shared by every pass of the run.
+// Whole-program structures — the cross-package call graph, the
+// seed-provenance summaries — are built once per run through
+// Program.Cached, not once per package.
+//
+// The program is exactly the set of packages handed to Run. A partial
+// run (`schedlint ./internal/des`) therefore sees a partial program:
+// hot-path roots and taint sources in packages outside the target set
+// do not propagate in. CI always runs the full `./...` set, which is
+// the configuration the contracts are stated against.
+type Program struct {
+	// Packages holds the run's target packages in analysis order.
+	Packages []*load.Package
+
+	cache map[any]any
+}
+
+// NewProgram wraps the target package set for a run.
+func NewProgram(pkgs []*load.Package) *Program {
+	return &Program{Packages: pkgs, cache: map[any]any{}}
+}
+
+// Cached memoizes compute under key for the whole program, exactly as
+// Pass.Cached does for one package.
+func (p *Program) Cached(key any, compute func() any) any {
+	if p.cache == nil {
+		p.cache = map[any]any{}
+	}
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := compute()
+	p.cache[key] = v
+	return v
+}
+
 // Pass carries one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
@@ -54,6 +91,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program is the whole-program view of the run. Nil for passes
+	// constructed outside Run (direct analyzer tests), in which case
+	// interprocedural analyzers fall back to package-local resolution.
+	Program *Program
 
 	diags *[]Diagnostic
 	// cache is shared by every analyzer visiting the same package in one
@@ -130,6 +171,7 @@ func RunAll(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, *token.F
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		if fset == nil {
 			fset = pkg.Fset
@@ -146,6 +188,7 @@ func RunAll(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, *token.F
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Program:   prog,
 				diags:     &pkgDiags,
 				cache:     cache,
 			}

@@ -262,6 +262,10 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 type FixtureLoader struct {
 	root string // the testdata directory
 	ld   *loader
+	// full marks fixture paths that must be checked with bodies and
+	// Info even when first reached as another fixture's import, so a
+	// multi-package fixture module analyzes every listed package.
+	full map[string]bool
 }
 
 // NewFixtureLoader returns a loader rooted at the given testdata
@@ -271,13 +275,34 @@ func NewFixtureLoader(testdata string) *FixtureLoader {
 	if err != nil {
 		abs = testdata
 	}
-	return &FixtureLoader{root: abs, ld: newLoader(abs)}
+	return &FixtureLoader{root: abs, ld: newLoader(abs), full: map[string]bool{}}
 }
 
 // Load type-checks the fixture package at root/src/<path> and returns
 // it with Path set to <path>.
 func (fl *FixtureLoader) Load(path string) (*Package, error) {
+	fl.full[path] = true
 	return fl.load(path, true)
+}
+
+// LoadAll loads a multi-package fixture: every path is marked as a
+// full-analysis target before any checking starts, so a fixture that
+// is imported by an earlier fixture in the list still gets function
+// bodies and Info maps (mirroring how Packages pre-marks its targets).
+// Packages are returned in the order given.
+func (fl *FixtureLoader) LoadAll(paths ...string) ([]*Package, error) {
+	for _, path := range paths {
+		fl.full[path] = true
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := fl.load(path, true)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
 }
 
 func (fl *FixtureLoader) load(path string, full bool) (*Package, error) {
@@ -333,7 +358,7 @@ func (fl *FixtureLoader) importPkg(path string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	if dir := filepath.Join(fl.root, "src", filepath.FromSlash(path)); dirExists(dir) {
-		p, err := fl.load(path, false)
+		p, err := fl.load(path, fl.full[path])
 		if err != nil {
 			return nil, err
 		}

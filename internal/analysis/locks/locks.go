@@ -42,7 +42,7 @@ var blockingSyncMethods = map[string]bool{
 
 func run(pass *framework.Pass) error {
 	g := callgraph.Of(pass)
-	if !g.HasRoots() {
+	if !g.HasHot() {
 		return nil
 	}
 	info := pass.TypesInfo

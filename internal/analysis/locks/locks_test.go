@@ -14,3 +14,12 @@ import (
 func TestLocksFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", locks.Analyzer, "example.com/internal/lockhot")
 }
+
+// TestLocksCrossPackage pins whole-program heat: a hotpath root in
+// xroot makes xleaf's blocking constructs findings — through a static
+// cross-package call and through an interface dispatch — and the Via
+// chain names the cross-package root.
+func TestLocksCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", locks.Analyzer,
+		"example.com/internal/xroot", "example.com/internal/xleaf")
+}

@@ -1,0 +1,27 @@
+// Package xleaf declares no hotpath root of its own: every finding
+// below exists only because the whole-program graph carries heat
+// across the package boundary from xroot.Kernel, and the Via chain
+// must say so.
+package xleaf
+
+import "sync"
+
+// Spin is reached by a static cross-package call from the root.
+func Spin(mu *sync.Mutex, n int) int {
+	mu.Lock() // want "sync\.Mutex\.Lock acquisition in hot path \(via xroot\.Kernel\)"
+	mu.Unlock()
+	return n
+}
+
+// Clock implements xroot.ticker.
+type Clock struct{ ch chan int }
+
+// NewClock builds the dispatch target the root binds to its
+// interface.
+func NewClock() *Clock { return &Clock{ch: make(chan int, 1)} }
+
+// Tick is reached only through the interface dispatch in xroot.Kernel.
+func (c *Clock) Tick(n int) int {
+	c.ch <- n     // want "channel send can block the hot path \(via xroot\.Kernel\)"
+	return <-c.ch // want "channel receive can block the hot path \(via xroot\.Kernel\)"
+}

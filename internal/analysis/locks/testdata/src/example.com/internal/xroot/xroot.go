@@ -1,0 +1,22 @@
+// Package xroot is the hot root of the cross-package locks fixture:
+// its kernel carries heat into package xleaf through a static call and
+// an interface dispatch only the whole-program graph can resolve.
+package xroot
+
+import (
+	"sync"
+
+	"example.com/internal/xleaf"
+)
+
+// ticker is satisfied by xleaf.Clock; the concrete type is known only
+// program-wide.
+type ticker interface{ Tick(int) int }
+
+// Kernel is the annotated root.
+//
+//schedlint:hotpath
+func Kernel(mu *sync.Mutex, n int) int {
+	var t ticker = xleaf.NewClock()
+	return xleaf.Spin(mu, n) + t.Tick(n)
+}

@@ -1,0 +1,55 @@
+package ownership_test
+
+import (
+	"strings"
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/framework"
+	"parsched/internal/analysis/load"
+	"parsched/internal/analysis/ownership"
+)
+
+// TestOwnershipFixtures pins the goroutine-ownership contract: live
+// captures, retained call arguments, aliasing sends, and loop handoffs
+// of pre-loop allocations report; fresh handoffs, coordination
+// primitives, immutable structs, and //schedlint:shared-annotated
+// lines stay silent.
+func TestOwnershipFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", ownership.Analyzer, "example.com/internal/workers")
+}
+
+// TestSharedNeedsReason pins the directive hygiene rule: a bare
+// //schedlint:shared is itself a finding and suppresses nothing, so
+// the unexplained handoff under it still reports.
+func TestSharedNeedsReason(t *testing.T) {
+	fl := load.NewFixtureLoader("testdata")
+	pkgs, err := fl.LoadAll("example.com/internal/ownbare")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, fset, err := framework.Run(pkgs, []*framework.Analyzer{ownership.Analyzer})
+	if err != nil {
+		t.Fatalf("running ownership: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+		_ = fset
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings (directive hygiene + unsuppressed handoff), got %d: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "schedlint:shared needs a reason") && !strings.Contains(got[1], "schedlint:shared needs a reason") {
+		t.Errorf("no finding mentions the missing reason: %v", got)
+	}
+	found := false
+	for _, g := range got {
+		if strings.Contains(g, "goroutine call receives jobs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bare directive must not suppress the handoff finding: %v", got)
+	}
+}

@@ -1,0 +1,13 @@
+// Package ownbare holds a //schedlint:shared directive with no
+// reason: the directive itself must be reported and must not suppress
+// the sharing finding it fails to explain.
+package ownbare
+
+func consume(jobs []int) { _ = jobs }
+
+// Launch shares a retained slice under an unexplained directive.
+func Launch(jobs []int) {
+	//schedlint:shared
+	go consume(jobs)
+	jobs[0] = 1
+}

@@ -1,0 +1,118 @@
+// Package workers exercises the goroutine-ownership contract: live
+// captures, retained goroutine-call arguments, aliasing channel sends,
+// and repeated loop handoffs report; fresh handoffs, coordination
+// primitives, immutable data, and annotated sharing stay silent.
+package workers
+
+import (
+	"context"
+	"sync"
+)
+
+// Job is a mutable payload handed between goroutines.
+type Job struct{ N int }
+
+// result is deeply immutable; any number of goroutines may read it.
+type result struct {
+	id   int
+	cost float64
+}
+
+func consume(jobs []int) { _ = jobs }
+
+// CaptureLive captures a slice the launcher keeps using after the
+// goroutine starts.
+func CaptureLive(n int) int {
+	results := make([]int, n)
+	go func() { // want "goroutine closure captures results"
+		results[0] = 1
+	}()
+	return results[0]
+}
+
+// ArgLive launches a named call whose argument the launcher retains.
+func ArgLive(jobs []int) {
+	go consume(jobs) // want "goroutine call receives jobs"
+	jobs[0] = 9
+}
+
+// ParamCapture captures a parameter: its value came from the caller,
+// who may keep an alias, so it is never a fresh handoff.
+func ParamCapture(j *Job) {
+	go func() { // want "goroutine closure captures j"
+		j.N++
+	}()
+}
+
+// LoopHandoff hands the same pre-loop allocation out on every trip.
+func LoopHandoff(n int) {
+	j := &Job{}
+	for i := 0; i < n; i++ {
+		go func() { // want "goroutine closure captures j"
+			j.N++
+		}()
+	}
+}
+
+// SendAlias keeps writing through the slice it already sent.
+func SendAlias(ch chan []int) {
+	buf := make([]int, 4)
+	ch <- buf // want "channel send of buf"
+	buf[0] = 1
+}
+
+// FreshGo hands closure-allocated state off and never touches it
+// again: the ownership-transfer idiom.
+func FreshGo() {
+	m := make(map[string]int)
+	go func() { m["a"] = 1 }()
+}
+
+// FreshSend allocates per loop trip, so each receiver owns its value.
+func FreshSend(ch chan *Job, n int) {
+	for i := 0; i < n; i++ {
+		j := &Job{N: i}
+		ch <- j
+	}
+	ch <- &Job{N: n}
+}
+
+// Primitives crosses the boundary with coordination primitives and
+// immutable data only.
+func Primitives(ctx context.Context, done chan int, stop func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	k := 7
+	r := result{id: 1, cost: 2.5}
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+		stop()
+		done <- k
+		_ = r
+	}()
+	wg.Wait()
+}
+
+// Annotated shares deliberately and says so on the launching line.
+func Annotated(n int) []int {
+	cells := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() { //schedlint:shared cells is index-partitioned per worker; wg.Wait is the barrier
+			defer wg.Done()
+			cells[0]++
+		}()
+	}
+	wg.Wait()
+	return cells
+}
+
+// AnnotatedAbove uses the standalone form governing the line below.
+func AnnotatedAbove(ch chan []int) {
+	buf := make([]int, 2)
+	//schedlint:shared the receiver treats the buffer as read-only
+	ch <- buf
+	buf[0] = 1
+}

@@ -1,0 +1,22 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"parsched/internal/analysis/analysistest"
+	"parsched/internal/analysis/seedflow"
+)
+
+// TestSeedflowFixtures pins the seed-provenance contract across
+// packages: literal, wall-clock, and global-rand seeds report at the
+// constructor, through a cross-package helper parameter, through a
+// struct field, and through an interface edge; explicit-parameter,
+// RepSeed, split, config, and allow-sanctioned seeds stay silent.
+func TestSeedflowFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", seedflow.Analyzer,
+		"example.com/internal/stats",
+		"example.com/internal/experiments",
+		"example.com/internal/prov/helper",
+		"example.com/internal/prov/seeded",
+	)
+}

@@ -1,0 +1,6 @@
+// Package experiments mirrors the repository's replication-seed
+// derivation so fixtures can bless values through RepSeed.
+package experiments
+
+// RepSeed derives the seed of replication rep from the base seed.
+func RepSeed(base int64, rep int) int64 { return base + int64(rep)*1000003 }

@@ -1,0 +1,34 @@
+// Package helper supplies the laundering routes the seedflow fixpoint
+// must see through: a cross-package pass-through function, a struct
+// field that feeds a constructor, and an interface whose
+// implementations reseed a generator.
+package helper
+
+import "example.com/internal/stats"
+
+// Make passes its parameter straight into a seed position, so the
+// discovery fixpoint must register seed as a sink parameter and check
+// every cross-package call site of Make.
+func Make(seed int64) *stats.RNG { return stats.NewRNG(seed) }
+
+// MakeOffset offsets the explicit seed by a literal before seeding;
+// the parameter still decides the seed and stays a sink.
+func MakeOffset(seed int64) *stats.RNG { return stats.NewRNG(seed ^ 0x9e3779b9) }
+
+// Gen launders a seed through a struct field: Build makes Gen.Seed a
+// seed field, so composite literals and assignments that store
+// literals into it are findings at the write site.
+type Gen struct {
+	Seed int64
+	Bias int
+}
+
+// Build consumes the stored field as a seed.
+func (g *Gen) Build() *stats.RNG { return stats.NewRNG(g.Seed) }
+
+// Seeder launders a seed through an interface edge: calls through it
+// must resolve to the program's implementations and check their sink
+// parameters.
+type Seeder interface {
+	Reseed(seed int64)
+}

@@ -1,0 +1,23 @@
+// Package stats mirrors the repository's seeded generator so the
+// fixtures exercise the analyzer's stats.RNG recognition through the
+// same internal/stats path suffix the real module has.
+package stats
+
+// RNG is the fixture twin of the repository's xorshift generator.
+type RNG struct{ state uint64 }
+
+// NewRNG builds a generator from an explicit seed.
+func NewRNG(seed int64) *RNG { return &RNG{state: uint64(seed)} }
+
+// Seed reseeds the generator in place.
+func (r *RNG) Seed(seed int64) { r.state = uint64(seed) }
+
+// Uint64 draws the next value.
+func (r *RNG) Uint64() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	return r.state
+}
+
+// Int63 draws a non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }

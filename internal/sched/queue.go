@@ -135,6 +135,8 @@ func expansion(now int64, j *core.Job, est int64) float64 {
 // Name implements Scheduler. The drain-aware variant names itself by
 // its canonical spec so result tables distinguish it from the base
 // policy.
+//
+//schedlint:coldpath reporting: result labeling, once per run
 func (q *QueueScheduler) Name() string {
 	if q.DrainAware {
 		return q.name + "(drain)"
@@ -148,21 +150,15 @@ func (q *QueueScheduler) Queued() []*core.Job {
 }
 
 // OnSubmit implements Scheduler.
-//
-//schedlint:hotpath
 func (q *QueueScheduler) OnSubmit(ctx Context, j *core.Job) {
 	q.queue = append(q.queue, j)
 	q.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-//
-//schedlint:hotpath
 func (q *QueueScheduler) OnFinish(ctx Context, _ *core.Job) { q.schedule(ctx) }
 
 // OnChange implements Scheduler.
-//
-//schedlint:hotpath
 func (q *QueueScheduler) OnChange(ctx Context) { q.schedule(ctx) }
 
 func (q *QueueScheduler) schedule(ctx Context) {

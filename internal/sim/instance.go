@@ -131,7 +131,7 @@ func (sm *Instance) Machine() *cluster.Machine { return sm.machine }
 
 // SubmitAt schedules job j to arrive at time t.
 //
-//schedlint:hotpath
+//schedlint:hotpath entry point: arrival injection for materialized replays
 func (sm *Instance) SubmitAt(j *core.Job, t int64) {
 	sm.engine.At(t, des.PriorityArrival, func() { sm.submit(j, t) })
 }
@@ -427,8 +427,6 @@ func (sm *Instance) memNeed(j *core.Job) int64 {
 }
 
 // Start implements sched.Context.
-//
-//schedlint:hotpath
 func (sm *Instance) Start(j *core.Job, size int) {
 	if _, dup := sm.running[j.ID]; dup {
 		panic(fmt.Sprintf("sim: job %d started twice", j.ID)) //schedlint:allow allocfree panic path: scheduler contract violation, unreachable in a correct simulation
@@ -457,8 +455,6 @@ func (sm *Instance) Start(j *core.Job, size int) {
 }
 
 // StartShared implements sched.Context.
-//
-//schedlint:hotpath
 func (sm *Instance) StartShared(j *core.Job, rate float64) {
 	if _, dup := sm.running[j.ID]; dup {
 		panic(fmt.Sprintf("sim: job %d started twice", j.ID)) //schedlint:allow allocfree panic path: scheduler contract violation, unreachable in a correct simulation
@@ -489,7 +485,7 @@ func (sm *Instance) StartShared(j *core.Job, rate float64) {
 func (sm *Instance) SetRate(j *core.Job, rate float64) {
 	rs, ok := sm.running[j.ID]
 	if !ok || !rs.shared {
-		panic(fmt.Sprintf("sim: SetRate on non-shared or unknown job %d", j.ID))
+		panic(fmt.Sprintf("sim: SetRate on non-shared or unknown job %d", j.ID)) //schedlint:allow allocfree panic message; the formatting only runs on the way down
 	}
 	sm.setRate(rs, rate)
 }
@@ -531,8 +527,6 @@ func (sm *Instance) RunningEpoch() uint64 { return sm.runEpoch }
 
 // Running implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Running() call on this instance.
-//
-//schedlint:hotpath
 func (sm *Instance) Running() []sched.RunningJob {
 	if sm.runBufEpoch == sm.runEpoch {
 		return sm.runBuf
@@ -611,8 +605,6 @@ func (sm *Instance) Estimate(j *core.Job) int64 {
 
 // Outages implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Outages() call on this instance.
-//
-//schedlint:hotpath
 func (sm *Instance) Outages() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.outMemoUntil {
@@ -624,8 +616,6 @@ func (sm *Instance) Outages() []sched.Window {
 
 // Reservations implements sched.Context. The returned slice is a
 // reused buffer, valid only until the next Reservations() call.
-//
-//schedlint:hotpath
 func (sm *Instance) Reservations() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.resvMemoUntil {

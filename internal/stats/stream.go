@@ -239,8 +239,6 @@ func NewStream(sketch bool) *Stream {
 }
 
 // Add folds one observation into the stream.
-//
-//schedlint:hotpath
 func (s *Stream) Add(v float64) {
 	if !s.sketch {
 		s.xs = append(s.xs, v)

@@ -46,8 +46,6 @@ func NewScanner(r io.Reader) *Scanner {
 
 // Scan advances to the next data record, consuming any comment lines on
 // the way. It returns false at end of input or on error (check Err).
-//
-//schedlint:hotpath
 func (s *Scanner) Scan() bool {
 	if s.err != nil {
 		return false
@@ -224,8 +222,6 @@ func NewCleanStream(r io.Reader, stats *StreamStats) *CleanStream {
 }
 
 // Scan advances to the next replayable record; false at end or error.
-//
-//schedlint:hotpath
 func (c *CleanStream) Scan() bool {
 	if c.err != nil {
 		return false

@@ -116,8 +116,6 @@ type JobReader struct {
 
 // Next implements core.JobStream: jobs with IDs 1, 2, ... in
 // non-decreasing submit order, (nil, nil) at end of trace.
-//
-//schedlint:hotpath
 func (r *JobReader) Next() (*core.Job, error) {
 	if r.limit > 0 && r.n >= r.limit {
 		return nil, nil

@@ -2,10 +2,12 @@
 # scripts/bench.sh — run the benchmark suite and emit a machine-readable
 # perf snapshot so the performance trajectory across PRs has a baseline.
 #
-# Usage: scripts/bench.sh [out.json]        (default out: BENCH_PR7.json)
+# Usage: scripts/bench.sh [out.json]        (default out: BENCH_PR9.json)
 #   BENCH=regex    benchmarks to run        (default: .)
 #   COUNT=n        -count samples per bench (default: 5)
 #   BENCHTIME=d    -benchtime, e.g. 1x      (default: go's 1s)
+#   SEED_FROM=f    snapshot whose "current" seeds a fresh baseline
+#                  (default: BENCH_PR7.json)
 #
 # Output format (documented in README "Performance"):
 #   {
@@ -15,14 +17,18 @@
 #     "current":  { same shape }
 #   }
 # Per-benchmark numbers are the minimum over the COUNT samples (least
-# scheduler noise). The first run against a fresh output file records
-# itself as the baseline; later runs preserve the existing baseline and
-# replace only "current", so speedups stay measured against the numbers
-# recorded before an optimization landed.
+# scheduler noise). The first run against a fresh output file seeds its
+# baseline from the previous PR's "current" figures (SEED_FROM) when
+# that snapshot exists, so the new file measures against where the tree
+# actually stood, and records itself only when there is no predecessor;
+# later runs preserve the existing baseline and replace only "current",
+# so speedups stay measured against the numbers recorded before an
+# optimization landed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
+SEED_FROM="${SEED_FROM:-BENCH_PR7.json}"
 BENCH="${BENCH:-.}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-}"
@@ -76,6 +82,8 @@ fi
 
 if [ -f "$OUT" ] && jq -e '.baseline' "$OUT" >/dev/null 2>&1; then
   baseline="$(jq -c '.baseline' "$OUT")"
+elif [ -f "$SEED_FROM" ] && jq -e '.current' "$SEED_FROM" >/dev/null 2>&1; then
+  baseline="$(jq -c '.current' "$SEED_FROM")"
 else
   baseline="$current"
 fi
