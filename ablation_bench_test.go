@@ -92,6 +92,56 @@ func BenchmarkAblationWindowsOn(b *testing.B) {
 	}
 }
 
+// congestedAblationWorkload is the small-scale deep-queue burst for the
+// ledger ablation pair: the same construction as the committed
+// BenchmarkLargeConservativeCongested trajectory bench (arrivals
+// compressed into a burst, runtimes stretched past the horizon), sized
+// so the from-scratch arm still finishes in CI time.
+func congestedAblationWorkload() *Workload {
+	w := lublin.Default().Generate(ModelConfig{
+		MaxNodes: 128, Jobs: 700, Seed: 99, Load: 0.9, EstimateFactor: 2,
+	})
+	for i, j := range w.Jobs {
+		j.Submit = int64(i) * 5
+		j.Runtime = congestedAblationHorizon + 3600 + int64(i%7)*600
+		j.Estimate = 2 * j.Runtime
+	}
+	return w
+}
+
+const congestedAblationHorizon = int64(28800)
+
+func benchCongestedCons(b *testing.B, disableLedger bool) {
+	w := congestedAblationWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &sched.Conservative{DisableLedger: disableLedger}
+		res, err := sim.Run(w, s, sim.Options{Horizon: congestedAblationHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		started := 0
+		for _, o := range res.Outcomes {
+			if o.Start >= 0 {
+				started++
+			}
+		}
+		if started == 0 || started == len(res.Outcomes) {
+			b.Fatalf("not congested: %d of %d started", started, len(res.Outcomes))
+		}
+	}
+}
+
+// BenchmarkAblationLedgerOn: conservative backfilling over the deep-
+// queue burst with resumable passes (the default configuration).
+func BenchmarkAblationLedgerOn(b *testing.B) { benchCongestedCons(b, false) }
+
+// BenchmarkAblationLedgerOff: the identical run re-deriving every
+// reservation from scratch on every event — the pre-ledger behavior,
+// kept measurable as the cost of the quadratic walk.
+func BenchmarkAblationLedgerOff(b *testing.B) { benchCongestedCons(b, true) }
+
 // BenchmarkAblationGang2 and Gang5 measure the event-rate cost of the
 // multiprogramming level (more rows = more rate rebalances per event).
 func BenchmarkAblationGang2(b *testing.B) { benchGang(b, 2) }

@@ -57,6 +57,78 @@ func benchLargeSim(b *testing.B, scheduler string) {
 func BenchmarkLargeEASY(b *testing.B)         { benchLargeSim(b, "easy") }
 func BenchmarkLargeConservative(b *testing.B) { benchLargeSim(b, "cons") }
 
+// congestedHorizon caps the congested replay: the burst has fully
+// arrived by then, and every runtime is stretched past it, so the
+// measured phase is the congestion itself rather than the drain.
+const congestedHorizon = int64(57600)
+
+// congestedLargeWorkload is the deep-queue variant: Lublin job sizes,
+// but arrivals compressed into a tight burst and runtimes stretched
+// past the horizon, so the machine saturates in the first few minutes
+// and thousands of jobs sit waiting — every one of them holding a
+// reservation a conservative pass must honour. This is the regime where
+// a from-scratch walk per event is cubic in the burst (submits × queue
+// × profile segments) and the reservation ledger's resumable passes
+// keep it near-linear; the ablation pair (BenchmarkAblationLedgerOn/
+// Off) pins the same gap at a size the from-scratch arm can still
+// finish.
+var congestedLarge *Workload
+
+func benchCongestedWorkload(b *testing.B) *Workload {
+	if congestedLarge == nil {
+		congestedLarge = lublin.Default().Generate(ModelConfig{
+			MaxNodes: 512, Jobs: 4000, Seed: 42, Load: 0.9, EstimateFactor: 2,
+		})
+		for i, j := range congestedLarge.Jobs {
+			j.Submit = int64(i) * 3
+			j.Runtime = congestedHorizon + 3600 + int64(i%7)*600
+			j.Estimate = 2 * j.Runtime
+		}
+	}
+	if len(congestedLarge.Jobs) != 4000 {
+		b.Fatalf("short workload: %d jobs", len(congestedLarge.Jobs))
+	}
+	return congestedLarge
+}
+
+// BenchmarkLargeConservativeCongested replays the deep-queue burst
+// under conservative backfilling with the reservation ledger on (the
+// default). Nothing finishes inside the horizon, so correctness is
+// checked on starts: the machine must saturate while the queue stays
+// deep.
+func BenchmarkLargeConservativeCongested(b *testing.B) {
+	w := benchCongestedWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sched.New("cons")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(w, s, sim.Options{Horizon: congestedHorizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		started, waiting := startedWaiting(res)
+		if started == 0 || waiting < 1000 {
+			b.Fatalf("not congested: %d started, %d waiting", started, waiting)
+		}
+	}
+}
+
+// startedWaiting counts jobs that began running vs jobs still queued at
+// the horizon.
+func startedWaiting(res *sim.Result) (started, waiting int) {
+	for _, o := range res.Outcomes {
+		if o.Start >= 0 {
+			started++
+		} else {
+			waiting++
+		}
+	}
+	return started, waiting
+}
+
 // BenchmarkAllocate512 exercises best-fit allocation on a 512-node
 // machine with four memory classes at ~50% occupancy: the allocator's
 // steady state during a backfilling run.

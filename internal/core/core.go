@@ -219,13 +219,17 @@ func (w *Workload) ClonePrefix(n int) *Workload {
 		n = len(w.Jobs)
 	}
 	out := &Workload{Name: w.Name, MaxNodes: w.MaxNodes, Jobs: make([]*Job, n)}
+	// One backing block for all the copies: a 20k-job clone is two
+	// allocations, not twenty thousand, and the jobs stay contiguous for
+	// the replay cursor's sequential walk.
+	block := make([]Job, n)
 	for i, j := range w.Jobs[:n] {
-		cp := *j
-		if cp.PrecedingJob > int64(n) {
-			cp.PrecedingJob = 0
-			cp.ThinkTime = 0
+		block[i] = *j
+		if block[i].PrecedingJob > int64(n) {
+			block[i].PrecedingJob = 0
+			block[i].ThinkTime = 0
 		}
-		out.Jobs[i] = &cp
+		out.Jobs[i] = &block[i]
 	}
 	return out
 }

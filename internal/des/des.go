@@ -27,14 +27,23 @@ const (
 	PriorityFinish = 0
 	// PriorityOutage orders resource changes after completions.
 	PriorityOutage = 1
-	// PriorityArrival orders job submissions after resource changes.
-	PriorityArrival = 2
+	// PriorityTraceArrival orders trace-driven job submissions after
+	// resource changes but before reactive submissions. The replay
+	// cursor (one self-rearming event walking the submit-sorted trace)
+	// fires in this class so that a same-instant batch of trace
+	// arrivals always precedes feedback resubmissions, exactly as the
+	// old one-event-per-job materialization ordered them by insertion
+	// sequence.
+	PriorityTraceArrival = 2
+	// PriorityArrival orders reactive job submissions (feedback
+	// dependents, migrations) after trace arrivals.
+	PriorityArrival = 3
 	// PrioritySchedule orders deferred scheduler passes last.
-	PrioritySchedule = 3
+	PrioritySchedule = 4
 	// PrioritySample orders instrumentation snapshots after everything
 	// else at the same instant, so a sample observes the post-event
 	// state of the simulation.
-	PrioritySample = 4
+	PrioritySample = 5
 )
 
 // Handle identifies a scheduled event and allows cancellation. A

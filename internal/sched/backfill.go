@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parsched/internal/core"
+	"parsched/internal/debugchecks"
 )
 
 func init() {
@@ -65,8 +66,25 @@ type EASY struct {
 	// the whole queue reproduces conservative backfilling. Built from
 	// specs like "easy(reserve=2)".
 	Reserve int
+	// DisableLedger turns off the resumable-pass reservation ledger the
+	// deep-reserve walk keeps (Reserve > 1), forcing every pass to
+	// re-derive every reservation from scratch. Decisions are identical
+	// either way — the ledger resumes the exact deterministic walk — so
+	// the switch exists only for the equivalence property tests and the
+	// quadratic-vs-incremental ablation benchmarks.
+	DisableLedger bool
 
 	queue []*core.Job
+	// estq caches ctx.Estimate per queued job, index-aligned with queue.
+	// Estimates are frozen once a job is submitted (a requeued kill goes
+	// back through OnSubmit), and the sweep reads one per candidate per
+	// pass — an interface call worth paying once per arrival instead.
+	estq []int64
+	// ledger records the deep-reserve walk for resumption; queueGen
+	// counts queue removals (starts), the ledger's proof that the queue
+	// it walked is still a prefix of the one it sees.
+	ledger   resvLedger
+	queueGen uint64
 	// scratch is the per-pass working profile, reused across scheduling
 	// passes so a pass costs no profile allocations.
 	scratch Profile
@@ -89,9 +107,34 @@ type EASY struct {
 	// over an unchanged profile can flip true to false but never back;
 	// and the machine state cannot change without a rebuild. Only jobs
 	// queued behind sweepLen need evaluation.
-	sweepOK    bool
-	sweepStamp uint64
-	sweepLen   int
+	//
+	// The memo also survives shrink-only rebuilds (same grow stamp:
+	// every intervening build was an aging, a window splice, or a
+	// TakeStarted — all leave the profile pointwise <= the recorded one
+	// from now on) provided the sweep gates are unchanged (same shadow
+	// and extra) and no capacity rise has fallen due (now < sweepUntil,
+	// the recorded profile's first free-count increase): under those
+	// guards a swept job's rejection only hardens — the interval FitsAt
+	// tests slides right over non-increasing capacity, and the free
+	// count a CanStart rejection saw cannot have grown back without
+	// crossing the rise boundary or bumping the grow stamp.
+	sweepOK     bool
+	sweepStamp  uint64
+	sweepLen    int
+	sweepGrow   uint64
+	sweepShadow int64
+	sweepExtra  int
+	sweepUntil  int64
+	// shadowGrow mirrors the profile's grow stamp at shadow-cache fill.
+	// When the full stamp has moved but the grow stamp has not, every
+	// intervening rebuild was shrink-only, so the head's earliest fit
+	// cannot have moved earlier — the search resumes at the cached value
+	// instead of rescanning from now.
+	shadowGrow uint64
+	// started maps running job ID -> the expected end this scheduler
+	// mirrored into the profile at start, so OnFinish can absorb the
+	// completion into the built-base snapshot (see Profile.AbsorbFinish).
+	started map[int64]int64
 }
 
 // NewEASY returns plain EASY backfilling.
@@ -123,28 +166,41 @@ func (e *EASY) Queued() []*core.Job { return append([]*core.Job(nil), e.queue...
 // OnSubmit implements Scheduler.
 func (e *EASY) OnSubmit(ctx Context, j *core.Job) {
 	e.queue = append(e.queue, j)
+	e.estq = append(e.estq, ctx.Estimate(j))
 	e.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-func (e *EASY) OnFinish(ctx Context, _ *core.Job) { e.schedule(ctx) }
+func (e *EASY) OnFinish(ctx Context, j *core.Job) {
+	if end, ok := e.started[j.ID]; ok {
+		delete(e.started, j.ID)
+		e.scratch.AbsorbFinish(ctx, end, j.Size)
+	}
+	e.schedule(ctx)
+}
 
 // OnChange implements Scheduler.
 func (e *EASY) OnChange(ctx Context) { e.schedule(ctx) }
 
+// markStarted records the expected end mirrored into the profile for a
+// job this scheduler just started, keyed for OnFinish absorption.
+func (e *EASY) markStarted(id, expEnd int64) {
+	if e.started == nil {
+		e.started = make(map[int64]int64) //schedlint:allow allocfree one-time map spine for the started-job index
+	}
+	e.started[id] = expEnd //schedlint:allow allocfree amortized map growth: one insert per started job
+}
+
 // profile builds the availability profile EASY consults. Without
 // Windows, only running jobs count (classic EASY is oblivious to
-// outages it has not been told about).
+// outages it has not been told about); both arms go through the
+// sorted-merge kernel, so the windowless build gets the same snapshot
+// restores and build stamps as the windowed one.
 func (e *EASY) profile(ctx Context) *Profile {
 	if e.Windows {
 		return BuildProfileInto(&e.scratch, ctx)
 	}
-	now := ctx.Now()
-	p := e.scratch.Reset(now, ctx.FreeProcs())
-	for _, r := range ctx.Running() {
-		p.Release(overdueClamp(now, r.ExpEnd), r.Size)
-	}
-	return p
+	return BuildRunningProfileInto(&e.scratch, ctx)
 }
 
 func (e *EASY) schedule(ctx Context) {
@@ -154,15 +210,31 @@ func (e *EASY) schedule(ctx Context) {
 	// candidate makes window-heavy runs quadratic).
 	p := e.profile(ctx)
 
-	// Phase 1: start jobs FCFS from the head while they fit.
-	for len(e.queue) > 0 {
+	// Phase 1: start jobs FCFS from the head while they fit. A cached
+	// shadow strictly in the future proves the head cannot start now —
+	// the machine free count tracks the profile's first segment, so a
+	// blocked earliest-fit implies FitsAt(now) is false — and the proof
+	// survives shrink-only rebuilds (same grow stamp: the earliest fit
+	// only moves later), so the whole phase is a no-op without touching
+	// the fit kernels. Windows mode only: the windowless head check is
+	// CanStart alone, which a future earliest fit does not bound (the
+	// blocking segment may lie beyond now even when the head fits now).
+	headBlocked := e.Windows && len(e.queue) > 0 && e.shadowOK && !p.Mutated() &&
+		e.shadowHead == e.queue[0].ID && e.shadowVal > now &&
+		(e.shadowStamp == p.Stamp() || e.shadowGrow == p.GrowStamp()) &&
+		e.shadowSize == e.queue[0].Size && e.shadowEst == e.estq[0]
+	for !headBlocked && len(e.queue) > 0 {
 		head := e.queue[0]
-		if !e.canStartNow(ctx, p, head) {
+		est := e.estq[0]
+		if !e.canStartNow(ctx, p, head, est) {
 			break
 		}
 		ctx.Start(head, head.Size)
-		p.Take(now, now+ctx.Estimate(head), head.Size)
+		p.TakeStarted(ctx, now, now+est, head.Size)
+		e.markStarted(head.ID, now+est)
 		e.queue = e.queue[1:]
+		e.estq = e.estq[1:]
+		e.queueGen++
 	}
 	if len(e.queue) <= 1 {
 		return
@@ -175,14 +247,25 @@ func (e *EASY) schedule(ctx Context) {
 	// Phase 2: the head is blocked. Compute its reservation from the
 	// profile, then backfill later jobs that do not delay it.
 	head := e.queue[0]
-	headEst := ctx.Estimate(head)
+	headEst := e.estq[0]
 	var shadow int64
 	if e.shadowOK && !p.Mutated() && e.shadowStamp == p.Stamp() &&
 		e.shadowHead == head.ID && e.shadowEst == headEst &&
 		e.shadowSize == head.Size && e.shadowVal >= now {
 		shadow = e.shadowVal
 	} else {
-		shadow = p.EarliestFit(now, headEst, head.Size)
+		after := now
+		if e.shadowOK && e.shadowGrow == p.GrowStamp() &&
+			e.shadowHead == head.ID && e.shadowEst == headEst &&
+			e.shadowSize == head.Size && e.shadowVal != maxFuture &&
+			e.shadowVal > now {
+			// The base changed but only by losing capacity (a start, a
+			// claim, a surfaced window): no hole can have appeared before
+			// the cached reservation, so resume the search there instead
+			// of rescanning the profile from now.
+			after = e.shadowVal
+		}
+		shadow = p.EarliestFit(after, headEst, head.Size)
 		if shadow < 0 {
 			// The head can never fit (bigger than the machine after
 			// failures); skip backfill gating against it.
@@ -194,6 +277,7 @@ func (e *EASY) schedule(ctx Context) {
 		e.shadowOK = !p.Mutated()
 		if e.shadowOK {
 			e.shadowStamp, e.shadowHead = p.Stamp(), head.ID
+			e.shadowGrow = p.GrowStamp()
 			e.shadowEst, e.shadowSize, e.shadowVal = headEst, head.Size, shadow
 		}
 	}
@@ -201,22 +285,37 @@ func (e *EASY) schedule(ctx Context) {
 	extra := p.FreeAt(shadow) - head.Size
 
 	i := 1
-	if e.sweepOK && e.sweepStamp == p.Stamp() && !p.Mutated() && e.sweepLen <= len(e.queue) {
-		i = e.sweepLen
+	if e.sweepOK && !p.Mutated() && e.sweepLen <= len(e.queue) {
+		if e.sweepStamp == p.Stamp() {
+			i = e.sweepLen
+		} else if e.sweepGrow == p.GrowStamp() && e.sweepShadow == shadow &&
+			e.sweepExtra == extra && now < e.sweepUntil {
+			// Shrink-only rebuilds since the memo (same grow stamp) left
+			// the profile pointwise at or below the recorded one from now
+			// on, the shadow gates compare against identical bounds, and
+			// no capacity rise has fallen due yet — so every recorded
+			// rejection still holds: FitsAt slides right over
+			// non-increasing capacity and the machine free count tracks
+			// the profile's first segment. See the sweep memo field docs.
+			i = e.sweepLen
+		}
 	}
 	for i < len(e.queue) {
 		j := e.queue[i]
-		est := ctx.Estimate(j)
+		est := e.estq[i]
 		fitsBefore := now+est <= shadow
 		fitsBeside := j.Size <= extra
 		// The shadow gates are integer compares; test them before the
 		// capacity/profile checks so candidates that could not backfill
 		// anyway (the bulk of a congested queue) cost nothing. Pure
 		// predicates both ways, so the conjunction order is free.
-		if (fitsBefore || fitsBeside) && e.canStartNow(ctx, p, j) {
+		if (fitsBefore || fitsBeside) && e.canStartNow(ctx, p, j, est) {
 			ctx.Start(j, j.Size)
-			p.Take(now, now+est, j.Size)
+			p.TakeStarted(ctx, now, now+est, j.Size)
+			e.markStarted(j.ID, now+est)
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.estq = append(e.estq[:i], e.estq[i+1:]...)
+			e.queueGen++
 			if !fitsBefore {
 				extra -= j.Size
 			}
@@ -224,12 +323,22 @@ func (e *EASY) schedule(ctx Context) {
 		}
 		i++
 	}
-	// Record a fruitless sweep (p unmutated means neither this loop nor
-	// phase 1 started anything) so the next pass over the same base only
-	// looks at jobs that arrived after it.
+	// Record the sweep frontier so the next pass over the same base only
+	// looks at jobs that arrived after it. Starts absorbed by
+	// TakeStarted leave p unmutated under a fresh stamp, and the memo
+	// stays sound across them: a candidate rejected mid-pass only
+	// hardens against the end-of-pass state (Take never adds capacity,
+	// CanStart's free count only falls within a pass, and both FitsAt
+	// and the shadow gates are monotone false-ward as now advances over
+	// a fixed stamp). Only reservation carves — which scheduleDeep does,
+	// this path never — leave the profile genuinely mutated.
 	if e.sweepOK = !p.Mutated(); e.sweepOK {
 		e.sweepStamp = p.Stamp()
 		e.sweepLen = len(e.queue)
+		e.sweepGrow = p.GrowStamp()
+		e.sweepShadow = shadow
+		e.sweepExtra = extra
+		e.sweepUntil = p.NextCapacityRise()
 	}
 }
 
@@ -241,41 +350,79 @@ func (e *EASY) schedule(ctx Context) {
 // ever delayed. Depth 1 degenerates to classic EASY (handled by the
 // shadow-time path above); depth >= queue length is conservative
 // backfilling.
+//
+// The walk runs through the reservation ledger: a pass over an
+// unchanged base with an intact queue prefix resumes at the first
+// unwalked job (or skips entirely when there is none) instead of
+// re-deriving every reservation; see resvLedger for the validity proof.
 func (e *EASY) scheduleDeep(ctx Context, p *Profile, now int64) {
 	i := 0
+	if !e.DisableLedger && e.ledger.resumable(ctx, p, now, e.queue, e.queueGen) {
+		if debugchecks.Enabled {
+			e.ledger.verifyResume(ctx, e.Windows, e.queue, e.Reserve, now)
+		}
+		if len(e.queue) == len(e.ledger.entries) {
+			// Pass-skip: every queued job was walked against this very
+			// base and nothing relevant has changed — reservations would
+			// re-derive identically and sweep rejections only harden.
+			return
+		}
+		i = len(e.ledger.entries)
+		e.ledger.restore(p, now)
+	} else {
+		e.ledger.beginPass()
+	}
+	gen := e.queueGen
 	for i < len(e.queue) {
 		j := e.queue[i]
-		est := ctx.Estimate(j)
+		est := e.estq[i]
 		if i < e.Reserve {
 			start := p.EarliestFit(now, est, j.Size)
 			if start == now && ctx.CanStart(j, j.Size) {
 				ctx.Start(j, j.Size)
-				p.Take(now, now+est, j.Size)
+				p.TakeStarted(ctx, now, now+est, j.Size)
+				e.markStarted(j.ID, now+est)
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.estq = append(e.estq[:i], e.estq[i+1:]...)
+				e.queueGen++
 				continue
 			}
 			if start >= 0 {
 				// Protect this job: backfill below must fit around it.
 				p.Take(start, start+est, j.Size)
 			}
+			e.ledger.add(j, est, start)
 			i++
 			continue
 		}
 		if ctx.CanStart(j, j.Size) && p.FitsAt(now, est, j.Size) {
 			ctx.Start(j, j.Size)
-			p.Take(now, now+est, j.Size)
+			p.TakeStarted(ctx, now, now+est, j.Size)
+			e.markStarted(j.ID, now+est)
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.estq = append(e.estq[:i], e.estq[i+1:]...)
+			e.queueGen++
 			continue
 		}
+		e.ledger.add(j, est, ledgerSwept)
 		i++
+	}
+	// A start anywhere in the pass shifted queue positions and poisoned
+	// the recorded walk (it also changed the running set, so the next
+	// build re-stamps regardless). Only an all-blocked pass commits.
+	if !e.DisableLedger && e.queueGen == gen {
+		e.ledger.commit(ctx, p, e.queueGen)
+	} else {
+		e.ledger.ok = false
 	}
 }
 
 // canStartNow checks capacity plus, in Windows mode, that the job would
 // not collide with a future capacity hole it is required to respect.
 // p is the pass's working profile (already reflecting this pass's
-// starts).
-func (e *EASY) canStartNow(ctx Context, p *Profile, j *core.Job) bool {
+// starts); est is the caller's ctx.Estimate(j), threaded through so the
+// sweep pays one estimate lookup per candidate, not two.
+func (e *EASY) canStartNow(ctx Context, p *Profile, j *core.Job, est int64) bool {
 	// In Windows mode the job must fit under the profile for its whole
 	// estimated duration starting now (otherwise it would collide with a
 	// window). FitsAt answers exactly EarliestFit(now, ...) == now, but
@@ -283,7 +430,7 @@ func (e *EASY) canStartNow(ctx Context, p *Profile, j *core.Job) bool {
 	// later hole this check would discard anyway — and it runs before
 	// the machine walk, since in a congested pass it is the commoner
 	// rejection. Both predicates are pure, so the order is free.
-	if e.Windows && !p.FitsAt(ctx.Now(), ctx.Estimate(j), j.Size) {
+	if e.Windows && !p.FitsAt(ctx.Now(), est, j.Size) {
 		return false
 	}
 	return ctx.CanStart(j, j.Size)
@@ -300,10 +447,29 @@ const maxFuture = int64(1) << 60
 type Conservative struct {
 	// Windows folds outages/reservations into the profile.
 	Windows bool
+	// DisableLedger turns off the resumable-pass reservation ledger,
+	// forcing every pass to re-derive every reservation from scratch.
+	// Decisions are identical either way — the ledger resumes the exact
+	// deterministic arrival-order walk — so the switch exists only for
+	// the equivalence property tests and the quadratic-vs-incremental
+	// ablation benchmarks.
+	DisableLedger bool
 
 	queue []*core.Job
+	// estq caches ctx.Estimate per queued job, index-aligned with queue
+	// (see the EASY field of the same name): one interface call per
+	// arrival instead of one per candidate per pass.
+	estq []int64
 	// scratch is the per-pass working profile, reused across passes.
 	scratch Profile
+	// ledger records the reservation walk for resumption; queueGen
+	// counts queue removals (starts), the ledger's proof that the queue
+	// it walked is still a prefix of the one it sees.
+	ledger   resvLedger
+	queueGen uint64
+	// started maps running job ID -> the expected end mirrored into the
+	// profile at start, for OnFinish absorption (see Profile.AbsorbFinish).
+	started map[int64]int64
 }
 
 // NewConservative returns conservative backfilling.
@@ -326,11 +492,18 @@ func (c *Conservative) Queued() []*core.Job { return append([]*core.Job(nil), c.
 // OnSubmit implements Scheduler.
 func (c *Conservative) OnSubmit(ctx Context, j *core.Job) {
 	c.queue = append(c.queue, j)
+	c.estq = append(c.estq, ctx.Estimate(j))
 	c.schedule(ctx)
 }
 
 // OnFinish implements Scheduler.
-func (c *Conservative) OnFinish(ctx Context, _ *core.Job) { c.schedule(ctx) }
+func (c *Conservative) OnFinish(ctx Context, j *core.Job) {
+	if end, ok := c.started[j.ID]; ok {
+		delete(c.started, j.ID)
+		c.scratch.AbsorbFinish(ctx, end, j.Size)
+	}
+	c.schedule(ctx)
+}
 
 // OnChange implements Scheduler.
 func (c *Conservative) OnChange(ctx Context) { c.schedule(ctx) }
@@ -341,31 +514,66 @@ func (c *Conservative) schedule(ctx Context) {
 	if c.Windows {
 		p = BuildProfileInto(&c.scratch, ctx)
 	} else {
-		p = c.scratch.Reset(now, ctx.FreeProcs())
-		for _, r := range ctx.Running() {
-			p.Release(overdueClamp(now, r.ExpEnd), r.Size)
-		}
+		p = BuildRunningProfileInto(&c.scratch, ctx)
 	}
 
-	kept := c.queue[:0]
-	for _, j := range c.queue {
-		est := ctx.Estimate(j)
+	// Resume the recorded walk when the base and queue prefix are
+	// provably unchanged (see resvLedger): only jobs that arrived after
+	// the last committed pass need evaluation, and a pass with no new
+	// arrivals is a provable no-op.
+	from := 0
+	if !c.DisableLedger && c.ledger.resumable(ctx, p, now, c.queue, c.queueGen) {
+		if debugchecks.Enabled {
+			c.ledger.verifyResume(ctx, c.Windows, c.queue, len(c.ledger.entries), now)
+		}
+		if len(c.queue) == len(c.ledger.entries) {
+			return
+		}
+		from = len(c.ledger.entries)
+		c.ledger.restore(p, now)
+	} else {
+		c.ledger.beginPass()
+	}
+
+	gen := c.queueGen
+	kept := c.queue[:from]
+	keptEst := c.estq[:from]
+	for qi := from; qi < len(c.queue); qi++ {
+		j := c.queue[qi]
+		est := c.estq[qi]
 		start := p.EarliestFit(now, est, j.Size)
 		if start == now && ctx.CanStart(j, j.Size) {
 			ctx.Start(j, j.Size)
 			// Its processors are busy until its expected end; reflect
 			// that for the jobs behind it.
-			p.Take(now, now+est, j.Size)
+			p.TakeStarted(ctx, now, now+est, j.Size)
+			if c.started == nil {
+				c.started = make(map[int64]int64) //schedlint:allow allocfree one-time map spine for the started-job index
+			}
+			c.started[j.ID] = now + est //schedlint:allow allocfree amortized map growth: one insert per started job
+			c.queueGen++
 			continue
 		}
 		if start < 0 {
 			// Larger than the (possibly degraded) machine: hold it.
 			kept = append(kept, j)
+			keptEst = append(keptEst, est)
+			c.ledger.add(j, est, start)
 			continue
 		}
 		// Reserve: later jobs must not delay this one.
 		p.Take(start, start+est, j.Size)
 		kept = append(kept, j)
+		keptEst = append(keptEst, est)
+		c.ledger.add(j, est, start)
 	}
 	c.queue = kept
+	c.estq = keptEst
+	// A pass that started a job commits nothing: positions shifted and
+	// the running set changed, so the next build re-stamps anyway.
+	if !c.DisableLedger && c.queueGen == gen {
+		c.ledger.commit(ctx, p, c.queueGen)
+	} else {
+		c.ledger.ok = false
+	}
 }

@@ -111,6 +111,20 @@ type RunEpoch interface {
 	RunningEpoch() uint64
 }
 
+// QueueEpoch is optionally implemented by Contexts that can stamp job
+// deliveries: the stamp advances by exactly one for every OnSubmit the
+// context dispatches (fresh submittals and kill-requeues alike). Since
+// a scheduler appends each delivered job to its queue tail, a ledger
+// that recorded the stamp alongside its queue length can verify "the
+// queue I walked is a strict prefix of the queue I see" in O(1):
+// deliveries-since-commit must equal the length growth, provided the
+// scheduler separately knows nothing was removed (it owns removals —
+// they only happen when it starts a job). Contexts without the stamp
+// fall back to an element-wise ID comparison of the prefix.
+type QueueEpoch interface {
+	SubmitEpoch() uint64
+}
+
 // Scheduler is an online machine scheduler.
 type Scheduler interface {
 	// Name identifies the scheduler in tables.

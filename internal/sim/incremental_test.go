@@ -153,7 +153,7 @@ func TestVisibleWindowsMatchesReference(t *testing.T) {
 	for _, now := range []int64{0, 10, 45, 55, 65, 99, 150, 250, 999, 1500, PlanningHorizon + 550} {
 		want := reference(shadow, now)
 		var until int64
-		live, buf, until = visibleWindows(live, buf[:0], now)
+		live, buf, until = visibleWindows(live, buf[:0], now, false)
 		if len(buf) != len(want) {
 			t.Fatalf("now=%d: got %v, want %v", now, buf, want)
 		}
@@ -184,6 +184,75 @@ func TestVisibleWindowsMatchesReference(t *testing.T) {
 	// By the final instant only the far-future window's End is still
 	// ahead of the clock; everything else must have been compacted out.
 	if len(live) != 1 || live[0].win.Procs != 5 {
+		t.Fatalf("compaction kept %v", live)
+	}
+}
+
+// TestVisibleWindowsSortedMatchesReference runs the same probe battery
+// over a Start-sorted window list and checks the binary-search fast
+// path produces a visible set identical to the retired per-call filter,
+// with a memo bound that never admits a stale set.
+func TestVisibleWindowsSortedMatchesReference(t *testing.T) {
+	mk := func() []timedWindow {
+		return []timedWindow{
+			{win: sched.Window{Start: 0, End: 50, Procs: 1}, announced: 0},
+			{win: sched.Window{Start: 10, End: 1000, Procs: 4}, announced: 0},
+			{win: sched.Window{Start: 60, End: 70, Procs: 3}, announced: 60},
+			{win: sched.Window{Start: 100, End: 200, Procs: 2}, announced: 40},
+			{win: sched.Window{Start: 150, End: 160, Procs: 6}, announced: 150},
+			{win: sched.Window{Start: PlanningHorizon + 500, End: PlanningHorizon + 600, Procs: 5}, announced: 0},
+			{win: sched.Window{Start: PlanningHorizon + 5000, End: PlanningHorizon + 5600, Procs: 7}, announced: 0},
+		}
+	}
+	reference := func(wins []timedWindow, now int64) []sched.Window {
+		var out []sched.Window
+		for _, tw := range wins {
+			if tw.announced <= now && tw.win.End > now && tw.win.Start <= now+PlanningHorizon {
+				out = append(out, tw.win)
+			}
+		}
+		return out
+	}
+	shadow := mk()
+	live := mk()
+	var buf []sched.Window
+	for _, now := range []int64{0, 10, 45, 55, 65, 99, 150, 250, 999, 1500, PlanningHorizon + 550, PlanningHorizon + 5100} {
+		want := reference(shadow, now)
+		var until int64
+		live, buf, until = visibleWindows(live, buf[:0], now, true)
+		if len(buf) != len(want) {
+			t.Fatalf("now=%d: got %v, want %v", now, buf, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("now=%d: got %v, want %v", now, buf, want)
+			}
+		}
+		if until <= now {
+			t.Fatalf("now=%d: memo bound %d not in the future", now, until)
+		}
+		if probe := until - 1; probe > now {
+			again := reference(shadow, probe)
+			if len(again) != len(buf) {
+				t.Fatalf("now=%d: visible set changed before memo bound %d: %v vs %v",
+					now, until, again, buf)
+			}
+			for i := range again {
+				if again[i] != buf[i] {
+					t.Fatalf("now=%d: visible set changed before memo bound %d: %v vs %v",
+						now, until, again, buf)
+				}
+			}
+		}
+		// Compaction must preserve Start order, or the next call's
+		// binary search would be meaningless.
+		for i := 1; i < len(live); i++ {
+			if live[i].win.Start < live[i-1].win.Start {
+				t.Fatalf("now=%d: compaction broke Start order: %v", now, live)
+			}
+		}
+	}
+	if len(live) != 1 || live[0].win.Procs != 7 {
 		t.Fatalf("compaction kept %v", live)
 	}
 }

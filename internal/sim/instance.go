@@ -27,6 +27,11 @@ type Instance struct {
 
 	running  map[int64]*runState
 	outcomes map[int64]*metrics.Outcome
+	// outcomeArena hands out Outcome structs in blocks, so a million-job
+	// replay performs thousands of outcome allocations, not millions. At
+	// most one partially-used block is in flight, so streaming replays
+	// with pruning stay O(1): a block is reclaimed once its outcomes are.
+	outcomeArena []metrics.Outcome
 	// runOrder mirrors running, kept sorted by (ExpEnd, job ID): the
 	// order Running() promises. It is maintained incrementally on every
 	// start/finish/kill instead of being re-sorted per scheduler
@@ -58,6 +63,13 @@ type Instance struct {
 
 	outageWins []timedWindow
 	resvWins   []timedWindow
+	// outStartSorted/resvStartSorted record that the window lists are
+	// ascending by Start (true for generated outage logs and reservation
+	// calendars, which are built chronologically). While a list stays
+	// sorted, visibleWindows can reslice its expired prefix and bound its
+	// hidden suffix in O(visible) instead of rescanning the whole list.
+	outStartSorted  bool
+	resvStartSorted bool
 	// outMemoUntil/resvMemoUntil memoize the visibleWindows scans:
 	// outBuf/resvBuf are still exactly what a fresh scan would produce
 	// while now stays below the mark (no window expires, crosses the
@@ -72,8 +84,20 @@ type Instance struct {
 	winEpoch uint64
 	// runEpoch stamps the running set the same way: it advances on every
 	// runOrder membership change (the only mutations — ExpEnd is fixed at
-	// start), so equal stamps mean Running() would repeat itself.
+	// start) and on every node up/down batch, so equal stamps mean
+	// Running() would repeat itself AND the machine's node-level state is
+	// unchanged. The topology bump is deliberate over-invalidation: a
+	// balanced down/up batch can leave the free count and running set
+	// intact while still changing which nodes (and how much per-node
+	// memory) CanStart sees, so any decision memo keyed on the stamp must
+	// be discarded. The contract is one-directional — equal stamps
+	// guarantee nothing changed; unequal stamps promise nothing.
 	runEpoch uint64
+	// submitEpoch counts OnSubmit dispatches (fresh submittals and
+	// kill-requeues alike) — the sched.QueueEpoch stamp that lets a
+	// scheduler's reservation ledger prove its walked queue is a strict
+	// prefix of the current one without comparing elements.
+	submitEpoch uint64
 
 	resvResults []ReservationOutcome
 	nextResvID  int64
@@ -120,6 +144,11 @@ func NewInstance(engine *des.Engine, name string, maxNodes int, s sched.Schedule
 		running:    map[int64]*runState{},        //schedlint:allow allocfree setup: instance maps built once per run
 		outcomes:   map[int64]*metrics.Outcome{}, //schedlint:allow allocfree setup: instance maps built once per run
 		dependents: map[int64][]*core.Job{},      //schedlint:allow allocfree setup: instance maps built once per run
+
+		// Empty window lists are trivially Start-sorted; appends clear
+		// the flags on the first out-of-order window.
+		outStartSorted:  true,
+		resvStartSorted: true,
 	}, nil
 }
 
@@ -217,6 +246,9 @@ func (sm *Instance) ReservationOutcomes() []ReservationOutcome {
 // the current instant (the sim.Run wrapper schedules these from the
 // outage log).
 func (sm *Instance) announceOutage(win sched.Window, announced int64) {
+	if n := len(sm.outageWins); n > 0 && win.Start < sm.outageWins[n-1].win.Start {
+		sm.outStartSorted = false
+	}
 	sm.outageWins = append(sm.outageWins, timedWindow{win: win, announced: announced})
 	sm.outMemoUntil = 0
 	sm.winEpoch++
@@ -246,6 +278,9 @@ func (sm *Instance) Reserve(r sched.Reservation) int64 {
 		r.ID = sm.nextResvID
 	}
 	now := sm.engine.Now()
+	if n := len(sm.resvWins); n > 0 && r.Start < sm.resvWins[n-1].win.Start {
+		sm.resvStartSorted = false
+	}
 	sm.resvWins = append(sm.resvWins, timedWindow{
 		win:       sched.Window{Start: r.Start, End: r.End, Procs: r.Procs},
 		announced: now,
@@ -263,10 +298,17 @@ func (sm *Instance) Reserve(r sched.Reservation) int64 {
 // submit delivers a job to the scheduler, recording its effective
 // submittal time (feedback shifts it relative to the workload file).
 func (sm *Instance) submit(j *core.Job, effective int64) {
-	sm.outcomes[j.ID] = &metrics.Outcome{
+	if len(sm.outcomeArena) == 0 {
+		sm.outcomeArena = make([]metrics.Outcome, 256) //schedlint:allow allocfree arena refill: one allocation per 256 submits
+	}
+	o := &sm.outcomeArena[0]
+	sm.outcomeArena = sm.outcomeArena[1:]
+	*o = metrics.Outcome{
 		JobID: j.ID, User: j.User, Submit: effective,
 		Start: -1, End: -1, Size: j.Size, Runtime: j.Runtime,
 	}
+	sm.outcomes[j.ID] = o
+	sm.submitEpoch++
 	sm.callback(func() { sm.schedule.OnSubmit(sm, j) })
 }
 
@@ -327,6 +369,13 @@ func (sm *Instance) applyNodeEvents(downs, ups []int) {
 		sm.killJob(id)
 	}
 	sm.victimBuf = ids[:0]
+	// Node transitions change which nodes are up even when the free
+	// count and running set come out unchanged (a balanced down/up batch
+	// with no victims), and per-node state is exactly what CanStart
+	// consults under memory-aware placement. Advance the running-set
+	// stamp so profile snapshots and decision memos keyed on it rebuild;
+	// batches are rare, so the forced O(running) refresh is noise.
+	sm.runEpoch++
 	sm.notifyChange()
 }
 
@@ -356,7 +405,7 @@ func (sm *Instance) killJob(id int64) {
 		return
 	}
 	now := sm.engine.Now()
-	sm.machine.Release(id)
+	sm.machine.ReleaseQuiet(id)
 	sm.engine.Cancel(rs.finish)
 	delete(sm.running, id)
 	sm.removeRunning(rs)
@@ -382,6 +431,7 @@ func (sm *Instance) killJob(id int64) {
 		return
 	}
 	// Restart from scratch: hand the job back to the scheduler.
+	sm.submitEpoch++
 	sm.callback(func() { sm.schedule.OnSubmit(sm, job) })
 }
 
@@ -392,7 +442,7 @@ func (sm *Instance) claimReservation(r sched.Reservation) {
 	sm.resvResults = append(sm.resvResults, ReservationOutcome{Reservation: r, Granted: ok})
 	if ok {
 		sm.engine.At(r.End, des.PriorityOutage, func() {
-			sm.machine.Release(owner)
+			sm.machine.ReleaseQuiet(owner)
 			sm.notifyChange()
 		})
 	}
@@ -525,6 +575,9 @@ func (sm *Instance) fireFor(rs *runState) func() {
 // RunningEpoch implements sched.RunEpoch.
 func (sm *Instance) RunningEpoch() uint64 { return sm.runEpoch }
 
+// SubmitEpoch implements sched.QueueEpoch.
+func (sm *Instance) SubmitEpoch() uint64 { return sm.submitEpoch }
+
 // Running implements sched.Context. The returned slice is a reused
 // buffer, valid only until the next Running() call on this instance.
 func (sm *Instance) Running() []sched.RunningJob {
@@ -608,7 +661,7 @@ func (sm *Instance) Estimate(j *core.Job) int64 {
 func (sm *Instance) Outages() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.outMemoUntil {
-		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now)
+		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now, sm.outStartSorted)
 		sm.winEpoch++
 	}
 	return sm.outBuf
@@ -619,7 +672,7 @@ func (sm *Instance) Outages() []sched.Window {
 func (sm *Instance) Reservations() []sched.Window {
 	now := sm.engine.Now()
 	if now >= sm.resvMemoUntil {
-		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now)
+		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now, sm.resvStartSorted)
 		sm.winEpoch++
 	}
 	return sm.resvBuf
@@ -633,11 +686,11 @@ func (sm *Instance) Reservations() []sched.Window {
 func (sm *Instance) WindowsEpoch() uint64 {
 	now := sm.engine.Now()
 	if now >= sm.outMemoUntil {
-		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now)
+		sm.outageWins, sm.outBuf, sm.outMemoUntil = visibleWindows(sm.outageWins, sm.outBuf[:0], now, sm.outStartSorted)
 		sm.winEpoch++
 	}
 	if now >= sm.resvMemoUntil {
-		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now)
+		sm.resvWins, sm.resvBuf, sm.resvMemoUntil = visibleWindows(sm.resvWins, sm.resvBuf[:0], now, sm.resvStartSorted)
 		sm.winEpoch++
 	}
 	return sm.winEpoch
@@ -662,8 +715,11 @@ const PlanningHorizon = 14 * 86400
 // hidden one reaching its announcement or the planning horizon. Until
 // then (and absent new windows) buf stays exact and callers skip the
 // rescan entirely.
-func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedWindow, []sched.Window, int64) {
+func visibleWindows(wins []timedWindow, buf []sched.Window, now int64, startSorted bool) ([]timedWindow, []sched.Window, int64) {
 	until := int64(1) << 62
+	if startSorted {
+		return visibleWindowsSorted(wins, buf, now)
+	}
 	kept := 0
 	for _, tw := range wins {
 		if tw.win.End <= now {
@@ -693,6 +749,63 @@ func visibleWindows(wins []timedWindow, buf []sched.Window, now int64) ([]timedW
 	return wins[:kept], buf, until
 }
 
+// visibleWindowsSorted is the fast path for Start-sorted window lists —
+// the overwhelmingly common case, since outage logs and reservation
+// streams arrive in chronological order. Sortedness buys two things the
+// generic scan cannot have: the beyond-horizon suffix is located with
+// one binary search instead of being walked every refresh, and the memo
+// bound for that whole suffix collapses to a single conservative term
+// (first hidden Start − horizon, ≤ every later surfacing time and > now,
+// so the memo stays valid — it only re-scans sooner than strictly
+// needed). Visible windows appended to buf are exactly those the
+// generic path would append, in the same order, so decisions are
+// bit-identical.
+//
+//schedlint:hotpath every profile rebuild re-derives its visible window set here
+func visibleWindowsSorted(wins []timedWindow, buf []sched.Window, now int64) ([]timedWindow, []sched.Window, int64) {
+	until := int64(1) << 62
+	lo := 0
+	for lo < len(wins) && wins[lo].win.End <= now {
+		lo++ // expired prefix: Start-sorted lists retire mostly from the front
+	}
+	wins = wins[lo:]
+	hi := sort.Search(len(wins), func(i int) bool { return wins[i].win.Start > now+PlanningHorizon })
+	if hi < len(wins) {
+		// One bound covers the whole hidden suffix: the first hidden
+		// window surfaces no earlier than Start-H, and every later one
+		// no earlier than that (Starts ascend). Announcement times can
+		// only push surfacing later, never earlier.
+		if at := wins[hi].win.Start - PlanningHorizon; at < until {
+			until = at
+		}
+	}
+	kept := 0
+	for i := 0; i < hi; i++ {
+		tw := wins[i]
+		if tw.win.End <= now {
+			continue // expired for good
+		}
+		if kept != i {
+			wins[kept] = tw
+		}
+		kept++
+		if tw.announced <= now {
+			buf = append(buf, tw.win)
+			if tw.win.End < until {
+				until = tw.win.End
+			}
+		} else if tw.announced < until {
+			// In-horizon but not yet announced; surfaces at announcement.
+			until = tw.announced
+		}
+	}
+	n := len(wins)
+	if kept < hi {
+		copy(wins[kept:], wins[hi:])
+	}
+	return wins[:n-(hi-kept)], buf, until
+}
+
 // finishJob completes a running job.
 func (sm *Instance) finishJob(id int64) {
 	rs, ok := sm.running[id]
@@ -701,7 +814,7 @@ func (sm *Instance) finishJob(id int64) {
 	}
 	now := sm.engine.Now()
 	if !rs.shared {
-		sm.machine.Release(id)
+		sm.machine.ReleaseQuiet(id)
 	}
 	delete(sm.running, id)
 	sm.removeRunning(rs)

@@ -1,0 +1,147 @@
+package sim
+
+// Property test for the resumable-pass reservation ledger: over
+// randomized event sequences — submits, normal finishes, early
+// finishes (estimate factor > 1), outage kills, visible outage
+// windows, and advance reservations — a ledger-resumed run must be
+// indistinguishable from a from-scratch run. Not statistically
+// similar: byte-equal outcome streams, reservation grants, and
+// reports. The ledger's whole contract is that resuming a recorded
+// walk replays the exact deterministic decision sequence, so any
+// divergence, however small, is a bug.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parsched/internal/core"
+	"parsched/internal/model"
+	"parsched/internal/model/lublin"
+	"parsched/internal/outage"
+	"parsched/internal/sched"
+	"parsched/internal/stats"
+)
+
+// ledgerPair builds the ledger-on and ledger-off variants of one
+// scheduler configuration. Fresh values each call: schedulers carry
+// per-run state and must never be shared across runs.
+type ledgerPair struct {
+	name string
+	mk   func(disable bool) sched.Scheduler
+}
+
+func ledgerPairs() []ledgerPair {
+	return []ledgerPair{
+		{"cons", func(d bool) sched.Scheduler {
+			return &sched.Conservative{DisableLedger: d}
+		}},
+		{"cons+win", func(d bool) sched.Scheduler {
+			return &sched.Conservative{Windows: true, DisableLedger: d}
+		}},
+		{"easy-deep", func(d bool) sched.Scheduler {
+			return &sched.EASY{Reserve: 4, DisableLedger: d}
+		}},
+		{"easy-deep+win", func(d bool) sched.Scheduler {
+			return &sched.EASY{Reserve: 4, Windows: true, DisableLedger: d}
+		}},
+	}
+}
+
+// checkLedgerEquivalence runs one scheduler configuration twice over
+// the same inputs — ledger on, ledger off — and fails on the first
+// field-level divergence between the runs.
+func checkLedgerEquivalence(t *testing.T, name string, mk func(disable bool) sched.Scheduler, wMake func() *core.Workload, opts Options) {
+	t.Helper()
+	on, err := Run(wMake(), mk(false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(wMake(), mk(true), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(on.Outcomes) != len(off.Outcomes) {
+		t.Fatalf("%s: ledger-on run produced %d outcomes, from-scratch %d",
+			name, len(on.Outcomes), len(off.Outcomes))
+	}
+	// Element-wise, not keyed by job ID: identical decisions imply the
+	// outcome stream is emitted in the identical event order too.
+	for i := range on.Outcomes {
+		if on.Outcomes[i] != off.Outcomes[i] {
+			t.Fatalf("%s: outcome %d diverged:\n  ledger-on:    %+v\n  from-scratch: %+v",
+				name, i, on.Outcomes[i], off.Outcomes[i])
+		}
+	}
+	if len(on.Reservations) != len(off.Reservations) {
+		t.Fatalf("%s: reservation outcome counts diverged: %d vs %d",
+			name, len(on.Reservations), len(off.Reservations))
+	}
+	for i := range on.Reservations {
+		if on.Reservations[i] != off.Reservations[i] {
+			t.Fatalf("%s: reservation outcome %d diverged:\n  ledger-on:    %+v\n  from-scratch: %+v",
+				name, i, on.Reservations[i], off.Reservations[i])
+		}
+	}
+	ra, rb := on.Report(wMake().MaxNodes), off.Report(wMake().MaxNodes)
+	if ra != rb {
+		t.Fatalf("%s: reports diverged:\n  ledger-on:    %+v\n  from-scratch: %+v", name, ra, rb)
+	}
+}
+
+// TestLedgerResumeEquivalenceProperty is the randomized cross-check:
+// each quick iteration draws a workload, an outage log, and a
+// reservation calendar from the seed and demands decision-identical
+// runs for every ledger-capable scheduler configuration.
+func TestLedgerResumeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := model.Config{
+			MaxNodes: 32,
+			Jobs:     120 + rng.Intn(80),
+			Seed:     seed,
+			Load:     0.7 + rng.Float64()*0.8, // up to 1.5: congested queues resume often
+			// > 1 so most finishes land early, invalidating recorded
+			// reservations at random offsets before their fall-due times.
+			EstimateFactor: 1.2 + rng.Float64(),
+		}
+		wMake := func() *core.Workload { return lublin.Default().Generate(cfg) }
+		span := wMake().Span()
+
+		// Outage windows plus the kills they cause. Moderate density:
+		// every window edge invalidates window-set memos, every kill
+		// bumps the run epoch mid-pass.
+		mtbf := 3600 + rng.Int63n(4*3600)
+		log := outage.Generate(outage.GeneratorConfig{
+			Nodes: 32, Horizon: span + 7*86400,
+			MTBF:         stats.Exponential{Lambda: 1.0 / float64(mtbf)},
+			Repair:       stats.Exponential{Lambda: 1.0 / 1200},
+			FailureNodes: stats.Constant{C: 2},
+		}, seed)
+
+		// A random calendar of advance reservations, some announced at
+		// time zero, some mid-run — both claim and release edges land
+		// between scheduling passes.
+		nResv := 2 + rng.Intn(4)
+		resvs := make([]sched.Reservation, 0, nResv)
+		for i := 0; i < nResv; i++ {
+			start := rng.Int63n(span + 1)
+			resvs = append(resvs, sched.Reservation{
+				ID:        int64(1000 + i),
+				Procs:     4 + rng.Intn(12),
+				Start:     start,
+				End:       start + 1800 + rng.Int63n(2*3600),
+				Announced: start / (1 + rng.Int63n(3)),
+			})
+		}
+		opts := Options{Outages: log, Reservations: resvs}
+
+		for _, p := range ledgerPairs() {
+			checkLedgerEquivalence(t, p.name, p.mk, wMake, opts)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -142,23 +142,56 @@ func Run(w *core.Workload, s sched.Scheduler, opts Options) (*Result, error) {
 	}
 	w = w.Clone()
 
-	// All arrivals are scheduled up front, so the peak pending-event
-	// population is about one event per job plus the injected streams;
-	// pre-sizing the engine for it makes the run allocation-free in
-	// steady state.
-	engine := des.NewEngine(len(w.Jobs) + 2*len(opts.Reservations) + 64)
+	// Arrivals are delivered by one self-rearming cursor walking the
+	// submit-sorted job list, so the peak pending-event population is
+	// one finish event per running job plus the injected streams — not
+	// one event per trace job; pre-sizing the engine for that makes the
+	// run allocation-free in steady state.
+	engine := des.NewEngine(w.MaxNodes + 2*len(opts.Reservations) + 64)
 	sm, err := NewInstance(engine, w.Name, w.MaxNodes, s, opts)
 	if err != nil {
 		return nil, err
 	}
 
-	// Arrival events. Feedback jobs wait for their predecessor instead.
-	for _, j := range w.Jobs {
-		if opts.Feedback && j.PrecedingJob > 0 {
-			sm.AwaitPredecessor(j)
-			continue
+	// Arrival events: one cursor event replays the trace in submit
+	// order (feedback jobs wait for their predecessor instead),
+	// delivering every same-instant arrival in one firing. The cursor's
+	// PriorityTraceArrival class keeps those batches ordered before
+	// same-instant feedback resubmissions, exactly as the old
+	// event-per-job materialization did by insertion sequence — and one
+	// live closure replaces len(Jobs) of them.
+	if opts.Feedback {
+		for _, j := range w.Jobs {
+			if j.PrecedingJob > 0 {
+				sm.AwaitPredecessor(j)
+			}
 		}
-		sm.SubmitAt(j, j.Submit)
+	}
+	next := 0
+	skipAwaited := func() {
+		for next < len(w.Jobs) && opts.Feedback && w.Jobs[next].PrecedingJob > 0 {
+			next++
+		}
+	}
+	var cursor func()
+	cursor = func() {
+		now := engine.Now()
+		for {
+			j := w.Jobs[next]
+			next++
+			sm.submit(j, now)
+			skipAwaited()
+			if next >= len(w.Jobs) || w.Jobs[next].Submit != now {
+				break
+			}
+		}
+		if next < len(w.Jobs) {
+			engine.At(w.Jobs[next].Submit, des.PriorityTraceArrival, cursor)
+		}
+	}
+	skipAwaited()
+	if next < len(w.Jobs) {
+		engine.At(w.Jobs[next].Submit, des.PriorityTraceArrival, cursor)
 	}
 
 	// Outage events: announcements make windows visible; node
@@ -263,6 +296,9 @@ func scheduleOutages(engine *des.Engine, sm *Instance, log *outage.Log) {
 // job exactly once.
 func collect(sm *Instance, w *core.Workload, engine *des.Engine) *Result {
 	res := &Result{Scheduler: sm.schedule.Name(), Workload: w.Name, Events: engine.Processed}
+	if !sm.opts.DiscardOutcomes {
+		res.Outcomes = make([]metrics.Outcome, 0, len(w.Jobs))
+	}
 	for _, j := range w.Jobs {
 		o, ok := sm.outcomes[j.ID]
 		if !ok {

@@ -41,10 +41,12 @@ func RunStream(name string, maxNodes int, js core.JobStream, s sched.Scheduler, 
 	}
 	sm.pruneFinal = opts.DiscardOutcomes
 
-	// The arrival pump: each arrival event submits its job and pulls the
-	// next one from the stream, so the engine never holds more than one
-	// pending arrival. Same-instant arrivals keep file order because the
-	// engine breaks time-and-priority ties by insertion sequence.
+	// The arrival pump: each arrival event submits its job, then keeps
+	// pulling and submitting while the next job is due at the same
+	// instant (file order preserved), and re-arms for the next distinct
+	// submit time — so the engine never holds more than one pending
+	// arrival, and the event count per arrival instant matches Run's
+	// replay cursor exactly (the streaming≡batch tests compare counts).
 	var (
 		pump       func(j *core.Job)
 		pumpErr    error
@@ -75,16 +77,25 @@ func RunStream(name string, maxNodes int, js core.JobStream, s sched.Scheduler, 
 	}
 	pump = func(j *core.Job) {
 		pending = j
-		engine.At(j.Submit, des.PriorityArrival, func() {
-			pending = nil
-			sm.submit(j, j.Submit)
-			next, err := pull()
-			if err != nil {
-				pumpErr = err
-				return
-			}
-			if next != nil {
-				pump(next)
+		engine.At(j.Submit, des.PriorityTraceArrival, func() {
+			now := engine.Now()
+			for {
+				pending = nil
+				sm.submit(j, now)
+				next, err := pull()
+				if err != nil {
+					pumpErr = err
+					return
+				}
+				if next == nil {
+					return
+				}
+				if next.Submit != now {
+					pump(next)
+					return
+				}
+				j = next
+				pending = j
 			}
 		})
 	}

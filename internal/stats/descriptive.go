@@ -25,7 +25,7 @@ func Summarize(xs []float64) Summary {
 		return s
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	sortFloats(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[s.N-1]
 	for _, v := range sorted {

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// sortFloats ascending-sorts xs in place. For samples free of NaNs and
+// negative zeros — every metric stream the simulator produces — it runs
+// a byte-wise LSD radix sort: for such samples the sorted array is a
+// pure function of the multiset of values, so the result is
+// element-identical to sort.Float64s, at a fraction of the comparison
+// cost on the tens-of-thousands-element samples a 20k-job replay
+// summarizes. Samples containing NaN or -0.0 (possible for arbitrary
+// library callers, never for simulator metrics) fall back to
+// sort.Float64s so ordering semantics stay exactly the stdlib's.
+func sortFloats(xs []float64) {
+	if len(xs) < 128 {
+		// Below this the O(n) passes cost more than comparison sort.
+		sort.Float64s(xs)
+		return
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || (x == 0 && math.Signbit(x)) {
+			sort.Float64s(xs)
+			return
+		}
+	}
+	// Flip the sign bit of non-negatives and all bits of negatives: the
+	// resulting uint64s order identically to the floats.
+	keys := make([]uint64, len(xs))
+	for i, x := range xs {
+		b := math.Float64bits(x)
+		if b&(1<<63) != 0 {
+			b = ^b
+		} else {
+			b ^= 1 << 63
+		}
+		keys[i] = b
+	}
+	tmp := make([]uint64, len(keys))
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range keys {
+			counts[(k>>shift)&0xff]++
+		}
+		if counts[(keys[0]>>shift)&0xff] == len(keys) {
+			// Every key shares this byte; the pass would be the identity.
+			continue
+		}
+		total := 0
+		for i, c := range counts {
+			counts[i] = total
+			total += c
+		}
+		for _, k := range keys {
+			b := (k >> shift) & 0xff
+			tmp[counts[b]] = k
+			counts[b]++
+		}
+		keys, tmp = tmp, keys
+	}
+	for i, k := range keys {
+		if k&(1<<63) != 0 {
+			k ^= 1 << 63
+		} else {
+			k = ^k
+		}
+		xs[i] = math.Float64frombits(k)
+	}
+}

@@ -2,7 +2,7 @@
 # scripts/bench_check.sh — guard against performance regressions.
 #
 # Reruns a benchmark subset and compares each result against the
-# "current" section of a committed perf snapshot (BENCH_PR9.json by
+# "current" section of a committed perf snapshot (BENCH_PR10.json by
 # default). Fails if any shared benchmark regresses by more than
 # THRESHOLD percent in ns/op, or allocates more per op than the
 # snapshot plus ALLOC_SLACK: ns/op is noisy and gets a tolerance band;
@@ -14,8 +14,10 @@
 # re-snapshot to lock in the gain.
 #
 # Usage: scripts/bench_check.sh [snapshot.json]
-#   BENCH=regex      benchmarks to check (default: BenchmarkAblation —
-#                    the tracked hot-path suite; fast enough for CI)
+#   BENCH=regex      benchmarks to check (default: the BenchmarkAblation
+#                    tracked hot-path suite — including the LedgerOn/Off
+#                    congested-queue pair — plus the congested
+#                    conservative benchmark; fast enough for CI)
 #   COUNT=n          samples per bench, min taken (default: 3)
 #   THRESHOLD=pct    max allowed ns/op regression (default: 20)
 #   ALLOC_SLACK=n    max allowed allocs/op increase (default: 2)
@@ -29,8 +31,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SNAP="${1:-BENCH_PR9.json}"
-BENCH="${BENCH:-BenchmarkAblation}"
+SNAP="${1:-BENCH_PR10.json}"
+BENCH="${BENCH:-BenchmarkAblation|BenchmarkLargeConservativeCongested$}"
 COUNT="${COUNT:-3}"
 THRESHOLD="${THRESHOLD:-20}"
 ALLOC_SLACK="${ALLOC_SLACK:-2}"
